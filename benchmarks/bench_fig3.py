@@ -1,0 +1,37 @@
+"""Regenerates Figure 3 (ASan overhead breakdown on an in-order core)."""
+
+from repro.experiments import fig3
+
+
+def test_fig3_regeneration(benchmark, bench_scale):
+    results = benchmark.pedantic(
+        fig3.run, kwargs={"scale": bench_scale}, rounds=1, iterations=1
+    )
+    print()
+    print(fig3.render(results))
+
+    parts = fig3.breakdown(results)
+
+    # Memory access validation is "the most persistent and grievous
+    # source of overhead": it should be the largest component for the
+    # majority of benchmarks.
+    validation_wins = sum(
+        1
+        for components in parts.values()
+        if components["Memory Access Validation"]
+        == max(components.values())
+    )
+    assert validation_wins >= len(parts) // 2
+
+    # The allocator contributes significantly for the alloc-heavy
+    # benchmarks the paper calls out (gcc, xalancbmk): their allocator
+    # component should exceed the allocator component of lbm/sjeng,
+    # which make almost no allocation calls.
+    for heavy in ("gcc", "xalancbmk"):
+        for light in ("lbm", "sjeng"):
+            assert (
+                parts[heavy]["Allocator"] >= parts[light]["Allocator"] - 0.5
+            )
+
+    # Every total is a real slowdown.
+    assert all(sum(c.values()) > 10.0 for c in parts.values())

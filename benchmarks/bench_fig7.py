@@ -1,0 +1,40 @@
+"""Regenerates Figure 7 (ASan/REST runtime overheads) and checks shape.
+
+The benchmark times one full Figure 7 sweep: 12 SPEC-model benchmarks x
+(Plain + 7 protection configurations) through the cycle-level core.
+"""
+
+from repro.experiments import fig7
+from repro.harness.metrics import weighted_mean_overhead
+
+
+def test_fig7_regeneration(benchmark, bench_scale):
+    results = benchmark.pedantic(
+        fig7.run, kwargs={"scale": bench_scale}, rounds=1, iterations=1
+    )
+    print()
+    print(fig7.render(results))
+
+    # Shape assertions: who wins, by roughly what factor.
+    plains = [results[b]["Plain"].runtime for b in results]
+
+    def wtd(name):
+        return weighted_mean_overhead(
+            [results[b][name].runtime for b in results], plains
+        )
+
+    asan = wtd("ASan")
+    secure_full = wtd("Secure Full")
+    secure_heap = wtd("Secure Heap")
+    debug_full = wtd("Debug Full")
+    perfect_full = wtd("PerfectHW Full")
+
+    # REST secure is in the paper's few-percent regime, far below ASan.
+    assert secure_full < 8.0
+    assert asan > 5 * max(secure_full, 1.0)
+    # Debug costs more than secure, less than ASan.
+    assert secure_full < debug_full < asan
+    # Full tracks heap-only closely (paper: 0.16 pp apart).
+    assert abs(secure_full - secure_heap) < 1.5
+    # The hardware primitive is nearly free (paper: within 0.2 pp).
+    assert abs(secure_full - perfect_full) < 1.0

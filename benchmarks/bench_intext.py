@@ -1,0 +1,17 @@
+"""Regenerates the Section VI-B in-text microarchitectural numbers."""
+
+from repro.experiments import intext
+
+
+def test_intext_regeneration(benchmark, bench_scale):
+    text = benchmark.pedantic(
+        intext.regenerate,
+        kwargs={"scale": max(0.25, bench_scale)},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(text)
+    assert "ROB blocked-by-store cycles" in text
+    assert "Secure Full - Secure Heap" in text
+    assert "tokens/kilo-instr" in text

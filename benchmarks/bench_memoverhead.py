@@ -1,0 +1,17 @@
+"""Regenerates the memory-overhead comparison (paper §VII discussion)."""
+
+from repro.experiments import memoverhead
+
+
+def test_memoverhead_regeneration(benchmark, bench_scale):
+    text = benchmark.pedantic(
+        memoverhead.regenerate,
+        kwargs={"scale": max(0.2, bench_scale)},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(text)
+    assert "TOTAL" in text
+    # REST keeps metadata in place: zero shadow bytes.
+    assert "0 shadow bytes" in text

@@ -1,0 +1,46 @@
+"""Seed-stability sweep: the headline conclusions hold across seeds.
+
+The paper's claims shouldn't hinge on one synthetic-workload seed; this
+bench reruns the key configurations across several seeds and asserts
+the orderings and regimes are stable.
+"""
+
+from repro.core.modes import Mode
+from repro.harness.configs import DefenseSpec
+from repro.harness.sweeps import seed_sweep
+from repro.workloads.spec import ALL_PROFILES
+
+SPECS = [
+    DefenseSpec.asan(),
+    DefenseSpec.rest("Secure Full"),
+    DefenseSpec.rest("Debug Full", mode=Mode.DEBUG),
+]
+SEEDS = (11, 222, 3333)
+
+
+def test_headline_numbers_stable_across_seeds(benchmark, bench_scale):
+    sweep = benchmark.pedantic(
+        seed_sweep,
+        args=(ALL_PROFILES, SPECS, SEEDS),
+        kwargs={"scale": max(0.15, bench_scale)},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    for name, result in sweep.items():
+        print(
+            f"  {name:12s} mean={result.mean:7.2f}%  "
+            f"stdev={result.stdev:5.2f}  spread={result.spread:5.2f}  "
+            f"samples={['%.1f' % s for s in result.samples]}"
+        )
+
+    secure = sweep["Secure Full"]
+    debug = sweep["Debug Full"]
+    asan = sweep["ASan"]
+    # Every seed individually preserves the regime orderings.
+    for s, d, a in zip(secure.samples, debug.samples, asan.samples):
+        assert s < 10.0
+        assert s < d < a
+    # And the secure-mode mean stays in the paper's few-percent band.
+    assert secure.mean < 6.0
+    assert secure.spread < 6.0

@@ -1,0 +1,13 @@
+"""Regenerates the Table I conformance matrix (hardware semantics)."""
+
+from repro.experiments import table1
+
+
+def test_table1_regeneration(benchmark):
+    text = benchmark.pedantic(table1.regenerate, rounds=1, iterations=1)
+    print()
+    print(text)
+    assert "VIOLATION" not in text
+    assert "ERROR" not in text
+    # Every Table I row is present and conforming.
+    assert text.count("CONFORMS") == 14

@@ -1,0 +1,18 @@
+"""Regenerates Table II (the simulated hardware configuration)."""
+
+from repro.experiments import table2
+
+
+def test_table2_regeneration(benchmark):
+    text = benchmark.pedantic(table2.regenerate, rounds=1, iterations=1)
+    print()
+    print(text)
+    for fragment in (
+        "2 GHz",
+        "192-entry ROB",
+        "64kB, 8-way, 2 cycles",
+        "2MB, 16-way, 20 cycles",
+        "DDR3, 800 MHz",
+        "token detector",
+    ):
+        assert fragment in text

@@ -1,0 +1,20 @@
+"""Shared fixtures for the reproduction benchmarks.
+
+Every paper table/figure has a bench that regenerates it at a reduced
+workload scale (full-scale regeneration is `python -m
+repro.experiments.<name> --scale 1.0`).  The regenerated text is
+printed so `pytest benchmarks/ --benchmark-only -s` doubles as the
+experiment report.
+"""
+
+import pytest
+
+#: Workload scale used by the figure-regeneration benches.  Keeps the
+#: whole benchmark suite in the minutes range while preserving the
+#: overhead shape (see EXPERIMENTS.md for full-scale numbers).
+BENCH_SCALE = 0.15
+
+
+@pytest.fixture(scope="session")
+def bench_scale():
+    return BENCH_SCALE

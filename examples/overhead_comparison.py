@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""Measure the cost of protection on the cycle-level simulator.
+
+Runs one SPEC-model benchmark through the full pipeline under Plain,
+ASan and REST (secure/debug, full/heap) and prints cycles, instruction
+expansion, and the microarchitectural counters behind the paper's
+Section VI-B discussion.
+
+Run:  python examples/overhead_comparison.py [benchmark] [scale]
+"""
+
+import sys
+
+from repro.core.modes import Mode
+from repro.harness.configs import DefenseSpec, SimulationConfig
+from repro.harness.experiment import run_benchmark
+from repro.harness.reporting import format_table
+from repro.workloads.spec import ALL_PROFILES, profile_by_name
+
+
+def main() -> None:
+    bench = sys.argv[1] if len(sys.argv) > 1 else "xalancbmk"
+    scale = float(sys.argv[2]) if len(sys.argv) > 2 else 0.35
+    profile = profile_by_name(bench)
+    config = SimulationConfig(scale=scale)
+
+    specs = [
+        DefenseSpec.plain(),
+        DefenseSpec.asan(),
+        DefenseSpec.rest("REST Secure Full"),
+        DefenseSpec.rest("REST Secure Heap", protect_stack=False),
+        DefenseSpec.rest("REST Debug Full", mode=Mode.DEBUG),
+        DefenseSpec.rest("REST PerfectHW", perfect_hw=True),
+    ]
+
+    print(f"benchmark: {bench} (scale {scale}) — "
+          f"known profiles: {', '.join(p.name for p in ALL_PROFILES)}")
+    results = {spec.name: run_benchmark(profile, spec, config) for spec in specs}
+    plain = results["Plain"].cycles
+
+    rows = []
+    for name, result in results.items():
+        rows.append([
+            name,
+            result.cycles,
+            f"{(result.cycles / plain - 1) * 100:+.1f}%",
+            f"{result.instruction_expansion:.2f}x",
+            result.core_stats.rob_blocked_by_store_cycles,
+            f"{result.l1d_miss_rate * 100:.1f}%",
+            result.workload_stats.mallocs,
+        ])
+    print(format_table(
+        [
+            "config",
+            "cycles",
+            "overhead",
+            "instr expansion",
+            "ROB blk-by-store",
+            "L1D miss",
+            "mallocs",
+        ],
+        rows,
+    ))
+    print("\npaper reference points: REST secure ~2% mean, debug ~25%, "
+          "ASan far higher under test inputs; PerfectHW within 0.2% of "
+          "secure (the hardware primitive is effectively free).")
+
+
+if __name__ == "__main__":
+    main()

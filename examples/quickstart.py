@@ -1,0 +1,84 @@
+#!/usr/bin/env python
+"""Quickstart: the REST primitive in five minutes.
+
+Walks through the raw hardware primitive (arm / disarm / detection),
+then the deployable defense built on it (token-redzone allocator), on a
+functional simulated machine.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core import InvalidRestInstructionError, RestException
+from repro.defenses import RestDefense
+from repro.runtime import Machine
+
+
+def hardware_primitive_demo() -> None:
+    print("=== 1. The raw primitive: arm / disarm ===")
+    machine = Machine()  # functional mode: REST hardware attached
+
+    address = 0x10000
+    machine.arm(address)
+    print(f"armed a 64B token at 0x{address:x}")
+
+    try:
+        machine.load(address, 8)
+    except RestException as error:
+        print(f"load of armed location -> {error}")
+
+    try:
+        machine.store(address + 8, b"overwrite")
+    except RestException as error:
+        print(f"store to armed location -> {error}")
+
+    machine.disarm(address)
+    print(f"disarmed; load now returns {machine.load(address, 8)!r} "
+          "(disarm zeroes the slot)")
+
+    try:
+        machine.disarm(address)  # no token here any more
+    except RestException as error:
+        print(f"disarm of unarmed location -> {error}")
+
+    try:
+        machine.arm(address + 1)  # must be token-width aligned
+    except InvalidRestInstructionError as error:
+        print(f"misaligned arm -> {error}")
+
+
+def defense_demo() -> None:
+    print("\n=== 2. The defense built on it: token redzones ===")
+    defense = RestDefense(Machine(), protect_stack=True)
+
+    buffer = defense.malloc(100)
+    print(f"malloc(100) -> 0x{buffer:x} (redzones armed on both sides)")
+
+    defense.store(buffer, b"in bounds")
+    print(f"in-bounds access fine: {defense.load(buffer, 9)!r}")
+
+    try:
+        defense.load(buffer + 128, 8)  # past the payload span
+    except RestException as error:
+        print(f"heap overflow read -> {error}")
+
+    defense.free(buffer)
+    try:
+        defense.load(buffer, 8)
+    except RestException as error:
+        print(f"use-after-free -> {error}")
+
+    frame = defense.function_enter([64])
+    local = frame.buffers[0]
+    print(f"\nstack buffer at 0x{local.address:x}, redzones armed")
+    try:
+        defense.store(local.address + 64, b"smashed!")
+    except RestException as error:
+        print(f"stack smash -> {error}")
+    defense.function_exit(frame)
+    print("frame exited; redzones disarmed for the next frame")
+
+
+if __name__ == "__main__":
+    hardware_primitive_demo()
+    defense_demo()
+    print("\nquickstart complete.")

@@ -1,0 +1,77 @@
+"""Reproduction of "Practical Memory Safety with REST" (ISCA 2018).
+
+Random Embedded Secret Tokens (REST) is a hardware primitive for
+content-based memory checks: a very large random value bookends the
+data structures a program wants protected, the L1 data cache detects
+the value on line fills, and any regular access that touches it raises
+a privileged exception.
+
+Public API map
+--------------
+
+``repro.core``
+    The primitive itself: :class:`~repro.core.Token`,
+    :class:`~repro.core.TokenConfigRegister`,
+    :class:`~repro.core.TokenDetector`, the secure/debug
+    :class:`~repro.core.Mode`, and the REST exception types.
+``repro.cache`` / ``repro.mem`` / ``repro.cpu``
+    The hardware substrate: REST-extended cache hierarchy (Table I
+    semantics), DRAM model, and the cycle-level out-of-order core with
+    the Figure 5 LSQ modifications.
+``repro.runtime`` / ``repro.defenses``
+    The software substrate: machine abstraction, libc, shadow memory,
+    the allocator family, and the deployable defenses
+    (:class:`~repro.defenses.PlainDefense`,
+    :class:`~repro.defenses.AsanDefense`,
+    :class:`~repro.defenses.RestDefense`).
+``repro.os``
+    System-level support: per-process tokens, context switches,
+    fork re-keying, IPC token-leak protection (paper §IV-B).
+``repro.workloads`` / ``repro.harness`` / ``repro.experiments``
+    SPEC CPU2006 models, the attack suite, and one module per paper
+    table/figure.
+
+Quick start::
+
+    from repro import Machine, RestDefense, RestException
+
+    defense = RestDefense(Machine(), protect_stack=False)
+    buffer = defense.malloc(100)
+    try:
+        defense.load(buffer + 128, 8)
+    except RestException as error:
+        print(error)   # the over-read hit a token
+"""
+
+from repro.core import (
+    InvalidRestInstructionError,
+    Mode,
+    PrivilegeLevel,
+    RestException,
+    Token,
+    TokenConfigRegister,
+)
+from repro.cache import MemoryHierarchy, MulticoreHierarchy
+from repro.defenses import AsanDefense, PlainDefense, RestDefense
+from repro.runtime import ExecutionMode, Machine
+from repro.runtime.shadow import AsanViolation
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AsanDefense",
+    "AsanViolation",
+    "ExecutionMode",
+    "InvalidRestInstructionError",
+    "Machine",
+    "MemoryHierarchy",
+    "Mode",
+    "MulticoreHierarchy",
+    "PlainDefense",
+    "PrivilegeLevel",
+    "RestDefense",
+    "RestException",
+    "Token",
+    "TokenConfigRegister",
+    "__version__",
+]

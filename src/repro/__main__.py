@@ -1,0 +1,312 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+
+``experiments [names...] [--scale S]``
+    Regenerate paper tables/figures (default: all of them).
+``attack <name|all> [--defense plain|asan|rest|rest-heap]``
+    Run attack scenarios and print the outcome.
+``demo``
+    The quickstart walkthrough.
+``config``
+    Print the Table II hardware configuration.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+EXPERIMENTS = (
+    "table1",
+    "table2",
+    "table3",
+    "fig3",
+    "fig7",
+    "fig8",
+    "intext",
+    "memoverhead",
+    "security",
+)
+
+
+def _cmd_experiments(args: argparse.Namespace) -> int:
+    import importlib
+
+    names = args.names or list(EXPERIMENTS)
+    for name in names:
+        if name not in EXPERIMENTS:
+            print(f"unknown experiment {name!r}; known: {', '.join(EXPERIMENTS)}")
+            return 2
+        module = importlib.import_module(f"repro.experiments.{name}")
+        print(f"\n{'=' * 72}\n{name}\n{'=' * 72}")
+        print(module.regenerate(scale=args.scale, seed=args.seed))
+    return 0
+
+
+def _cmd_attack(args: argparse.Namespace) -> int:
+    from repro.defenses import AsanDefense, PlainDefense, RestDefense
+    from repro.defenses.diagnosis import explain_fault
+    from repro.runtime import Machine
+    from repro.workloads import ATTACK_REGISTRY, run_attack
+
+    factories = {
+        "plain": lambda: PlainDefense(Machine()),
+        "asan": lambda: AsanDefense(Machine()),
+        "rest": lambda: RestDefense(Machine(), protect_stack=True),
+        "rest-heap": lambda: RestDefense(Machine(), protect_stack=False),
+    }
+    factory = factories[args.defense]
+    names = sorted(ATTACK_REGISTRY) if args.name == "all" else [args.name]
+    for name in names:
+        if name not in ATTACK_REGISTRY:
+            print(f"unknown attack {name!r}; known: "
+                  f"{', '.join(sorted(ATTACK_REGISTRY))}")
+            return 2
+        defense = factory()
+        result = run_attack(name, defense)
+        print(f"{name:28s} [{args.defense:9s}] -> {result.outcome.value}"
+              + (f" ({result.detected_by})" if result.detected_by else ""))
+        if args.verbose and result.detail:
+            print(f"    {result.detail}")
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.cpu.encoding import decode_trace, encode_trace
+
+    if args.action == "record":
+        from repro.harness.configs import DefenseSpec, SimulationConfig
+        from repro.harness.experiment import build_defense
+        from repro.runtime.machine import ExecutionMode, Machine
+        from repro.workloads.generator import SyntheticWorkload
+        from repro.workloads.spec import profile_by_name
+
+        spec = {
+            "plain": DefenseSpec.plain(),
+            "asan": DefenseSpec.asan(),
+            "rest": DefenseSpec.rest("Secure Full"),
+            "rest-heap": DefenseSpec.rest(
+                "Secure Heap", protect_stack=False
+            ),
+        }[args.defense]
+        machine = Machine(mode=ExecutionMode.TRACE)
+        defense = build_defense(machine, spec)
+        config = SimulationConfig(scale=args.scale)
+        SyntheticWorkload(
+            profile_by_name(args.benchmark),
+            defense,
+            seed=config.seed,
+            scale=config.scale,
+            alloc_intensity=config.alloc_intensity,
+        ).run()
+        trace = machine.take_trace()
+        data = encode_trace(trace)
+        with open(args.file, "wb") as handle:
+            handle.write(data)
+        print(f"recorded {len(trace)} micro-ops "
+              f"({len(data):,} bytes) to {args.file}")
+        return 0
+
+    if args.action == "stats":
+        from collections import Counter
+
+        with open(args.file, "rb") as handle:
+            trace = decode_trace(handle.read())
+        counts = Counter(uop.op.value for uop in trace)
+        data_lines = {
+            uop.address >> 6 for uop in trace if uop.op.is_memory
+        }
+        code_lines = {uop.pc >> 6 for uop in trace}
+        print(f"{args.file}: {len(trace):,} micro-ops")
+        for name, count in counts.most_common():
+            print(f"  {name:8s} {count:>8,}  ({count / len(trace):.1%})")
+        print(f"  distinct data lines: {len(data_lines):,} "
+              f"({len(data_lines) * 64 / 1024:.0f} KiB touched)")
+        print(f"  distinct code lines: {len(code_lines):,}")
+        return 0
+
+    # replay
+    from repro.cache.hierarchy import MemoryHierarchy
+    from repro.core.modes import Mode
+    from repro.core.token import Token, TokenConfigRegister
+    from repro.cpu.pipeline import OutOfOrderCore
+
+    with open(args.file, "rb") as handle:
+        trace = decode_trace(handle.read())
+    register = TokenConfigRegister(
+        Token.random(64, seed=7),
+        mode=Mode.DEBUG if args.debug else Mode.SECURE,
+    )
+    core = OutOfOrderCore(MemoryHierarchy(token_config=register))
+    stats = core.run(trace)
+    print(f"replayed {stats.committed} micro-ops in {stats.cycles} "
+          f"cycles (IPC {stats.ipc:.2f}); "
+          f"arms={core.hierarchy.stats.arms} "
+          f"disarms={core.hierarchy.stats.disarms}")
+    return 0
+
+
+def _cmd_demo(_args: argparse.Namespace) -> int:
+    from repro.core import RestException
+    from repro.defenses import RestDefense
+    from repro.runtime import Machine
+
+    defense = RestDefense(Machine(), protect_stack=False)
+    buffer = defense.malloc(100)
+    print(f"malloc(100) -> 0x{buffer:x} with token redzones")
+    defense.store(buffer, b"in bounds")
+    print(f"in-bounds load: {defense.load(buffer, 9)!r}")
+    try:
+        defense.load(buffer + 128, 8)
+    except RestException as error:
+        print(f"over-read -> {error}")
+    return 0
+
+
+def _cmd_minic(args: argparse.Namespace) -> int:
+    from repro.core import RestException
+    from repro.defenses import AsanDefense, PlainDefense, RestDefense
+    from repro.lang import Interpreter, parse
+    from repro.runtime import Machine
+    from repro.runtime.shadow import AsanViolation
+
+    with open(args.file) as handle:
+        program = parse(handle.read())
+
+    if args.action == "run":
+        factories = {
+            "plain": lambda: PlainDefense(Machine()),
+            "asan": lambda: AsanDefense(Machine()),
+            "rest": lambda: RestDefense(Machine(), protect_stack=True),
+            "rest-heap": lambda: RestDefense(Machine(), protect_stack=False),
+        }
+        defense = factories[args.defense]()
+        try:
+            result = Interpreter(program, defense).run(*args.args)
+        except (RestException, AsanViolation) as error:
+            print(f"[{args.defense}] memory-safety violation: {error}")
+            return 1
+        print(f"[{args.defense}] main returned {result}")
+        return 0
+
+    # measure
+    from repro.core.modes import Mode
+    from repro.harness.configs import DefenseSpec
+    from repro.lang.measure import compare_program
+
+    specs = [
+        DefenseSpec.asan(),
+        DefenseSpec.rest("REST Secure Full"),
+        DefenseSpec.rest("REST Debug Full", mode=Mode.DEBUG),
+    ]
+    results = compare_program(program, specs, args=tuple(args.args))
+    plain = results["Plain"]
+    print(f"{'config':18s} {'cycles':>10s} {'overhead':>9s} "
+          f"{'instrs':>8s} {'arms':>6s}")
+    for name, measurement in results.items():
+        if measurement.faulted:
+            print(f"{name:18s} FAULTED after {measurement.cycles:,} "
+                  f"cycles: {measurement.faulted}")
+            continue
+        overhead = measurement.overhead_vs(plain)
+        print(f"{name:18s} {measurement.cycles:>10,} {overhead:>8.1f}% "
+              f"{measurement.instructions:>8,} {measurement.arms:>6}")
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    from repro.harness.regression import (
+        compare_suites,
+        format_comparison,
+        regressions,
+    )
+
+    deltas = compare_suites(args.before, args.after)
+    print(format_comparison(deltas, tolerance_pp=args.tolerance))
+    return 1 if regressions(deltas, tolerance_pp=args.tolerance) else 0
+
+
+def _cmd_config(_args: argparse.Namespace) -> int:
+    from repro.harness.configs import table2_text
+
+    print(table2_text())
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="REST (ISCA 2018) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_exp = sub.add_parser("experiments", help="regenerate tables/figures")
+    p_exp.add_argument("names", nargs="*", metavar="name")
+    p_exp.add_argument("--scale", type=float, default=0.35)
+    p_exp.add_argument("--seed", type=int, default=1234)
+    p_exp.set_defaults(handler=_cmd_experiments)
+
+    p_att = sub.add_parser("attack", help="run attack scenarios")
+    p_att.add_argument("name", help="attack name or 'all'")
+    p_att.add_argument(
+        "--defense",
+        choices=("plain", "asan", "rest", "rest-heap"),
+        default="rest",
+    )
+    p_att.add_argument("--verbose", "-v", action="store_true")
+    p_att.set_defaults(handler=_cmd_attack)
+
+    p_trace = sub.add_parser(
+        "trace", help="record/replay binary micro-op traces"
+    )
+    p_trace.add_argument("action", choices=("record", "replay", "stats"))
+    p_trace.add_argument("file")
+    p_trace.add_argument("--benchmark", default="xalancbmk")
+    p_trace.add_argument(
+        "--defense",
+        choices=("plain", "asan", "rest", "rest-heap"),
+        default="rest",
+    )
+    p_trace.add_argument("--scale", type=float, default=0.1)
+    p_trace.add_argument("--debug", action="store_true",
+                         help="replay in debug (precise) mode")
+    p_trace.set_defaults(handler=_cmd_trace)
+
+    p_demo = sub.add_parser("demo", help="30-second walkthrough")
+    p_demo.set_defaults(handler=_cmd_demo)
+
+    p_minic = sub.add_parser(
+        "minic", help="run/measure a Mini-C source file under a defense"
+    )
+    p_minic.add_argument("action", choices=("run", "measure"))
+    p_minic.add_argument("file")
+    p_minic.add_argument(
+        "--defense",
+        choices=("plain", "asan", "rest", "rest-heap"),
+        default="rest",
+    )
+    p_minic.add_argument(
+        "args", nargs="*", type=int, help="integer arguments to main()"
+    )
+    p_minic.set_defaults(handler=_cmd_minic)
+
+    p_cmp = sub.add_parser(
+        "compare", help="diff two saved suite JSONs (regression check)"
+    )
+    p_cmp.add_argument("before")
+    p_cmp.add_argument("after")
+    p_cmp.add_argument("--tolerance", type=float, default=2.0,
+                       help="flag overhead moves beyond this (pp)")
+    p_cmp.set_defaults(handler=_cmd_compare)
+
+    p_cfg = sub.add_parser("config", help="print Table II configuration")
+    p_cfg.set_defaults(handler=_cmd_config)
+
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,31 @@
+"""Cross-cutting analyses built on the simulator and attack suite.
+
+* :mod:`repro.analysis.coverage` — detection-coverage scoring: runs the
+  full attack registry against each defense and aggregates by bug
+  class, quantifying Table III's qualitative "Linear / Until realloc /
+  composable" cells.
+* :mod:`repro.analysis.tradeoffs` — security-performance tradeoff
+  sweeps for the tunable design parameters (quarantine budget, token
+  width), pairing each point's cost with the protection it buys.
+"""
+
+from repro.analysis.attribution import (
+    CycleBreakdown,
+    attribute_overhead,
+    breakdown,
+)
+from repro.analysis.coverage import CoverageReport, coverage_report
+from repro.analysis.tradeoffs import (
+    quarantine_tradeoff,
+    token_width_tradeoff,
+)
+
+__all__ = [
+    "CoverageReport",
+    "CycleBreakdown",
+    "attribute_overhead",
+    "breakdown",
+    "coverage_report",
+    "quarantine_tradeoff",
+    "token_width_tradeoff",
+]

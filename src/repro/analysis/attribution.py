@@ -1,0 +1,73 @@
+"""Cycle attribution: where did a configuration's extra time go?
+
+Approximate but useful: decomposes a run's cycles into identifiable
+stall categories (instruction-fetch stalls, branch redirects, ROB head
+blocked on stores, and a residual covering execution/memory latency),
+then diffs two runs of the same benchmark to attribute a defense's
+overhead.  The categories map one-to-one onto the mechanisms the paper
+discusses: debug mode's cost should land on blocked-store cycles, and
+ASan's on the residual (more instructions through the same pipe) plus
+fetch (code bloat).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.harness.experiment import RunResult
+
+
+@dataclass
+class CycleBreakdown:
+    """One run's cycles split into stall categories."""
+
+    total: int
+    icache_stall: int
+    mispredict_stall: int
+    rob_blocked_by_store: int
+
+    @property
+    def residual(self) -> int:
+        """Execution/memory/issue time not in a named stall bucket."""
+        named = (
+            self.icache_stall
+            + self.mispredict_stall
+            + self.rob_blocked_by_store
+        )
+        return max(0, self.total - named)
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "icache_stall": self.icache_stall,
+            "mispredict_stall": self.mispredict_stall,
+            "rob_blocked_by_store": self.rob_blocked_by_store,
+            "residual": self.residual,
+        }
+
+
+def breakdown(result: RunResult) -> CycleBreakdown:
+    """Split one run's cycles into stall categories."""
+    stats = result.core_stats
+    return CycleBreakdown(
+        total=result.cycles,
+        icache_stall=stats.icache_stall_cycles,
+        mispredict_stall=stats.mispredict_stall_cycles,
+        rob_blocked_by_store=stats.rob_blocked_by_store_cycles,
+    )
+
+
+def attribute_overhead(
+    protected: RunResult, baseline: RunResult
+) -> Dict[str, float]:
+    """Attribute a defense's extra cycles to categories, in percent of
+    the baseline runtime (so the values sum to the overhead%)."""
+    if protected.benchmark != baseline.benchmark:
+        raise ValueError("attribution needs runs of the same benchmark")
+    protected_parts = breakdown(protected).as_dict()
+    baseline_parts = breakdown(baseline).as_dict()
+    scale = 100.0 / baseline.cycles
+    return {
+        name: (protected_parts[name] - baseline_parts[name]) * scale
+        for name in protected_parts
+    }

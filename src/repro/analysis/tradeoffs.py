@@ -1,0 +1,116 @@
+"""Security-performance tradeoff sweeps for the tunable parameters.
+
+Two knobs the paper discusses qualitatively become measured curves:
+
+* **quarantine budget** (§IV-A / Table III "until realloc"): a larger
+  quarantine keeps freed chunks blacklisted longer (longer temporal
+  protection window) but consumes memory and token work;
+* **token width** (§III-B, §V-B, Figure 8): narrower tokens shrink the
+  alignment pad (smaller false-negative window for small overflows)
+  and the brute-force search space, while costing more arm
+  instructions per blacklisted byte.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.core import RestException
+from repro.core.token import Token, TokenConfigRegister
+from repro.cache.hierarchy import MemoryHierarchy
+from repro.defenses.rest import RestDefense
+from repro.runtime.machine import Machine
+
+
+@dataclass
+class QuarantinePoint:
+    budget_bytes: int
+    #: Frees survived before the victim chunk was recycled.
+    protection_window: int
+    #: Peak quarantined bytes (memory the budget holds hostage).
+    peak_quarantine_bytes: int
+    #: Token instructions spent (arms on free + disarms on drain).
+    token_instructions: int
+
+
+def quarantine_tradeoff(
+    budgets: Sequence[int] = (0, 1024, 8192, 65536),
+    chunk_size: int = 64,
+    churn: int = 400,
+) -> List[QuarantinePoint]:
+    """Measure the protection-window / memory / work curve."""
+    points = []
+    for budget in budgets:
+        machine = Machine()
+        defense = RestDefense(
+            machine, protect_stack=False, quarantine_bytes=budget
+        )
+        allocator = defense.allocator
+        victim = defense.malloc(chunk_size)
+        defense.free(victim)
+        window = 0
+        peak = allocator.stats.quarantine_bytes
+        while allocator.in_quarantine(victim) and window < churn:
+            filler = defense.malloc(chunk_size)
+            defense.free(filler)
+            peak = max(peak, allocator.stats.quarantine_bytes)
+            window += 1
+        points.append(
+            QuarantinePoint(
+                budget_bytes=budget,
+                protection_window=window,
+                peak_quarantine_bytes=peak,
+                token_instructions=machine.hierarchy.stats.arms
+                + machine.hierarchy.stats.disarms,
+            )
+        )
+    return points
+
+
+@dataclass
+class WidthPoint:
+    width: int
+    #: Worst-case bytes of overflow the alignment pad can absorb.
+    max_pad_false_negative: int
+    #: Bits of secret an attacker must guess.
+    secret_bits: int
+    #: Arms needed to blacklist one 4 KiB freed chunk.
+    arms_per_4k_blacklist: int
+    #: Smallest overflow distance guaranteed to hit the redzone.
+    guaranteed_detection_at: int
+
+
+def token_width_tradeoff(
+    widths: Sequence[int] = (16, 32, 64),
+) -> List[WidthPoint]:
+    """Per-width security/cost characteristics, measured not asserted.
+
+    The pad false-negative window is probed empirically: allocate a
+    buffer one byte over a width boundary and find the largest
+    overflow write that goes undetected.
+    """
+    points = []
+    for width in widths:
+        register = TokenConfigRegister(Token.random(width, seed=3))
+        machine = Machine(hierarchy=MemoryHierarchy(token_config=register))
+        defense = RestDefense(machine, protect_stack=False)
+        size = width + 1  # worst case: pad of width-1 bytes
+        victim = defense.malloc(size)
+        undetected = 0
+        for overflow in range(1, 2 * width + 1):
+            try:
+                defense.store(victim + size + overflow - 1, b"\x00")
+                undetected = overflow
+            except RestException:
+                break
+        points.append(
+            WidthPoint(
+                width=width,
+                max_pad_false_negative=undetected,
+                secret_bits=width * 8,
+                arms_per_4k_blacklist=4096 // width,
+                guaranteed_detection_at=undetected + 1,
+            )
+        )
+    return points

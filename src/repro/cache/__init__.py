@@ -1,0 +1,31 @@
+"""Cache hierarchy substrate with the REST token detection path.
+
+The hierarchy mirrors Table II of the paper: split 64 KB 8-way L1
+instruction/data caches (2-cycle), a unified 2 MB 16-way L2 (20-cycle),
+and DDR3 main memory.  The L1 data cache carries the REST extensions:
+one token bit per token slot per line, the fill-path token detector, and
+the Table I action semantics for arm/disarm/load/store on hits and
+misses.
+"""
+
+from repro.cache.line import CacheLine
+from repro.cache.mshr import Mshr, MshrFile
+from repro.cache.writebuffer import WriteBuffer
+from repro.cache.cache import Cache, CacheConfig, CacheStats
+from repro.cache.hierarchy import AccessResult, MemoryHierarchy, HierarchyConfig
+from repro.cache.coherence import CoherenceStats, MulticoreHierarchy
+
+__all__ = [
+    "AccessResult",
+    "CoherenceStats",
+    "MulticoreHierarchy",
+    "Cache",
+    "CacheConfig",
+    "CacheLine",
+    "CacheStats",
+    "HierarchyConfig",
+    "MemoryHierarchy",
+    "Mshr",
+    "MshrFile",
+    "WriteBuffer",
+]

@@ -1,0 +1,157 @@
+"""Set-associative cache with LRU replacement, MSHRs and a write buffer.
+
+The cache is a tag store: data lives authoritatively in the backing
+store, and the cache models presence (hit/miss), dirtiness, latency and
+— at the L1-D level — REST token bits.  This mirrors how the paper's
+hardware change is metadata-only: one token bit per token slot per L1-D
+line, everything else untouched.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from repro.cache.line import CacheLine
+from repro.cache.mshr import MshrFile
+from repro.cache.writebuffer import WriteBuffer
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Geometry and timing of one cache level (defaults: Table II L1)."""
+
+    name: str = "L1-D"
+    size: int = 64 * 1024
+    associativity: int = 8
+    line_size: int = 64
+    hit_latency: int = 2
+    mshr_registers: int = 4
+    mshr_entries: int = 20
+    write_buffer_entries: int = 8
+
+    def __post_init__(self) -> None:
+        if self.size % (self.associativity * self.line_size):
+            raise ValueError("size must be divisible by assoc * line size")
+
+    @property
+    def num_sets(self) -> int:
+        return self.size // (self.associativity * self.line_size)
+
+
+@dataclass
+class CacheStats:
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    dirty_evictions: int = 0
+    token_evictions: int = 0
+    token_fills: int = 0
+    mshr_stall_cycles: int = 0
+    write_buffer_stall_cycles: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+
+class Cache:
+    """One level of a write-back, write-allocate cache hierarchy."""
+
+    def __init__(self, config: CacheConfig) -> None:
+        self.config = config
+        self._sets = [
+            [CacheLine() for _ in range(config.associativity)]
+            for _ in range(config.num_sets)
+        ]
+        self.mshrs = MshrFile(config.mshr_registers, config.mshr_entries)
+        self.write_buffer = WriteBuffer(config.write_buffer_entries)
+        self.stats = CacheStats()
+        self._tick = 0
+
+    # -- geometry helpers ------------------------------------------------
+
+    def line_address(self, address: int) -> int:
+        return address - (address % self.config.line_size)
+
+    def _index_tag(self, address: int) -> Tuple[int, int]:
+        line = address // self.config.line_size
+        return line % self.config.num_sets, line // self.config.num_sets
+
+    # -- lookup / install ------------------------------------------------
+
+    def lookup(self, address: int, touch: bool = True) -> Optional[CacheLine]:
+        """Find the line containing ``address``; None on miss."""
+        index, tag = self._index_tag(address)
+        for line in self._sets[index]:
+            if line.valid and line.tag == tag:
+                if touch:
+                    self._tick += 1
+                    line.lru_tick = self._tick
+                return line
+        return None
+
+    def install(self, address: int, token_bits: int = 0) -> Tuple[CacheLine, Optional[CacheLine]]:
+        """Install the line for ``address``; returns (line, victim).
+
+        ``victim`` is a copy of the evicted line's metadata if a valid
+        line was displaced (the caller handles write-back and token
+        eviction semantics), else None.
+        """
+        index, tag = self._index_tag(address)
+        ways = self._sets[index]
+        victim_way = min(ways, key=lambda l: (l.valid, l.lru_tick))
+        evicted: Optional[CacheLine] = None
+        if victim_way.valid:
+            evicted = CacheLine(
+                tag=victim_way.tag,
+                valid=True,
+                dirty=victim_way.dirty,
+                token_bits=victim_way.token_bits,
+                lru_tick=victim_way.lru_tick,
+            )
+            self.stats.evictions += 1
+            if victim_way.dirty:
+                self.stats.dirty_evictions += 1
+            if victim_way.token_bits:
+                self.stats.token_evictions += 1
+        victim_way.tag = tag
+        victim_way.valid = True
+        victim_way.dirty = False
+        victim_way.token_bits = token_bits
+        self._tick += 1
+        victim_way.lru_tick = self._tick
+        if token_bits:
+            self.stats.token_fills += 1
+        return victim_way, evicted
+
+    def victim_address(self, probe_address: int, victim: CacheLine) -> int:
+        """Reconstruct the base address of an evicted line."""
+        index, _ = self._index_tag(probe_address)
+        line_number = victim.tag * self.config.num_sets + index
+        return line_number * self.config.line_size
+
+    def invalidate(self, address: int) -> None:
+        line = self.lookup(address, touch=False)
+        if line is not None:
+            line.reset()
+
+    def flush(self) -> None:
+        for ways in self._sets:
+            for line in ways:
+                line.reset()
+        self.mshrs.reset()
+        self.write_buffer.reset()
+
+    def reset_stats(self) -> None:
+        self.stats = CacheStats()
+        self.mshrs.allocations = 0
+        self.mshrs.merges = 0
+        self.mshrs.structural_stalls = 0
+        self.mshrs.token_holds = 0
+        self.write_buffer.inserts = 0
+        self.write_buffer.full_stalls = 0

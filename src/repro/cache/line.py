@@ -1,0 +1,38 @@
+"""Cache line metadata.
+
+Lines track tag/valid/dirty state plus the REST extension: a small
+bitmap of token bits, one per token slot in the line (1 bit for 64-byte
+tokens, up to 4 bits for 16-byte tokens — paper Section III-B).  Data
+itself is held authoritatively by the backing store; the line records
+only metadata, which is all the REST hardware adds to a real cache.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class CacheLine:
+    """One way of one set."""
+
+    tag: int = -1
+    valid: bool = False
+    dirty: bool = False
+    #: Bitmap of token bits; bit i covers token slot i of the line.
+    token_bits: int = 0
+    #: LRU timestamp, maintained by the owning cache.
+    lru_tick: int = 0
+
+    def reset(self) -> None:
+        self.tag = -1
+        self.valid = False
+        self.dirty = False
+        self.token_bits = 0
+        self.lru_tick = 0
+
+    def has_token(self, slot_mask: int = -1) -> bool:
+        """Whether any token bit in ``slot_mask`` is set (-1 = any slot)."""
+        if slot_mask == -1:
+            return self.token_bits != 0
+        return bool(self.token_bits & slot_mask)

@@ -1,0 +1,43 @@
+"""The REST primitive: tokens, operating modes, exceptions, detector.
+
+This package implements the hardware-visible pieces of the paper's
+contribution (Sections III and V-B): random embedded secret tokens, the
+privileged token configuration register, the secure/debug operating
+modes, the REST exception types, and the L1 fill-path token detector.
+"""
+
+from repro.core.exceptions import (
+    InvalidRestInstructionError,
+    PrivilegeError,
+    RestException,
+    RestFault,
+)
+from repro.core.modes import Mode, PrivilegeLevel
+from repro.core.token import (
+    TOKEN_WIDTHS,
+    Token,
+    TokenConfigRegister,
+    brute_force_years,
+    false_positive_probability,
+    max_aligned_chunks,
+)
+from repro.core.detector import TokenDetector
+from repro.core.hwcost import HardwareCost, rest_cost
+
+__all__ = [
+    "HardwareCost",
+    "TOKEN_WIDTHS",
+    "rest_cost",
+    "InvalidRestInstructionError",
+    "Mode",
+    "PrivilegeError",
+    "PrivilegeLevel",
+    "RestException",
+    "RestFault",
+    "Token",
+    "TokenConfigRegister",
+    "TokenDetector",
+    "brute_force_years",
+    "false_positive_probability",
+    "max_aligned_chunks",
+]

@@ -1,0 +1,87 @@
+"""Exception types defined by the REST ISA extension.
+
+The paper (Section III-A) adds one new exception class to the ISA: the
+privileged REST exception, raised when a regular memory access touches a
+token, when a disarm targets an unarmed location, or when a load would
+forward from an in-flight arm in the LSQ.  A second, precise exception
+covers malformed uses of the new instructions themselves (misaligned
+arm/disarm operands).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional
+
+
+class RestFaultKind(enum.Enum):
+    """Why a REST exception was raised (used for reporting/telemetry)."""
+
+    LOAD_TOUCHED_TOKEN = "load touched a token"
+    STORE_TOUCHED_TOKEN = "store touched a token"
+    DISARM_UNARMED = "disarm of a location that holds no token"
+    LSQ_FORWARD_FROM_ARM = "load would forward from an in-flight arm"
+    LSQ_STORE_OVER_ARM = "store to a location with an in-flight arm"
+    LSQ_DOUBLE_DISARM = "disarm of a location with an in-flight disarm"
+    SYSCALL_TOUCHED_TOKEN = "privileged (syscall) access touched a token"
+
+
+class RestException(Exception):
+    """Privileged REST exception (paper Section III-A).
+
+    Handled by the next higher privilege level; fatal if raised at the
+    highest level.  ``precise`` records whether the full program state
+    was recoverable at the time of the report (guaranteed only in debug
+    mode).  The faulting address is passed in an existing register,
+    mirrored here as ``address``.
+    """
+
+    def __init__(
+        self,
+        address: int,
+        kind: RestFaultKind,
+        precise: bool = False,
+        cycle: Optional[int] = None,
+        detail: str = "",
+    ) -> None:
+        self.address = address
+        self.kind = kind
+        self.precise = precise
+        self.cycle = cycle
+        self.detail = detail
+        mode = "precise" if precise else "imprecise"
+        message = f"REST exception ({mode}) at 0x{address:x}: {kind.value}"
+        if detail:
+            message += f" [{detail}]"
+        super().__init__(message)
+
+
+class InvalidRestInstructionError(Exception):
+    """Precise exception for malformed arm/disarm operands.
+
+    Raised when the location operand of an ``arm`` or ``disarm`` is not
+    aligned to the token width (paper Section III-A).  Always precise.
+    """
+
+    def __init__(self, address: int, width: int, op: str) -> None:
+        self.address = address
+        self.width = width
+        self.op = op
+        super().__init__(
+            f"invalid {op}: address 0x{address:x} not aligned to "
+            f"token width {width}"
+        )
+
+
+class PrivilegeError(Exception):
+    """Attempt to touch privileged REST state from user level.
+
+    The token configuration register is written through a memory-mapped
+    address accessible only from a higher privilege mode; user-level
+    reads/writes raise this error.
+    """
+
+
+# Convenience alias used by callers that only care that *a* REST fault
+# happened, precise or not.
+RestFault = (RestException, InvalidRestInstructionError)

@@ -1,0 +1,58 @@
+"""Operating modes and privilege levels for the REST primitive.
+
+The paper defines two modes of operation (Section III-A):
+
+* ``SECURE`` — the deployment mode.  REST exceptions may be imprecise:
+  stores commit eagerly, critical-word-first fetching stays enabled, and
+  the exception is reported independently of instruction commit.
+* ``DEBUG`` — the development mode.  The full program state at the time
+  of a REST exception is precisely recoverable: store commit is delayed
+  until the write completes, and loads are held in the MSHRs while the
+  delivered critical word partially matches the token value.
+
+The mode is configured by a bit in the token configuration register and
+can only be changed from a privileged mode.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class Mode(enum.Enum):
+    """REST operating mode (paper Section III-A)."""
+
+    SECURE = "secure"
+    DEBUG = "debug"
+
+    @property
+    def precise_exceptions(self) -> bool:
+        """Whether REST exceptions are reported precisely in this mode."""
+        return self is Mode.DEBUG
+
+    @property
+    def delayed_store_commit(self) -> bool:
+        """Whether stores hold the ROB head until the write completes."""
+        return self is Mode.DEBUG
+
+
+class PrivilegeLevel(enum.IntEnum):
+    """Privilege levels, ordered so that higher value = more privileged.
+
+    REST exceptions are handled by the next higher privilege level; a
+    REST exception raised at ``MACHINE`` is fatal.
+    """
+
+    USER = 0
+    SUPERVISOR = 1
+    MACHINE = 2
+
+    def next_higher(self) -> "PrivilegeLevel":
+        """The level that handles an exception raised at this level.
+
+        Raises ``ValueError`` at the top level, which callers treat as a
+        fatal REST exception (paper Section III-A).
+        """
+        if self is PrivilegeLevel.MACHINE:
+            raise ValueError("REST exception at highest privilege is fatal")
+        return PrivilegeLevel(self.value + 1)

@@ -1,0 +1,264 @@
+"""Token values and the privileged token configuration register.
+
+A REST token is simply a very large random value.  Its width defaults to
+one cache line (64 bytes = 512 bits) and may be narrowed to 32 or 16
+bytes (paper Sections III-B "Modifying Token Width" and V-B "Token
+Width").  The value lives in a *token configuration register* that user
+code cannot read or write; it is programmed by a higher privilege level
+through stores to a memory-mapped address, and may be rotated (e.g. at
+reboot) without recompiling protected programs.
+
+This module also provides the security arithmetic quoted in Section V-B:
+the false-positive probability bound (< 2^-512 for full-width tokens),
+the maximum number of token-aligned chunks in a 64-bit address space
+(2^48), and the brute-force search time estimate (~1e145 years at 3 GHz
+for a 512-bit value).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Optional
+
+from repro.core.exceptions import PrivilegeError
+from repro.core.modes import Mode, PrivilegeLevel
+
+#: Token widths supported by the design, in bytes.
+TOKEN_WIDTHS = (16, 32, 64)
+
+#: Memory-mapped base address through which privileged code programs the
+#: token configuration register (one or more stores, paper Section III-A).
+TOKEN_CONFIG_MMIO_BASE = 0xFFFF_F000
+
+#: Width in bytes of each store used to program the token value.
+TOKEN_CONFIG_STORE_WIDTH = 8
+
+
+class Token:
+    """An immutable token value of a given width.
+
+    The byte pattern is what the hardware comparator matches against
+    cache-fill data; equality and hashing are defined over the bytes so
+    tokens can key caches and sets in the simulator.
+    """
+
+    __slots__ = ("_value", "_width")
+
+    def __init__(self, value: bytes) -> None:
+        if len(value) not in TOKEN_WIDTHS:
+            raise ValueError(
+                f"token width must be one of {TOKEN_WIDTHS}, got {len(value)}"
+            )
+        self._value = bytes(value)
+        self._width = len(value)
+
+    @classmethod
+    def random(cls, width: int = 64, seed: Optional[int] = None) -> "Token":
+        """Generate a random token of ``width`` bytes.
+
+        A ``seed`` makes generation deterministic for reproducible
+        simulation runs; production hardware would use a TRNG.
+        """
+        if width not in TOKEN_WIDTHS:
+            raise ValueError(
+                f"token width must be one of {TOKEN_WIDTHS}, got {width}"
+            )
+        if seed is None:
+            import os
+
+            material = os.urandom(width)
+            return cls(material[:width])
+        out = b""
+        counter = 0
+        while len(out) < width:
+            out += hashlib.sha256(f"{seed}:{counter}".encode()).digest()
+            counter += 1
+        return cls(out[:width])
+
+    @property
+    def value(self) -> bytes:
+        """The raw token byte pattern."""
+        return self._value
+
+    @property
+    def width(self) -> int:
+        """Token width in bytes."""
+        return self._width
+
+    @property
+    def width_bits(self) -> int:
+        """Token width in bits."""
+        return self._width * 8
+
+    def aligned(self, address: int) -> bool:
+        """Whether ``address`` is aligned to this token's width."""
+        return address % self._width == 0
+
+    def matches(self, data: bytes) -> bool:
+        """Whether ``data`` equals the token byte pattern exactly."""
+        return data == self._value
+
+    def chunk(self, beat_index: int, beat_bytes: int = 4) -> bytes:
+        """The token slice compared during fill beat ``beat_index``.
+
+        The paper decomposes the full-line comparison into small
+        per-fill-stage compares (e.g. 32 bits per beat) to reduce
+        energy; this returns the expected slice for one beat.
+        """
+        start = beat_index * beat_bytes
+        return self._value[start : start + beat_bytes]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Token):
+            return NotImplemented
+        return self._value == other._value
+
+    def __hash__(self) -> int:
+        return hash(self._value)
+
+    def __repr__(self) -> str:
+        head = self._value[:4].hex()
+        return f"Token(width={self._width}, value={head}...)"
+
+
+class TokenConfigRegister:
+    """The privileged token configuration register (paper Section III-A).
+
+    Holds the current token value and the operating-mode bit.  User-level
+    code can neither read nor write it; the simulator enforces this by
+    requiring a privilege level on every mutating call.  Programming the
+    value goes through ``mmio_store`` which models the one-store-per-8-
+    bytes memory-mapped write sequence the paper describes.
+    """
+
+    def __init__(
+        self,
+        token: Optional[Token] = None,
+        mode: Mode = Mode.SECURE,
+    ) -> None:
+        self._token = token if token is not None else Token.random(64, seed=0)
+        self._mode = mode
+        self._pending = bytearray(self._token.width)
+        self._pending_mask = 0
+        self._exceptions_masked = False
+
+    @property
+    def mode(self) -> Mode:
+        """Current operating mode. Readable by the microarchitecture."""
+        return self._mode
+
+    def token_for_hardware(self) -> Token:
+        """The token value, as seen by the cache comparator.
+
+        This accessor models the dedicated wire from the register to the
+        L1-D detector; it is *not* reachable from user-level software.
+        """
+        return self._token
+
+    def set_mode(self, mode: Mode, privilege: PrivilegeLevel) -> None:
+        """Flip the mode bit; requires supervisor privilege or higher."""
+        self._require_privilege(privilege)
+        self._mode = mode
+
+    @property
+    def exceptions_masked(self) -> bool:
+        """Whether REST exceptions are currently suppressed.
+
+        The paper's unmaskability guarantee (§V-B): REST exceptions
+        cannot be masked *from the same privilege level* — only a
+        higher level (e.g. the kernel briefly quiescing during a token
+        rotation) may set this bit, so a compromised user process can
+        never disable its own tripwires.
+        """
+        return self._exceptions_masked
+
+    def set_exception_mask(
+        self, masked: bool, privilege: PrivilegeLevel
+    ) -> None:
+        """Mask/unmask REST exceptions; privileged-only (§V-B)."""
+        self._require_privilege(privilege)
+        self._exceptions_masked = masked
+
+    def set_token(self, token: Token, privilege: PrivilegeLevel) -> None:
+        """Install a new token value wholesale (e.g. rotation at reboot)."""
+        self._require_privilege(privilege)
+        self._token = token
+        self._pending = bytearray(token.width)
+        self._pending_mask = 0
+
+    def rotate(self, privilege: PrivilegeLevel, seed: Optional[int] = None) -> Token:
+        """Rotate to a fresh random token of the same width.
+
+        The paper (Section IV-B) recommends periodic rotation, e.g. at
+        reboot, to limit the damage of a leaked token value.  Heap-only
+        protection supports rotation without recompilation.
+        """
+        self._require_privilege(privilege)
+        new = Token.random(self._token.width, seed=seed)
+        self.set_token(new, privilege)
+        return new
+
+    def mmio_store(
+        self, offset: int, data: bytes, privilege: PrivilegeLevel
+    ) -> None:
+        """Model one store in the memory-mapped programming sequence.
+
+        The token value is wider than the data bus, so privileged code
+        issues several 8-byte stores at increasing offsets; once every
+        byte of the new value has been written, it becomes the active
+        token atomically.
+        """
+        self._require_privilege(privilege)
+        if offset % TOKEN_CONFIG_STORE_WIDTH != 0:
+            raise ValueError(f"unaligned token-config store at offset {offset}")
+        if offset + len(data) > self._token.width:
+            raise ValueError("token-config store out of range")
+        self._pending[offset : offset + len(data)] = data
+        for i in range(len(data)):
+            self._pending_mask |= 1 << (offset + i)
+        full = (1 << self._token.width) - 1
+        if self._pending_mask == full:
+            self._token = Token(bytes(self._pending))
+            self._pending = bytearray(self._token.width)
+            self._pending_mask = 0
+
+    @staticmethod
+    def _require_privilege(privilege: PrivilegeLevel) -> None:
+        if privilege < PrivilegeLevel.SUPERVISOR:
+            raise PrivilegeError(
+                "token configuration register is not accessible from user level"
+            )
+
+
+def false_positive_probability(width_bits: int = 512) -> float:
+    """Upper bound on a random aligned data chunk matching the token.
+
+    The paper (Section V-B) bounds the false-positive chance at
+    ``2**-width`` per aligned chunk.  Returned as a float; underflows to
+    0.0 for the full 512-bit width, which is the point.
+    """
+    if width_bits <= 0:
+        raise ValueError("token width must be positive")
+    return 2.0 ** (-width_bits)
+
+
+def max_aligned_chunks(address_bits: int = 64, width_bytes: int = 64) -> int:
+    """Maximum token-aligned chunks resident in the address space.
+
+    Footnote 2 of the paper: at most 2^48 64-byte-aligned chunks fit in a
+    64-bit address space.
+    """
+    if width_bytes not in TOKEN_WIDTHS:
+        raise ValueError(f"width must be one of {TOKEN_WIDTHS}")
+    import math
+
+    return 2 ** (address_bits - int(math.log2(width_bytes)))
+
+
+def brute_force_years(width_bits: int = 512, guesses_per_second: float = 3e9) -> float:
+    """Expected years to guess the token by simple increment at a given rate.
+
+    Footnote 2: a 3 GHz machine needs ~1e145 years for a 512-bit value.
+    """
+    seconds = (2.0 ** (width_bits - 1)) / guesses_per_second
+    return seconds / (365.25 * 24 * 3600)

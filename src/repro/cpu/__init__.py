@@ -1,0 +1,33 @@
+"""Out-of-order core substrate.
+
+A cycle-level model of the Table II core: 8-wide fetch/issue/writeback,
+192-entry ROB, 64-entry issue queue, 32-entry load and store queues with
+store-to-load forwarding, and an L-TAGE-class branch predictor stand-in.
+The REST additions live in the LSQ (arm/disarm entries never forward,
+and forwarding hits on them raise the privileged REST exception — paper
+Figure 5) and in the commit policy (secure mode commits stores eagerly;
+debug mode holds the ROB head until the write completes).
+"""
+
+from repro.cpu.isa import MicroOp, OpType
+from repro.cpu.bpred import BranchPredictor
+from repro.cpu.lsq import LoadStoreQueue, SqEntryKind
+from repro.cpu.rob import ReorderBuffer
+from repro.cpu.iq import IssueQueue
+from repro.cpu.stats import CoreStats
+from repro.cpu.pipeline import CoreConfig, OutOfOrderCore
+from repro.cpu.smp import SmpSystem
+
+__all__ = [
+    "SmpSystem",
+    "BranchPredictor",
+    "CoreConfig",
+    "CoreStats",
+    "IssueQueue",
+    "LoadStoreQueue",
+    "MicroOp",
+    "OpType",
+    "OutOfOrderCore",
+    "ReorderBuffer",
+    "SqEntryKind",
+]

@@ -1,0 +1,136 @@
+"""Micro-op level ISA for the simulated core.
+
+The paper implements ``arm``/``disarm`` by appropriating x86 encodings;
+at the micro-op level they are stores with an implicit, secret operand.
+Every other op is the usual RISC diet.  Dependencies are expressed as
+relative back-references (in dynamic-instruction distance) to producer
+ops, which is what a register renamer would recover anyway and keeps the
+trace format compact and renaming-free.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional, Tuple
+
+
+class OpType(enum.Enum):
+    """Dynamic micro-op categories with their execute latencies."""
+
+    ALU = "alu"
+    MUL = "mul"
+    DIV = "div"
+    FP = "fp"
+    LOAD = "load"
+    STORE = "store"
+    BRANCH = "branch"
+    CALL = "call"
+    RET = "ret"
+    ARM = "arm"
+    DISARM = "disarm"
+    NOP = "nop"
+
+    @property
+    def is_memory(self) -> bool:
+        return self in _MEMORY_OPS
+
+    @property
+    def is_store_like(self) -> bool:
+        """Ops that occupy a store-queue entry (stores, arm, disarm)."""
+        return self in _STORE_LIKE
+
+    @property
+    def is_control(self) -> bool:
+        return self in _CONTROL
+
+    @property
+    def base_latency(self) -> int:
+        """Execute latency excluding memory time."""
+        return _LATENCY[self]
+
+
+_MEMORY_OPS = frozenset(
+    {OpType.LOAD, OpType.STORE, OpType.ARM, OpType.DISARM}
+)
+_STORE_LIKE = frozenset({OpType.STORE, OpType.ARM, OpType.DISARM})
+_CONTROL = frozenset({OpType.BRANCH, OpType.CALL, OpType.RET})
+_LATENCY = {
+    OpType.ALU: 1,
+    OpType.MUL: 3,
+    OpType.DIV: 12,
+    OpType.FP: 4,
+    OpType.LOAD: 0,  # memory time comes from the hierarchy
+    OpType.STORE: 1,  # address generation
+    OpType.BRANCH: 1,
+    OpType.CALL: 1,
+    OpType.RET: 1,
+    OpType.ARM: 1,
+    OpType.DISARM: 1,
+    OpType.NOP: 1,
+}
+
+
+class MicroOp:
+    """One dynamic micro-op in the instruction stream."""
+
+    __slots__ = (
+        "op",
+        "pc",
+        "address",
+        "size",
+        "deps",
+        "taken",
+        "seq",
+    )
+
+    def __init__(
+        self,
+        op: OpType,
+        pc: int = 0,
+        address: int = 0,
+        size: int = 0,
+        deps: Tuple[int, ...] = (),
+        taken: Optional[bool] = None,
+    ) -> None:
+        self.op = op
+        self.pc = pc
+        self.address = address
+        self.size = size
+        #: Relative distances (>=1) to older producer ops.
+        self.deps = deps
+        #: Branch outcome (None for non-control ops).
+        self.taken = taken
+        #: Dynamic sequence number, assigned by the core at fetch.
+        self.seq = -1
+
+    def __repr__(self) -> str:
+        extra = ""
+        if self.op.is_memory:
+            extra = f" @0x{self.address:x}+{self.size}"
+        if self.op.is_control:
+            extra = f" taken={self.taken}"
+        return f"MicroOp({self.op.value}{extra}, pc=0x{self.pc:x})"
+
+
+def load(address: int, size: int = 8, deps: Tuple[int, ...] = (), pc: int = 0) -> MicroOp:
+    return MicroOp(OpType.LOAD, pc=pc, address=address, size=size, deps=deps)
+
+
+def store(address: int, size: int = 8, deps: Tuple[int, ...] = (), pc: int = 0) -> MicroOp:
+    return MicroOp(OpType.STORE, pc=pc, address=address, size=size, deps=deps)
+
+
+def alu(deps: Tuple[int, ...] = (), pc: int = 0) -> MicroOp:
+    return MicroOp(OpType.ALU, pc=pc, deps=deps)
+
+
+def branch(taken: bool, pc: int = 0, deps: Tuple[int, ...] = ()) -> MicroOp:
+    return MicroOp(OpType.BRANCH, pc=pc, deps=deps, taken=taken)
+
+
+def arm_op(address: int, pc: int = 0) -> MicroOp:
+    return MicroOp(OpType.ARM, pc=pc, address=address, size=0)
+
+
+def disarm_op(address: int, pc: int = 0) -> MicroOp:
+    return MicroOp(OpType.DISARM, pc=pc, address=address, size=0)

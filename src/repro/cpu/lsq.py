@@ -1,0 +1,213 @@
+"""Load/store queue with the REST forwarding modification (Figure 5).
+
+The LSQ supports store-to-load forwarding.  Arm and disarm are
+functionally stores, but they must never forward their value to younger
+loads — the token is a secret.  The paper's design splits the CAM match
+into a cache-line-address match plus a remainder match and adds a few
+gates so that:
+
+* a load that would forward from an in-flight **arm** raises a
+  privileged REST exception instead of forwarding;
+* a store whose line address matches an in-flight **arm** raises;
+* a disarm whose location matches an in-flight **disarm** raises
+  (double disarm of the same location in flight);
+* arm/disarm entries carry **no value** in the store queue — their write
+  data is implicit and known by the cache, so SQ data width is unchanged
+  despite the logically 64-byte-wide writes.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from typing import Deque, Optional
+
+from repro.core.exceptions import RestException, RestFaultKind
+
+
+class SqEntryKind(enum.Enum):
+    STORE = "store"
+    ARM = "arm"
+    DISARM = "disarm"
+
+
+class SqEntry:
+    __slots__ = ("seq", "kind", "address", "size", "drained", "has_value")
+
+    def __init__(self, seq: int, kind: SqEntryKind, address: int, size: int) -> None:
+        self.seq = seq
+        self.kind = kind
+        self.address = address
+        self.size = size
+        self.drained = False
+        #: Arm/disarm entries never carry a value (paper Figure 5).
+        self.has_value = kind is SqEntryKind.STORE
+
+
+class LoadStoreQueue:
+    """Split 32-entry load queue and 32-entry store queue (Table II)."""
+
+    def __init__(
+        self, lq_entries: int = 32, sq_entries: int = 32, line_size: int = 64
+    ) -> None:
+        if lq_entries <= 0 or sq_entries <= 0:
+            raise ValueError("LSQ queues must have positive capacity")
+        self.lq_entries = lq_entries
+        self.sq_entries = sq_entries
+        self.line_size = line_size
+        self._lq: Deque[int] = deque()  # just seq numbers; loads hold no data
+        self._sq: Deque[SqEntry] = deque()
+        self.forwards = 0
+        self.forward_blocked = 0
+        self.lq_full_cycles = 0
+        self.sq_full_cycles = 0
+        self.rest_violations = 0
+
+    # -- occupancy --------------------------------------------------------
+
+    @property
+    def lq_full(self) -> bool:
+        return len(self._lq) >= self.lq_entries
+
+    @property
+    def sq_full(self) -> bool:
+        return len(self._sq) >= self.sq_entries
+
+    @property
+    def lq_occupancy(self) -> int:
+        return len(self._lq)
+
+    @property
+    def sq_occupancy(self) -> int:
+        return len(self._sq)
+
+    # -- dispatch ----------------------------------------------------------
+
+    def dispatch_load(self, seq: int) -> None:
+        if self.lq_full:
+            raise RuntimeError("LQ overflow: caller must check lq_full")
+        self._lq.append(seq)
+
+    def dispatch_store_like(
+        self, seq: int, kind: SqEntryKind, address: int, size: int
+    ) -> SqEntry:
+        """Insert a store/arm/disarm into the SQ (Table I, LSQ column)."""
+        if self.sq_full:
+            raise RuntimeError("SQ overflow: caller must check sq_full")
+        if kind is SqEntryKind.DISARM:
+            # Find the youngest in-flight entry for this location: two
+            # disarms with no intervening arm is the double-free
+            # signature Table I flags; disarm-arm-disarm (frame reuse)
+            # is legal.
+            youngest = None
+            for entry in self._sq:
+                if not entry.drained and entry.address == address:
+                    youngest = entry
+            if youngest is not None and youngest.kind is SqEntryKind.DISARM:
+                self.rest_violations += 1
+                raise RestException(
+                    address,
+                    RestFaultKind.LSQ_DOUBLE_DISARM,
+                    precise=True,
+                )
+        entry = SqEntry(seq, kind, address, size)
+        self._sq.append(entry)
+        return entry
+
+    # -- the Figure 5 matching logic ---------------------------------------
+
+    def _line(self, address: int) -> int:
+        return address - (address % self.line_size)
+
+    @staticmethod
+    def _overlaps(entry: SqEntry, address: int, size: int) -> bool:
+        return (
+            address < entry.address + entry.size
+            and entry.address < address + size
+        )
+
+    def search_for_load(self, seq: int, address: int, size: int) -> Optional[SqEntry]:
+        """CAM search of older SQ entries for a load.
+
+        Returns the youngest older STORE entry that fully covers the load
+        (forwarding source), or None if the load must go to the cache.
+        Raises a REST exception if the match is an arm entry: bit-for-bit
+        this is the "line-address match AND entry-is-arm" gate the paper
+        adds to the existing matching logic.
+        """
+        # Figure 5: the CAM match is a line-address match plus a
+        # remainder match.  Age matters: the *youngest* older entry
+        # overlapping the load decides the outcome — an intervening
+        # disarm makes a load after an arm legal again.
+        youngest: Optional[SqEntry] = None
+        for entry in self._sq:
+            if entry.seq >= seq or entry.drained:
+                continue
+            if self._overlaps(entry, address, size):
+                youngest = entry
+        if youngest is None:
+            return None
+        if youngest.kind is SqEntryKind.ARM:
+            self.rest_violations += 1
+            raise RestException(
+                address,
+                RestFaultKind.LSQ_FORWARD_FROM_ARM,
+                precise=True,
+            )
+        if youngest.kind is SqEntryKind.DISARM:
+            # Disarm carries no value; the load waits for the cache.
+            return None
+        if (
+            youngest.address <= address
+            and address + size <= youngest.address + youngest.size
+        ):
+            self.forwards += 1
+            return youngest
+        self.forward_blocked += 1
+        return None
+
+    def check_store(self, seq: int, address: int, size: int) -> None:
+        """Table I: raise if the SQ holds an older arm for this location."""
+        youngest: Optional[SqEntry] = None
+        for entry in self._sq:
+            if entry.seq >= seq or entry.drained:
+                continue
+            if self._overlaps(entry, address, size):
+                youngest = entry
+        if youngest is not None and youngest.kind is SqEntryKind.ARM:
+            self.rest_violations += 1
+            raise RestException(
+                address,
+                RestFaultKind.LSQ_STORE_OVER_ARM,
+                precise=True,
+            )
+
+    # -- retirement ---------------------------------------------------------
+
+    def retire_load(self, seq: int) -> None:
+        if self._lq and self._lq[0] == seq:
+            self._lq.popleft()
+        else:
+            try:
+                self._lq.remove(seq)
+            except ValueError:
+                pass
+
+    def retire_store_like(self, seq: int) -> None:
+        for entry in self._sq:
+            if entry.seq == seq:
+                entry.drained = True
+                break
+        while self._sq and self._sq[0].drained:
+            self._sq.popleft()
+
+    def flush(self) -> None:
+        self._lq.clear()
+        self._sq.clear()
+
+    def reset_stats(self) -> None:
+        self.forwards = 0
+        self.forward_blocked = 0
+        self.lq_full_cycles = 0
+        self.sq_full_cycles = 0
+        self.rest_violations = 0

@@ -1,0 +1,417 @@
+"""Cycle-level out-of-order core (Table II configuration).
+
+Trace-driven: the core consumes a stream of ``MicroOp``s (from the
+workload generator or the runtime lowering), models fetch/dispatch/
+issue/execute/commit with the Table II structure sizes, performs memory
+accesses against the REST-extended hierarchy at execute, and enforces
+the two commit policies:
+
+* **secure mode** — stores (and arm/disarm) commit eagerly as soon as
+  they are the oldest instruction; a REST violation detected after that
+  point is reported imprecisely (the hierarchy already tags it so);
+* **debug mode** — a store-like op at the ROB head may not commit until
+  its cache write has completed, which is precisely the mechanism the
+  paper identifies as the source of the debug-mode slowdown (ROB blocked
+  by stores ~10x more, IQ-full cycles up to 100x for xalanc).
+
+Memory operations execute in program order with respect to each other
+(a conservative memory unit): this keeps the architectural token state
+exactly sequential, which Table I semantics rely on, while still letting
+compute ops reorder freely around them.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, Iterable, Optional
+
+from repro.cache.hierarchy import MemoryHierarchy
+from repro.core.modes import Mode
+from repro.cpu.bpred import BranchPredictor
+from repro.cpu.iq import IssueQueue
+from repro.cpu.isa import MicroOp, OpType
+from repro.cpu.lsq import LoadStoreQueue, SqEntryKind
+from repro.cpu.rob import ReorderBuffer
+from repro.cpu.stats import CoreStats
+
+_ZEROS = bytes(64)
+
+_SQ_KIND = {
+    OpType.STORE: SqEntryKind.STORE,
+    OpType.ARM: SqEntryKind.ARM,
+    OpType.DISARM: SqEntryKind.DISARM,
+}
+
+
+@dataclass(frozen=True)
+class CoreConfig:
+    """Core structure sizes and widths (defaults: Table II)."""
+
+    fetch_width: int = 8
+    dispatch_width: int = 8
+    issue_width: int = 8
+    commit_width: int = 8
+    rob_entries: int = 192
+    iq_entries: int = 64
+    lq_entries: int = 32
+    sq_entries: int = 32
+    fetch_buffer_entries: int = 16
+    mispredict_penalty: int = 12
+    #: Ablation: the paper's rejected simple design that serialises
+    #: arm/disarm execution (each must be the only in-flight
+    #: instruction) instead of modifying the LSQ matching logic.
+    serialize_rest_ops: bool = False
+
+    @classmethod
+    def in_order(cls) -> "CoreConfig":
+        """A 1-wide, tiny-window configuration approximating an in-order
+        core (the paper ran the Figure 3 breakdown on an in-order core).
+        """
+        return cls(
+            fetch_width=1,
+            dispatch_width=1,
+            issue_width=1,
+            commit_width=1,
+            rob_entries=8,
+            iq_entries=2,
+            lq_entries=4,
+            sq_entries=4,
+            fetch_buffer_entries=4,
+            mispredict_penalty=6,
+        )
+
+
+class OutOfOrderCore:
+    """Trace-driven cycle-level OoO core bound to a memory hierarchy."""
+
+    def __init__(
+        self,
+        hierarchy: MemoryHierarchy,
+        config: Optional[CoreConfig] = None,
+    ) -> None:
+        self.hierarchy = hierarchy
+        self.config = config or CoreConfig()
+        self.rob = ReorderBuffer(self.config.rob_entries)
+        self.iq = IssueQueue(self.config.iq_entries)
+        self.lsq = LoadStoreQueue(
+            self.config.lq_entries,
+            self.config.sq_entries,
+            line_size=hierarchy.line_size,
+        )
+        self.bpred = BranchPredictor()
+        self.stats = CoreStats()
+        self._cycle = 0
+
+    @property
+    def mode(self) -> Mode:
+        return self.hierarchy.mode
+
+    def run(
+        self, uops: Iterable[MicroOp], max_cycles: Optional[int] = None
+    ) -> CoreStats:
+        """Run the trace to completion; returns the collected stats.
+
+        REST exceptions raised at execute propagate to the caller with
+        the faulting cycle stamped on them; the stats object reflects
+        progress up to the fault.
+        """
+        for _ in self.run_stepwise(uops, max_cycles=max_cycles):
+            pass
+        return self.stats
+
+    def run_stepwise(
+        self, uops: Iterable[MicroOp], max_cycles: Optional[int] = None
+    ):
+        """Generator variant of :meth:`run`: yields after every cycle.
+
+        Lets an SMP executor interleave several cores cycle-by-cycle
+        over a coherent memory system (see :mod:`repro.cpu.smp`).
+        """
+        config = self.config
+        stats = self.stats
+        rob = self.rob
+        iq = self.iq
+        lsq = self.lsq
+        mode_debug = self.mode is Mode.DEBUG
+
+        trace = iter(uops)
+        fetch_buffer: Deque[MicroOp] = deque()
+        trace_done = False
+        fetch_stall_until = 0
+        seq = 0
+        cycle = self._cycle
+        start_cycle = cycle
+        #: seq -> cycle its result is available (never pruned in-run).
+        completion: Dict[int, int] = {}
+        #: program-order queue of unexecuted memory ops.
+        mem_order: Deque[int] = deque()
+        #: serialize_rest_ops ablation: arm/disarm ops still in flight.
+        rest_in_flight = 0
+        #: instruction-fetch line tracking for the L1-I.
+        last_fetch_line = -1
+        line_mask = ~(self.hierarchy.line_size - 1)
+
+        try:
+            while not trace_done or fetch_buffer or not rob.empty:
+                cycle += 1
+                self._cycle = cycle
+                if max_cycles is not None and cycle - start_cycle > max_cycles:
+                    raise RuntimeError("simulation exceeded max_cycles")
+
+                # ---- commit (in order, up to commit width) ----
+                committed_now = 0
+                while committed_now < config.commit_width:
+                    head = rob.head()
+                    if head is None:
+                        break
+                    head_seq = head.uop.seq
+                    done_cycle = completion.get(head_seq)
+                    blocked = done_cycle is None or done_cycle > cycle
+                    if not blocked and mode_debug and head.uop.op.is_store_like:
+                        # Debug mode: the cache write starts when the
+                        # store retires; hold the head until it is done.
+                        if head.write_done_cycle < 0:
+                            head.write_done_cycle = (
+                                cycle + head.write_latency
+                            )
+                        blocked = head.write_done_cycle > cycle
+                    if blocked:
+                        if head.uop.op.is_store_like:
+                            rob.blocked_by_store_cycles += 1
+                            stats.rob_blocked_by_store_cycles += 1
+                        break
+                    rob.pop_head()
+                    op_type = head.uop.op
+                    if op_type is OpType.LOAD:
+                        lsq.retire_load(head_seq)
+                    elif op_type.is_store_like:
+                        lsq.retire_store_like(head_seq)
+                        if (
+                            config.serialize_rest_ops
+                            and op_type is not OpType.STORE
+                        ):
+                            rest_in_flight -= 1
+                    stats.committed += 1
+                    stats.count_op(op_type.value)
+                    committed_now += 1
+
+                # ---- issue (up to issue width, oldest-first select) ----
+                if iq._slots:
+                    mem_head = mem_order[0] if mem_order else -1
+                    issued = 0
+                    remaining = []
+                    for slot in iq._slots:
+                        if issued >= config.issue_width:
+                            remaining.append(slot)
+                            continue
+                        uop = slot.entry.uop
+                        ready = True
+                        for distance in uop.deps:
+                            producer_seq = uop.seq - distance
+                            if producer_seq >= 0:
+                                done = completion.get(producer_seq)
+                                if done is None or done > cycle:
+                                    ready = False
+                                    break
+                        if not ready:
+                            remaining.append(slot)
+                            continue
+                        if uop.op.is_memory and uop.seq != mem_head:
+                            remaining.append(slot)
+                            continue
+                        self._execute(uop, slot.entry, cycle, completion, lsq)
+                        if uop.op.is_memory:
+                            mem_order.popleft()
+                            mem_head = mem_order[0] if mem_order else -1
+                        issued += 1
+                    iq._slots = remaining
+
+                # ---- dispatch (fetch buffer -> ROB/IQ/LSQ) ----
+                dispatched = 0
+                blocked_reason = None
+                while dispatched < config.dispatch_width and fetch_buffer:
+                    uop = fetch_buffer[0]
+                    if config.serialize_rest_ops and rest_in_flight:
+                        break  # machine drains before anything follows
+                    if rob.full:
+                        blocked_reason = "rob"
+                        break
+                    if iq.full:
+                        blocked_reason = "iq"
+                        break
+                    op_type = uop.op
+                    if config.serialize_rest_ops and op_type in (
+                        OpType.ARM,
+                        OpType.DISARM,
+                    ):
+                        # Rejected design (paper §III-B): an arm/disarm
+                        # must be the only in-flight instruction.
+                        if not rob.empty:
+                            break
+                        fetch_buffer.popleft()
+                        uop.seq = seq
+                        seq += 1
+                        entry = rob.push(uop)
+                        iq.push(entry, cycle)
+                        lsq.dispatch_store_like(
+                            uop.seq,
+                            _SQ_KIND[op_type],
+                            uop.address,
+                            self.hierarchy.detector.token.width,
+                        )
+                        mem_order.append(uop.seq)
+                        rest_in_flight += 1
+                        dispatched += 1
+                        break  # nothing may follow it this cycle
+                    if op_type is OpType.LOAD and lsq.lq_full:
+                        blocked_reason = "lq"
+                        break
+                    if op_type.is_store_like and lsq.sq_full:
+                        blocked_reason = "sq"
+                        break
+                    fetch_buffer.popleft()
+                    uop.seq = seq
+                    seq += 1
+                    entry = rob.push(uop)
+                    iq.push(entry, cycle)
+                    if op_type is OpType.LOAD:
+                        lsq.dispatch_load(uop.seq)
+                        mem_order.append(uop.seq)
+                    elif op_type.is_store_like:
+                        if op_type is OpType.STORE:
+                            entry_size = uop.size or 8
+                        else:
+                            # Arm/disarm cover a whole token slot.
+                            entry_size = self.hierarchy.detector.token.width
+                        lsq.dispatch_store_like(
+                            uop.seq,
+                            _SQ_KIND[op_type],
+                            uop.address,
+                            entry_size,
+                        )
+                        mem_order.append(uop.seq)
+                    dispatched += 1
+                if blocked_reason == "rob":
+                    rob.full_cycles += 1
+                    stats.rob_full_cycles += 1
+                elif blocked_reason == "iq":
+                    iq.full_cycles += 1
+                    stats.iq_full_cycles += 1
+                elif blocked_reason == "lq":
+                    lsq.lq_full_cycles += 1
+                    stats.lq_full_cycles += 1
+                elif blocked_reason == "sq":
+                    lsq.sq_full_cycles += 1
+                    stats.sq_full_cycles += 1
+
+                # ---- fetch (trace -> fetch buffer) ----
+                if cycle >= fetch_stall_until and not trace_done:
+                    fetched = 0
+                    while (
+                        fetched < config.fetch_width
+                        and len(fetch_buffer) < config.fetch_buffer_entries
+                    ):
+                        try:
+                            uop = next(trace)
+                        except StopIteration:
+                            trace_done = True
+                            break
+                        fetch_line = uop.pc & line_mask
+                        if fetch_line != last_fetch_line:
+                            last_fetch_line = fetch_line
+                            stall = self.hierarchy.fetch_line(uop.pc)
+                            if stall:
+                                stats.icache_stall_cycles += stall
+                                fetch_stall_until = cycle + stall
+                                fetch_buffer.append(uop)
+                                fetched += 1
+                                stats.fetched += 1
+                                break
+                        fetch_buffer.append(uop)
+                        fetched += 1
+                        stats.fetched += 1
+                        if uop.op.is_control and uop.taken is not None:
+                            correct = self.bpred.predict_and_update(
+                                uop.pc, uop.taken
+                            )
+                            if not correct:
+                                stats.branch_mispredicts += 1
+                                stats.mispredict_stall_cycles += (
+                                    config.mispredict_penalty
+                                )
+                                fetch_stall_until = (
+                                    cycle + config.mispredict_penalty
+                                )
+                                break
+
+                yield cycle
+        finally:
+            stats.cycles = cycle
+            stats.lsq_forwards = lsq.forwards
+
+    def _execute(
+        self,
+        uop: MicroOp,
+        entry,
+        cycle: int,
+        completion: Dict[int, int],
+        lsq: LoadStoreQueue,
+    ) -> None:
+        """Execute one op; memory ops touch the hierarchy here."""
+        op_type = uop.op
+        hierarchy = self.hierarchy
+        try:
+            if op_type is OpType.LOAD:
+                forwarded = lsq.search_for_load(
+                    uop.seq, uop.address, uop.size or 8
+                )
+                if forwarded is not None:
+                    latency = 1
+                else:
+                    _, result = hierarchy.read(
+                        uop.address, uop.size or 8, cycle=cycle
+                    )
+                    latency = result.latency
+                completion[uop.seq] = cycle + max(1, latency)
+            elif op_type is OpType.STORE:
+                lsq.check_store(uop.seq, uop.address, uop.size or 8)
+                hierarchy.write(
+                    uop.address, _ZEROS[: uop.size or 8], cycle=cycle
+                )
+                completion[uop.seq] = cycle + 1
+                # The execute-time access brought the line into L1
+                # (write-allocate), so the retirement-time write that
+                # debug mode waits on is an L1 hit: the request/ack
+                # round trip costs two traversals of the hit path.
+                entry.write_latency = 2 * hierarchy.config.l1d.hit_latency
+            elif op_type is OpType.ARM:
+                hierarchy.arm(uop.address, cycle=cycle)
+                completion[uop.seq] = cycle + 1
+                if hierarchy.config.token_staging_entries:
+                    # §VIII extension: the dedicated REST-line staging
+                    # structure acks token writes immediately.
+                    entry.write_latency = 1
+                else:
+                    # Arm hits complete in 1 cycle; the commit-time ack
+                    # still takes the L1 round trip.
+                    entry.write_latency = (
+                        1 + hierarchy.config.l1d.hit_latency
+                    )
+            elif op_type is OpType.DISARM:
+                hierarchy.disarm(uop.address, cycle=cycle)
+                completion[uop.seq] = cycle + 1
+                if hierarchy.config.token_staging_entries:
+                    entry.write_latency = 1
+                else:
+                    entry.write_latency = (
+                        1
+                        + hierarchy.config.disarm_extra_cycles
+                        + hierarchy.config.l1d.hit_latency
+                    )
+            else:
+                completion[uop.seq] = cycle + op_type.base_latency
+        except Exception as error:
+            if getattr(error, "cycle", False) is None:
+                error.cycle = cycle
+            raise

@@ -1,0 +1,86 @@
+"""Reorder buffer.
+
+A bounded FIFO of in-flight micro-ops.  Commit is in order and bounded
+by the commit width; the REST-relevant behaviour is at the head: in
+debug mode a store-like op (store/arm/disarm) may not commit until its
+write has completed, and the cycles the head spends blocked this way are
+the paper's "ROB blocked by a store" statistic (Section VI-B observed it
+an order of magnitude higher in debug mode).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional
+
+from repro.cpu.isa import MicroOp
+
+
+class RobEntry:
+    __slots__ = (
+        "uop",
+        "completed",
+        "complete_cycle",
+        "write_done_cycle",
+        "write_latency",
+    )
+
+    def __init__(self, uop: MicroOp) -> None:
+        self.uop = uop
+        self.completed = False
+        #: Cycle at which the op's result is available.
+        self.complete_cycle = -1
+        #: For store-like ops: cycle the cache write finishes.  Stores
+        #: perform their cache write when they retire; debug mode gates
+        #: commit on completion of that write (secure mode commits
+        #: eagerly and lets the write drain in the background).
+        self.write_done_cycle = -1
+        #: Cache latency of the write, measured at execute.
+        self.write_latency = 0
+
+
+class ReorderBuffer:
+    """In-order retirement window."""
+
+    def __init__(self, capacity: int = 192) -> None:
+        if capacity <= 0:
+            raise ValueError("ROB capacity must be positive")
+        self.capacity = capacity
+        self._entries: Deque[RobEntry] = deque()
+        self.full_cycles = 0
+        self.blocked_by_store_cycles = 0
+        self.max_occupancy = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def full(self) -> bool:
+        return len(self._entries) >= self.capacity
+
+    @property
+    def empty(self) -> bool:
+        return not self._entries
+
+    def push(self, uop: MicroOp) -> RobEntry:
+        if self.full:
+            raise RuntimeError("ROB overflow: caller must check full first")
+        entry = RobEntry(uop)
+        self._entries.append(entry)
+        if len(self._entries) > self.max_occupancy:
+            self.max_occupancy = len(self._entries)
+        return entry
+
+    def head(self) -> Optional[RobEntry]:
+        return self._entries[0] if self._entries else None
+
+    def pop_head(self) -> RobEntry:
+        return self._entries.popleft()
+
+    def flush(self) -> None:
+        self._entries.clear()
+
+    def reset_stats(self) -> None:
+        self.full_cycles = 0
+        self.blocked_by_store_cycles = 0
+        self.max_occupancy = 0

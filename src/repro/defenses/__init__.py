@@ -1,0 +1,23 @@
+"""Deployable defense configurations.
+
+Each defense bundles an allocator, an instrumentation policy for
+application memory accesses, a stack-frame protection policy, and a
+libc interception policy — the four places the paper's Figure 3
+breakdown attributes ASan's overhead to.  The experiment harness runs
+the same workload under each defense and compares cycle counts.
+"""
+
+from repro.defenses.base import Defense, DefenseKind
+from repro.defenses.none import PlainDefense
+from repro.defenses.asan import AsanDefense
+from repro.defenses.rest import RestDefense
+from repro.defenses.softrest import SoftRestDefense
+
+__all__ = [
+    "AsanDefense",
+    "Defense",
+    "DefenseKind",
+    "PlainDefense",
+    "RestDefense",
+    "SoftRestDefense",
+]

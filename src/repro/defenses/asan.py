@@ -1,0 +1,210 @@
+"""AddressSanitizer as a deployed defense (the paper's baseline).
+
+Implements all four overhead sources the paper's Figure 3 breaks down,
+each individually toggleable so the breakdown experiment can turn them
+on cumulatively:
+
+1. **allocator** — the redzone/quarantine allocator;
+2. **stack frame setup** — prologue/epilogue code that inserts, aligns
+   and (un)poisons stack redzones;
+3. **memory access validation** — a shadow load + compare + branch
+   instrumented before every application load/store;
+4. **API interception** — libc entry points check the full source and
+   destination ranges before doing the (uninstrumented) copy.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.defenses.base import Defense, DefenseKind
+from repro.runtime.allocators import AsanAllocator, LibcAllocator
+from repro.runtime.machine import Machine
+from repro.runtime.shadow import ShadowMemory, ShadowState
+from repro.runtime.stack import StackBuffer, StackFrame
+
+#: ASan's stack redzone granularity.
+STACK_REDZONE = 32
+
+
+class AsanDefense(Defense):
+    """Software tripwires: shadow memory + instrumentation."""
+
+    kind = DefenseKind.ASAN
+    requires_recompilation = True
+
+    def __init__(
+        self,
+        machine: Machine,
+        use_allocator: bool = True,
+        protect_stack: bool = True,
+        instrument_accesses: bool = True,
+        intercept_libc: bool = True,
+        quarantine_bytes: Optional[int] = None,
+    ) -> None:
+        super().__init__(machine)
+        self.shadow = ShadowMemory(machine)
+        self.use_allocator = use_allocator
+        self.protect_stack = protect_stack
+        self.instrument_accesses = instrument_accesses
+        self.intercept_libc = intercept_libc
+        if use_allocator:
+            kwargs = {}
+            if quarantine_bytes is not None:
+                kwargs["quarantine_bytes"] = quarantine_bytes
+            self._allocator = AsanAllocator(machine, shadow=self.shadow, **kwargs)
+        else:
+            self._allocator = LibcAllocator(machine)
+        self.checks_performed = 0
+        self.intercept_checks = 0
+
+    @property
+    def allocator(self):
+        return self._allocator
+
+    # -- heap ----------------------------------------------------------------
+
+    def malloc(self, size: int) -> int:
+        return self._allocator.malloc(size)
+
+    def free(self, ptr: int) -> None:
+        self._allocator.free(ptr)
+
+    # -- instrumented accesses -------------------------------------------------
+
+    def load(self, address: int, size: int = 8) -> bytes:
+        if self.instrument_accesses:
+            self.checks_performed += 1
+            self.shadow.check_access(address, size, "read")
+        return self.machine.load(address, size)
+
+    def store(self, address: int, data: bytes = b"", size: int = 0) -> None:
+        if self.instrument_accesses:
+            self.checks_performed += 1
+            self.shadow.check_access(address, len(data) or size or 8, "write")
+        self.machine.store(address, data, size)
+
+    # -- libc interception -------------------------------------------------------
+
+    def _check_range(self, address: int, n: int, access: str) -> None:
+        """Interceptor range check (__asan_region_is_poisoned)."""
+        self.intercept_checks += 1
+        # Real ASan walks the shadow for the range; the fast path checks
+        # the first and last granules then scans words between.
+        self.shadow.check_access(address, 1, access)
+        if n > 1:
+            self.shadow.check_access(address + n - 1, 1, access)
+        machine = self.machine
+        granules = max(0, n // 8 - 2)
+        shadow_base = machine.layout.shadow_address(address)
+        for i in range(0, granules, 8):
+            machine.load(shadow_base + i, 8)
+            machine.compute(1)
+            window_start = address + (i + 1) * 8
+            window_len = min(64, n - (i + 1) * 8)
+            if window_len > 0 and not machine.is_trace and (
+                self.shadow.is_poisoned(window_start, window_len)
+            ):
+                # Slow path: walk the window granule-by-granule so the
+                # report lands on the first poisoned byte.
+                self.shadow.check_access(window_start, window_len, access)
+
+    def memcpy(self, dst: int, src: int, n: int) -> int:
+        if self.intercept_libc and n > 0:
+            self._check_range(src, n, "read")
+            self._check_range(dst, n, "write")
+        return self.libc.memcpy(dst, src, n)
+
+    def memset(self, dst: int, byte: int, n: int) -> int:
+        if self.intercept_libc and n > 0:
+            self._check_range(dst, n, "write")
+        return self.libc.memset(dst, byte, n)
+
+    def strcpy(self, dst: int, src: int) -> int:
+        if self.intercept_libc:
+            n = self.libc.strlen(src) + 1
+            self._check_range(src, n, "read")
+            self._check_range(dst, n, "write")
+        return self.libc.strcpy(dst, src)
+
+    def memmove(self, dst: int, src: int, n: int) -> int:
+        if self.intercept_libc and n > 0:
+            self._check_range(src, n, "read")
+            self._check_range(dst, n, "write")
+        return self.libc.memmove(dst, src, n)
+
+    def strncpy(self, dst: int, src: int, n: int) -> int:
+        if self.intercept_libc and n > 0:
+            self._check_range(dst, n, "write")
+        return self.libc.strncpy(dst, src, n)
+
+    def strcat(self, dst: int, src: int) -> int:
+        if self.intercept_libc:
+            dst_len = self.libc.strlen(dst)
+            n = self.libc.strlen(src) + 1
+            self._check_range(src, n, "read")
+            self._check_range(dst + dst_len, n, "write")
+        return self.libc.strcat(dst, src)
+
+    # -- globals (load-time instrumentation) ---------------------------------
+
+    def _place_global(self, size: int, align: int) -> int:
+        """ASan pads each global with a poisoned right redzone."""
+        if not self.protect_stack and not self.instrument_accesses:
+            return super()._place_global(size, align)
+        redzone = max(STACK_REDZONE, 32)
+        address = super()._place_global(size + redzone, max(align, 32))
+        self.shadow.poison(
+            address + size, redzone, ShadowState.GLOBAL_REDZONE
+        )
+        return address
+
+    # -- stack protection -----------------------------------------------------
+
+    def _buffer_reservation(self, size: int) -> int:
+        span = (size + STACK_REDZONE - 1) // STACK_REDZONE * STACK_REDZONE
+        if self.protect_stack:
+            return STACK_REDZONE + span + STACK_REDZONE
+        return max(16, span)
+
+    def _protect_frame(self, frame: StackFrame, buffer_sizes: List[int]) -> None:
+        if not self.protect_stack:
+            super()._protect_frame(frame, buffer_sizes)
+            return
+        for size in buffer_sizes:
+            span = (size + STACK_REDZONE - 1) // STACK_REDZONE * STACK_REDZONE
+            reservation = STACK_REDZONE + span + STACK_REDZONE
+            region = self.stack.carve(frame, reservation, align=STACK_REDZONE)
+            buffer = StackBuffer(
+                address=region + STACK_REDZONE,
+                size=size,
+                left_redzone=STACK_REDZONE,
+                right_redzone=STACK_REDZONE,
+                padding=span - size,
+            )
+            frame.buffers.append(buffer)
+            self.shadow.poison(
+                buffer.left_redzone_address,
+                STACK_REDZONE,
+                ShadowState.STACK_REDZONE,
+            )
+            self.shadow.poison(
+                buffer.right_redzone_address,
+                STACK_REDZONE,
+                ShadowState.STACK_REDZONE,
+            )
+            self.machine.compute(4)
+
+    def _unprotect_frame(self, frame: StackFrame) -> None:
+        if not self.protect_stack:
+            return
+        for buffer in frame.buffers:
+            if buffer.left_redzone:
+                self.shadow.unpoison(
+                    buffer.left_redzone_address,
+                    buffer.left_redzone
+                    + buffer.size
+                    + buffer.padding
+                    + buffer.right_redzone,
+                )
+                self.machine.compute(2)

@@ -1,0 +1,163 @@
+"""The Defense interface every protection scheme implements."""
+
+from __future__ import annotations
+
+import abc
+import enum
+from typing import List, Optional, Sequence
+
+from repro.runtime.libc import Libc
+from repro.runtime.machine import Machine
+from repro.runtime.stack import StackFrame, StackManager
+
+
+class DefenseKind(enum.Enum):
+    NONE = "plain"
+    ASAN = "asan"
+    REST = "rest"
+
+
+class Defense(abc.ABC):
+    """A memory-safety scheme as seen by a running program.
+
+    The workload layer calls these methods for every application-level
+    action; each defense lowers them to machine operations plus whatever
+    protection work it performs.  The same object works in functional
+    mode (violations raise) and trace mode (micro-ops accumulate).
+    """
+
+    kind: DefenseKind
+    #: Whether deploying this defense requires recompiling the program
+    #: (stack protection always does; REST heap-only does not).
+    requires_recompilation: bool
+
+    def __init__(self, machine: Machine) -> None:
+        self.machine = machine
+        self.libc = Libc(machine)
+        self.stack = StackManager(machine)
+        self._globals_cursor = machine.layout.globals_base
+        #: (address, size) of every registered global, for diagnosis.
+        self.globals_registered = []
+
+    # -- heap ------------------------------------------------------------
+
+    @abc.abstractmethod
+    def malloc(self, size: int) -> int:
+        """Allocate heap memory through the defense's allocator."""
+
+    @abc.abstractmethod
+    def free(self, ptr: int) -> None:
+        """Release heap memory through the defense's allocator."""
+
+    # -- instrumented application accesses ---------------------------------
+
+    @abc.abstractmethod
+    def load(self, address: int, size: int = 8) -> bytes:
+        """An application load, with whatever checks the defense adds."""
+
+    @abc.abstractmethod
+    def store(self, address: int, data: bytes = b"", size: int = 0) -> None:
+        """An application store, with whatever checks the defense adds."""
+
+    # -- libc (interception point) ---------------------------------------
+
+    def memcpy(self, dst: int, src: int, n: int) -> int:
+        """Uninstrumented-library copy; defenses may intercept."""
+        return self.libc.memcpy(dst, src, n)
+
+    def memset(self, dst: int, byte: int, n: int) -> int:
+        return self.libc.memset(dst, byte, n)
+
+    def strcpy(self, dst: int, src: int) -> int:
+        return self.libc.strcpy(dst, src)
+
+    # -- globals -----------------------------------------------------------
+
+    def register_global(self, size: int, align: int = 16) -> int:
+        """Place one global variable; defenses may add redzones.
+
+        Models the compiler laying out an instrumented global (ASan
+        pads and poisons globals at load time; REST can bookend them
+        with tokens as an extension of the same mechanism).
+        """
+        if size <= 0:
+            raise ValueError("global size must be positive")
+        address = self._place_global(size, align)
+        self.globals_registered.append((address, size))
+        layout = self.machine.layout
+        if self._globals_cursor > layout.globals_base + layout.globals_size:
+            raise MemoryError("globals region exhausted")
+        return address
+
+    def _place_global(self, size: int, align: int) -> int:
+        """Default placement: no redzones, just alignment."""
+        address = -(-self._globals_cursor // align) * align
+        self._globals_cursor = address + size
+        return address
+
+    # -- stack frames -----------------------------------------------------
+
+    def function_enter(
+        self,
+        buffer_sizes: Sequence[int] = (),
+        spill_size: int = 32,
+        return_pc: int = 0,
+        target_pc: int = 0,
+    ) -> StackFrame:
+        """Open a frame with ``buffer_sizes`` protected local buffers.
+
+        ``target_pc`` is the callee's entry point (the frame's body
+        executes straight-line from there); ``return_pc`` is where the
+        epilogue resumes.  The default implementation sizes the frame
+        for the buffers plus defense-specific overhead (redzones) and
+        delegates placement to :meth:`_protect_frame`.
+        """
+        machine = self.machine
+        machine.call(target_pc or machine.layout.code_base)
+        frame_size = spill_size + sum(
+            self._buffer_reservation(size) for size in buffer_sizes
+        )
+        frame = self.stack.push_frame(frame_size + 128, return_pc=return_pc)
+        # Prologue bookkeeping: push frame pointer, adjust sp.  The
+        # saved-registers area sits above the locals, so the carve
+        # cursor starts below it.
+        machine.store(frame.base - 8, size=8)
+        machine.compute(2)
+        frame.cursor = frame.base - 64
+        self._protect_frame(frame, list(buffer_sizes))
+        return frame
+
+    def function_exit(self, frame: StackFrame) -> None:
+        machine = self.machine
+        self._unprotect_frame(frame)
+        machine.load(frame.base - 8, 8)
+        machine.compute(1)
+        machine.ret(frame.return_pc)
+        self.stack.pop_frame(frame)
+
+    # -- hooks ----------------------------------------------------------------
+
+    def _buffer_reservation(self, size: int) -> int:
+        """Frame bytes needed for one protected buffer."""
+        return max(16, (size + 15) // 16 * 16)
+
+    def _protect_frame(self, frame: StackFrame, buffer_sizes: List[int]) -> None:
+        """Place buffers; default: no redzones."""
+        from repro.runtime.stack import StackBuffer
+
+        for size in buffer_sizes:
+            address = self.stack.carve(frame, self._buffer_reservation(size))
+            frame.buffers.append(StackBuffer(address=address, size=size))
+
+    def _unprotect_frame(self, frame: StackFrame) -> None:
+        """Tear down protection at the epilogue; default: nothing."""
+
+    # -- reporting ---------------------------------------------------------
+
+    @property
+    @abc.abstractmethod
+    def allocator(self):
+        """The allocator backing :meth:`malloc`/:meth:`free`."""
+
+    def describe(self) -> str:
+        return self.kind.value

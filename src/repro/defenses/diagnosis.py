@@ -1,0 +1,133 @@
+"""ASan-style fault diagnosis for REST exceptions.
+
+A REST exception carries only the faulting address (the hardware knows
+nothing else).  Like ASan's runtime, the *software* can turn that into
+an actionable report by consulting allocator and stack state: which
+region the address belongs to, how far outside a live allocation it
+falls, whether it points into quarantined (freed) memory, a redzone, a
+stack buffer's bookends, or a sprinkled decoy.  The debug operating
+mode exists precisely so developers get this report with precise
+machine state (paper §III-A).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.defenses.base import Defense
+
+
+def explain_fault(defense: Defense, address: int) -> str:
+    """Produce a human-readable diagnosis of a faulting address."""
+    finding = (
+        _diagnose_heap(defense, address)
+        or _diagnose_stack(defense, address)
+        or _diagnose_globals(defense, address)
+        or _diagnose_sprinkles(defense, address)
+        or _diagnose_region(defense, address)
+    )
+    return f"0x{address:x}: {finding}"
+
+
+def _diagnose_heap(defense: Defense, address: int) -> Optional[str]:
+    allocator = defense.allocator
+    for chunk in allocator.live_chunks():
+        payload_end = chunk.payload + chunk.size
+        if chunk.payload <= address < payload_end:
+            return (
+                f"inside live {chunk.size}-byte heap allocation "
+                f"[0x{chunk.payload:x}, 0x{payload_end:x}) — not a "
+                "redzone; this fault came from somewhere else"
+            )
+        if chunk.base <= address < chunk.payload:
+            return (
+                f"in the LEFT redzone of the live {chunk.size}-byte "
+                f"heap allocation at 0x{chunk.payload:x} "
+                f"(underflow of {chunk.payload - address} bytes)"
+            )
+        if payload_end <= address < chunk.base + chunk.total:
+            return (
+                f"{address - payload_end} bytes to the RIGHT of the "
+                f"live {chunk.size}-byte heap allocation "
+                f"[0x{chunk.payload:x}, 0x{payload_end:x}) "
+                "(heap-buffer-overflow)"
+            )
+    quarantine = getattr(allocator, "_quarantine", None)
+    if quarantine is not None:
+        for chunk in quarantine:
+            if chunk.base <= address < chunk.base + chunk.total:
+                return (
+                    f"inside FREED (quarantined) {chunk.size}-byte heap "
+                    f"allocation at 0x{chunk.payload:x} (use-after-free)"
+                )
+    return None
+
+
+def _diagnose_stack(defense: Defense, address: int) -> Optional[str]:
+    for frame in getattr(defense.stack, "_frames", []):
+        for buffer in frame.buffers:
+            if buffer.address <= address < buffer.address + buffer.size:
+                return (
+                    f"inside the live {buffer.size}-byte stack buffer "
+                    f"at 0x{buffer.address:x}"
+                )
+            if (
+                buffer.left_redzone
+                and buffer.left_redzone_address
+                <= address
+                < buffer.address
+            ):
+                return (
+                    f"in the LEFT redzone of the {buffer.size}-byte "
+                    f"stack buffer at 0x{buffer.address:x} "
+                    "(stack-buffer-underflow)"
+                )
+            right = buffer.right_redzone_address
+            if buffer.right_redzone and right <= address < right + buffer.right_redzone:
+                overflow = address - (buffer.address + buffer.size)
+                return (
+                    f"{overflow} bytes past the {buffer.size}-byte "
+                    f"stack buffer at 0x{buffer.address:x} "
+                    "(stack-buffer-overflow)"
+                )
+    return None
+
+
+def _diagnose_globals(defense: Defense, address: int) -> Optional[str]:
+    for base, size in defense.globals_registered:
+        if base <= address < base + size:
+            return f"inside the {size}-byte global at 0x{base:x}"
+        # The defense-specific redzone sits directly after the global.
+        if base + size <= address < base + size + 64:
+            return (
+                f"{address - (base + size)} bytes past the {size}-byte "
+                f"global at 0x{base:x} (global-buffer-overflow)"
+            )
+    return None
+
+
+def _diagnose_sprinkles(defense: Defense, address: int) -> Optional[str]:
+    sprinkled = getattr(defense, "sprinkled_tokens", None)
+    if not sprinkled:
+        return None
+    width = getattr(defense, "token_width", 64)
+    for decoy in sprinkled:
+        if decoy <= address < decoy + width:
+            return (
+                f"on a sprinkled decoy token at 0x{decoy:x} — a scan "
+                "or redzone-jump probe tripped it"
+            )
+    return None
+
+
+def _diagnose_region(defense: Defense, address: int) -> str:
+    layout = defense.machine.layout
+    if layout.in_heap(address):
+        return "in the heap arena, outside any tracked allocation"
+    if layout.in_stack(address):
+        return "in the stack region, outside any live frame's buffers"
+    if layout.in_shadow(address):
+        return "inside ASan shadow memory (wild pointer?)"
+    if layout.globals_base <= address < layout.globals_base + layout.globals_size:
+        return "in the globals region, outside any registered global"
+    return "outside every known region (wild or corrupted pointer)"

@@ -1,0 +1,34 @@
+"""The unprotected baseline: stock libc allocator, no checks."""
+
+from __future__ import annotations
+
+from repro.defenses.base import Defense, DefenseKind
+from repro.runtime.allocators import LibcAllocator
+from repro.runtime.machine import Machine
+
+
+class PlainDefense(Defense):
+    """No protection at all — the "Plain" bars in Figures 7 and 8."""
+
+    kind = DefenseKind.NONE
+    requires_recompilation = False
+
+    def __init__(self, machine: Machine) -> None:
+        super().__init__(machine)
+        self._allocator = LibcAllocator(machine)
+
+    @property
+    def allocator(self) -> LibcAllocator:
+        return self._allocator
+
+    def malloc(self, size: int) -> int:
+        return self._allocator.malloc(size)
+
+    def free(self, ptr: int) -> None:
+        self._allocator.free(ptr)
+
+    def load(self, address: int, size: int = 8) -> bytes:
+        return self.machine.load(address, size)
+
+    def store(self, address: int, data: bytes = b"", size: int = 0) -> None:
+        self.machine.store(address, data, size)

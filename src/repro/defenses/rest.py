@@ -1,0 +1,180 @@
+"""REST as a deployed defense (paper Section IV).
+
+Compared with ASan, two entire cost categories vanish:
+
+* **no memory-access instrumentation** — the hardware checks every
+  load/store against the token bit for free, so :meth:`load` and
+  :meth:`store` lower to bare machine accesses;
+* **no shadow memory** — the token *is* the metadata, stored in place.
+
+What remains is the allocator (token redzones + token-filled
+quarantine) and, when stack protection is compiled in, arm/disarm pairs
+at function prologues/epilogues (Figure 6A).  Heap-only protection
+requires no recompilation at all — it works on legacy binaries via
+allocator interposition (LD_PRELOAD).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import random
+
+from repro.defenses.base import Defense, DefenseKind
+from repro.runtime.allocators import FastRestAllocator, RestAllocator
+from repro.runtime.machine import Machine
+from repro.runtime.stack import StackBuffer, StackFrame
+
+
+class RestDefense(Defense):
+    """Hardware tripwires: token redzones, zero-instrumentation accesses."""
+
+    kind = DefenseKind.REST
+
+    def __init__(
+        self,
+        machine: Machine,
+        protect_stack: bool = True,
+        quarantine_bytes: Optional[int] = None,
+        allocator: str = "asan-derived",
+    ) -> None:
+        """``allocator`` selects the heap design: "asan-derived" is the
+        paper's evaluated allocator (ASan with tokens); "fast" is the
+        §VIII future-work REST-native slab allocator with permanent
+        shared guard tokens."""
+        super().__init__(machine)
+        self.protect_stack = protect_stack
+        kwargs = {}
+        if quarantine_bytes is not None:
+            kwargs["quarantine_bytes"] = quarantine_bytes
+        if allocator == "asan-derived":
+            self._allocator = RestAllocator(machine, **kwargs)
+        elif allocator == "fast":
+            self._allocator = FastRestAllocator(machine, **kwargs)
+        else:
+            raise ValueError(
+                f"unknown REST allocator {allocator!r}; "
+                "expected 'asan-derived' or 'fast'"
+            )
+        self.token_width = machine.token_width
+        self.sprinkled_tokens = []
+
+    @property
+    def requires_recompilation(self) -> bool:
+        """Only stack protection changes the binary (paper §IV-A)."""
+        return self.protect_stack
+
+    @property
+    def allocator(self) -> RestAllocator:
+        return self._allocator
+
+    # -- heap ----------------------------------------------------------------
+
+    def malloc(self, size: int) -> int:
+        return self._allocator.malloc(size)
+
+    def free(self, ptr: int) -> None:
+        self._allocator.free(ptr)
+
+    # -- accesses: completely uninstrumented ------------------------------------
+
+    def load(self, address: int, size: int = 8) -> bytes:
+        return self.machine.load(address, size)
+
+    def store(self, address: int, data: bytes = b"", size: int = 0) -> None:
+        self.machine.store(address, data, size)
+
+    # libc needs no interception either: tokens guard the data itself,
+    # so uninstrumented library code cannot cross a redzone unnoticed
+    # (paper §V-C, Composability) — the base-class pass-throughs apply.
+
+    # -- stack protection (Figure 6A) -------------------------------------------
+
+    def _buffer_reservation(self, size: int) -> int:
+        width = self.token_width
+        span = (size + width - 1) // width * width
+        if self.protect_stack:
+            return width + span + width
+        return max(16, (size + 15) // 16 * 16)
+
+    def _protect_frame(self, frame: StackFrame, buffer_sizes: List[int]) -> None:
+        if not self.protect_stack:
+            super()._protect_frame(frame, buffer_sizes)
+            return
+        width = self.token_width
+        for size in buffer_sizes:
+            span = (size + width - 1) // width * width
+            reservation = width + span + width
+            region = self.stack.carve(frame, reservation, align=width)
+            buffer = StackBuffer(
+                address=region + width,
+                size=size,
+                left_redzone=width,
+                right_redzone=width,
+                padding=span - size,
+            )
+            frame.buffers.append(buffer)
+            # Prologue: arm both redzones.
+            self.machine.arm(buffer.left_redzone_address)
+            self.machine.arm(buffer.right_redzone_address)
+
+    def _unprotect_frame(self, frame: StackFrame) -> None:
+        if not self.protect_stack:
+            return
+        # Epilogue: disarm so future frames inherit a clean stack.
+        for buffer in frame.buffers:
+            if buffer.left_redzone:
+                self.machine.disarm(buffer.left_redzone_address)
+                self.machine.disarm(buffer.right_redzone_address)
+
+    def _place_global(self, size: int, align: int) -> int:
+        """Extension: bookend globals with tokens, like heap chunks.
+
+        The paper evaluates stack and heap protection; globals fall out
+        of the same primitive for free — one armed slot after each
+        (token-aligned) global catches linear overflows out of it."""
+        width = self.token_width
+        span = (size + width - 1) // width * width
+        address = super()._place_global(span + width, max(align, width))
+        self.machine.arm(address + span)
+        return address
+
+    def sprinkle_tokens(
+        self, base: int, size: int, count: int, seed: int = 0
+    ) -> list:
+        """Scatter decoy tokens across a data region (§V-C).
+
+        The paper suggests sprinkling arbitrary tokens across the data
+        region, in a configurable manner, to catch attackers who jump
+        over the predictable redzones.  Returns the armed addresses so
+        the program can disarm them when the region is released.
+        """
+        width = self.token_width
+        slots = max(1, size // width)
+        if count > slots:
+            raise ValueError("more decoys than token slots in the region")
+        rng = random.Random(seed)
+        chosen = rng.sample(range(slots), count)
+        addresses = []
+        for slot in chosen:
+            address = base - (base % width) + slot * width
+            self.machine.arm(address)
+            addresses.append(address)
+        self.sprinkled_tokens.extend(addresses)
+        return addresses
+
+    def unsprinkle(self, addresses: list) -> None:
+        """Remove previously sprinkled decoys."""
+        for address in addresses:
+            self.machine.disarm(address)
+            self.sprinkled_tokens.remove(address)
+
+    def zero_padding(self, buffer: StackBuffer) -> None:
+        """Optional mitigation for uninitialized-pad leaks (§V-C).
+
+        The pad between a buffer and its right redzone can leak stale
+        stack data; zeroing it closes that hole at the cost of one
+        memset per protected buffer.
+        """
+        if buffer.padding:
+            self.libc.memset(buffer.address + buffer.size, 0, buffer.padding)

@@ -1,0 +1,23 @@
+"""Experiment reproductions, one module per paper table/figure.
+
+Every module exposes ``regenerate(scale=...) -> str`` returning the
+paper-style rendering, and runs as a script::
+
+    python -m repro.experiments.fig7 --scale 0.35
+
+Modules: :mod:`fig3` (ASan overhead breakdown), :mod:`table1` (REST
+action-semantics conformance), :mod:`table2` (hardware configuration),
+:mod:`fig7` (runtime overheads), :mod:`fig8` (token widths),
+:mod:`table3` (scheme comparison + measured detection matrix),
+:mod:`intext` (Section VI-B in-text microarchitectural observations).
+"""
+
+__all__ = [
+    "fig3",
+    "fig7",
+    "fig8",
+    "intext",
+    "table1",
+    "table2",
+    "table3",
+]

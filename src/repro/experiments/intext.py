@@ -1,0 +1,118 @@
+"""Section VI-B in-text observations.
+
+The paper makes several quantitative claims outside its figures:
+
+* debug-mode ROB blocked-by-store cycles ~an order of magnitude higher
+  than secure mode;
+* xalancbmk's IQ-full cycles differ by >100x between modes (we report
+  the dispatch back-pressure counters: IQ-full plus ROB-full cycles,
+  since where the backup surfaces first depends on window sizing);
+* token traffic at the L2/memory interface is negligible — only 0.04
+  tokens per kilo-instruction for xalancbmk in the secure full run;
+* full-safety overhead exceeds heap-only by just 0.16% on average
+  (stack protection is nearly free once the allocator is paid for);
+* PerfectHW (zero-cost REST hardware) runs only 0.2% (full) / 0.03%
+  (heap) below secure mode — the hardware primitive itself costs ~0.
+"""
+
+from __future__ import annotations
+
+from repro.core.modes import Mode
+from repro.experiments.common import DEFAULT_SCALE, cli_main, make_config
+from repro.harness.configs import DefenseSpec
+from repro.harness.experiment import run_benchmark, run_suite
+from repro.harness.metrics import weighted_mean_overhead
+from repro.harness.reporting import format_table
+from repro.workloads.spec import ALL_PROFILES, profile_by_name
+
+
+def regenerate(scale: float = DEFAULT_SCALE, seed: int = 1234) -> str:
+    config = make_config(scale=scale, seed=seed)
+    lines = []
+
+    # -- per-mode microarchitectural effects on xalancbmk -------------------
+    profile = profile_by_name("xalancbmk")
+    secure = run_benchmark(profile, DefenseSpec.rest("Secure Full"), config)
+    debug = run_benchmark(
+        profile, DefenseSpec.rest("Debug Full", mode=Mode.DEBUG), config
+    )
+    blocked_ratio = debug.core_stats.rob_blocked_by_store_cycles / max(
+        1, secure.core_stats.rob_blocked_by_store_cycles
+    )
+    backpressure_secure = (
+        secure.core_stats.iq_full_cycles + secure.core_stats.rob_full_cycles
+    )
+    backpressure_debug = (
+        debug.core_stats.iq_full_cycles + debug.core_stats.rob_full_cycles
+    )
+    rows = [
+        [
+            "ROB blocked-by-store cycles",
+            secure.core_stats.rob_blocked_by_store_cycles,
+            debug.core_stats.rob_blocked_by_store_cycles,
+            f"{blocked_ratio:.0f}x",
+            ">~10x (order of magnitude)",
+        ],
+        [
+            "dispatch back-pressure cycles (IQ+ROB full)",
+            backpressure_secure,
+            backpressure_debug,
+            (
+                f"{backpressure_debug / max(1, backpressure_secure):.0f}x"
+                if backpressure_secure or backpressure_debug
+                else "0/0"
+            ),
+            ">100x for xalanc",
+        ],
+        [
+            "tokens/kilo-instr at L2/mem interface",
+            f"{secure.tokens_per_kilo_at_memory:.3f}",
+            f"{debug.tokens_per_kilo_at_memory:.3f}",
+            "-",
+            "0.04 (secure full) — i.e. negligible",
+        ],
+    ]
+    lines.append(
+        format_table(
+            ["xalancbmk statistic", "secure", "debug", "ratio", "paper"],
+            rows,
+            title="Section VI-B: debug vs secure microarchitectural effects",
+        )
+    )
+
+    # -- suite-wide deltas ----------------------------------------------------
+    specs = [
+        DefenseSpec.rest("Secure Full"),
+        DefenseSpec.rest("Secure Heap", protect_stack=False),
+        DefenseSpec.rest("PerfectHW Full", perfect_hw=True),
+        DefenseSpec.rest(
+            "PerfectHW Heap", protect_stack=False, perfect_hw=True
+        ),
+    ]
+    results = run_suite(ALL_PROFILES, specs, config)
+    plains = [results[b]["Plain"].runtime for b in results]
+
+    def wtd(name: str) -> float:
+        return weighted_mean_overhead(
+            [results[b][name].runtime for b in results], plains
+        )
+
+    full, heap = wtd("Secure Full"), wtd("Secure Heap")
+    phw_full, phw_heap = wtd("PerfectHW Full"), wtd("PerfectHW Heap")
+    rows = [
+        ["Secure Full - Secure Heap", f"{full - heap:.2f} pp", "0.16 pp"],
+        ["Secure Full - PerfectHW Full", f"{full - phw_full:.2f} pp", "0.2 pp"],
+        ["Secure Heap - PerfectHW Heap", f"{heap - phw_heap:.2f} pp", "0.03 pp"],
+    ]
+    lines.append(
+        format_table(
+            ["suite-wide delta (weighted mean)", "measured", "paper"],
+            rows,
+            title="Stack-protection cost and hardware-primitive cost",
+        )
+    )
+    return "\n\n".join(lines)
+
+
+if __name__ == "__main__":
+    cli_main(regenerate, __doc__.splitlines()[0])

@@ -1,0 +1,68 @@
+"""Regenerate every experiment into an output directory.
+
+``python -m repro.experiments.run_all --outdir results --scale 0.5``
+writes one text file per table/figure (what EXPERIMENTS.md cites) plus
+a manifest recording the parameters used.
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import json
+import time
+from pathlib import Path
+
+#: experiment name -> scale override (None = use the requested scale).
+EXPERIMENT_SCALES = {
+    "table1": None,
+    "table2": None,
+    "table3": None,
+    "fig3": 0.35,  # in-order core: slower per instruction
+    "fig7": None,
+    "fig8": None,
+    "intext": None,
+    "memoverhead": 0.35,
+    "security": None,
+}
+
+
+def run_all(outdir: str, scale: float = 0.5, seed: int = 1234) -> Path:
+    """Run every experiment; returns the output directory path."""
+    out = Path(outdir)
+    out.mkdir(parents=True, exist_ok=True)
+    manifest = {
+        "scale": scale,
+        "seed": seed,
+        "started": time.strftime("%Y-%m-%d %H:%M:%S"),
+        "experiments": {},
+    }
+    for name, override in EXPERIMENT_SCALES.items():
+        module = importlib.import_module(f"repro.experiments.{name}")
+        effective = override if override is not None else scale
+        start = time.time()
+        text = module.regenerate(scale=effective, seed=seed)
+        elapsed = time.time() - start
+        target = out / f"{name}.txt"
+        target.write_text(text + "\n")
+        manifest["experiments"][name] = {
+            "scale": effective,
+            "seconds": round(elapsed, 1),
+            "file": target.name,
+        }
+        print(f"  {name:12s} -> {target} ({elapsed:.1f}s)")
+    (out / "manifest.json").write_text(json.dumps(manifest, indent=2))
+    return out
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--outdir", default="results")
+    parser.add_argument("--scale", type=float, default=0.5)
+    parser.add_argument("--seed", type=int, default=1234)
+    args = parser.parse_args()
+    run_all(args.outdir, scale=args.scale, seed=args.seed)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,165 @@
+"""Table III: comparison of hardware memory-safety techniques.
+
+Two parts:
+
+1. the literature matrix exactly as the paper tabulates it (spatial and
+   temporal protection scope, shadow space, composability, overheads,
+   hardware modifications) — static data;
+2. the REST row *validated empirically*: the attack suite runs against
+   the implemented defenses and the claimed properties are derived from
+   what was actually detected/missed (linear spatial detection, temporal
+   protection until reallocation, composability with uninstrumented
+   libraries, no shadow space).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.defenses import AsanDefense, PlainDefense, RestDefense
+from repro.experiments.common import cli_main
+from repro.harness.reporting import format_table
+from repro.runtime.machine import Machine
+from repro.workloads.attacks import ATTACK_REGISTRY, AttackOutcome, run_attack
+
+#: The paper's Table III rows (single-core systems assumed).
+LITERATURE = [
+    # scheme, spatial, temporal, shadow, composable, perf, hw mods
+    ("Hardbound", "Complete", "None", "yes", "no", "Low", "uop injection, L1/TLB tags"),
+    ("SafeProc", "Complete", "Complete", "no", "no", "Low", "CAMs, hash table + walker"),
+    ("Watchdog", "Complete", "Complete", "yes", "no", "Moderate", "uop injection, lock-ID cache"),
+    ("WatchdogLite", "Complete", "Complete", "yes", "no", "Moderate", "Nominal"),
+    ("Intel MPX", "Complete", "None", "no", "partial", "High", "Not known"),
+    ("HDFI", "Linear", "None", "yes", "yes", "Negligible", "wider buses/lines, tag tables"),
+    ("ADI", "Linear", "Until realloc", "no", "yes", "Negligible", "4b per line, all levels"),
+    ("CHERI", "Complete", "Complete", "no", "no", "Moderate", "capability coprocessor"),
+    ("iWatcher", "N/A", "N/A", "no", "yes", "High", "per-byte line metadata, victim cache"),
+    ("Unlimited WP", "N/A", "N/A", "no", "yes", "High", "range cache, metadata TLB"),
+    ("SafeMem", "Linear", "None", "no", "yes", "High", "repurposed ECC bits"),
+    ("Memtracker", "Linear", "Until realloc", "yes", "yes", "Low", "metadata caches, pipeline unit"),
+    ("ARM PA", "Targeted", "None", "no", "yes", "Negligible", "Not known"),
+    ("REST", "Linear", "Until realloc", "no", "yes", "Moderate*", "1 bit/L1-D line, 1 comparator"),
+]
+
+
+def _empirical_rest_row() -> Dict[str, str]:
+    """Derive REST's claimed properties from the attack suite."""
+
+    def rest():
+        return RestDefense(Machine(), protect_stack=True)
+
+    linear_detected = all(
+        run_attack(name, rest()).detected
+        for name in (
+            "heartbleed",
+            "linear_heap_overflow_write",
+            "stack_linear_overflow",
+        )
+    )
+    targeted_missed = (
+        run_attack("targeted_corruption", rest()).outcome
+        is AttackOutcome.MISSED
+    )
+    uaf_detected = run_attack("use_after_free_read", rest()).detected
+    post_realloc_missed = (
+        run_attack("uaf_after_reallocation", rest()).outcome
+        is AttackOutcome.MISSED
+    )
+    composable = run_attack("library_overflow", rest()).detected
+    spatial = (
+        "Linear" if linear_detected and targeted_missed else "INCONSISTENT"
+    )
+    temporal = (
+        "Until realloc"
+        if uaf_detected and post_realloc_missed
+        else "INCONSISTENT"
+    )
+    return {
+        "spatial": spatial,
+        "temporal": temporal,
+        "shadow": "no (tokens in-place)",
+        "composable": "yes" if composable else "no",
+    }
+
+
+def _detection_matrix() -> str:
+    factories = {
+        "plain": lambda: PlainDefense(Machine()),
+        "asan": lambda: AsanDefense(Machine()),
+        "rest (full)": lambda: RestDefense(Machine(), protect_stack=True),
+        "rest (heap)": lambda: RestDefense(Machine(), protect_stack=False),
+    }
+    rows: List[List[str]] = []
+    for attack in sorted(ATTACK_REGISTRY):
+        row = [attack]
+        for label, factory in factories.items():
+            result = run_attack(attack, factory())
+            row.append(result.outcome.value)
+        rows.append(row)
+    return format_table(
+        ["attack"] + list(factories),
+        rows,
+        title="Measured detection matrix (attack suite vs defenses)",
+    )
+
+
+def _hardware_cost_table() -> str:
+    from repro.core.hwcost import comparison_table, rest_cost
+
+    cost = rest_cost()
+    rows = comparison_table()
+    table = format_table(
+        ["Scheme", "Added storage", "Added logic"],
+        rows,
+        title=(
+            "Added hardware (derived for REST from the Table II "
+            "configuration; others from their papers)"
+        ),
+    )
+    claim = (
+        f"\nREST total: {cost.total_metadata_bits} metadata bits "
+        f"({cost.metadata_bytes:.0f} B, "
+        f"{cost.storage_overhead_fraction:.4%} of the L1-D data array), "
+        f"one {cost.comparator_width_bits}-bit fill-beat comparator, "
+        f"one {cost.token_register_bits}-bit privileged register."
+    )
+    return table + claim
+
+
+def regenerate(scale: float = 1.0, seed: int = 1234) -> str:
+    lit = format_table(
+        [
+            "Proposal",
+            "Spatial",
+            "Temporal",
+            "Shadow",
+            "Composable",
+            "Perf overhead",
+            "Hardware modifications",
+        ],
+        LITERATURE,
+        title="Table III: comparison of previous hardware techniques",
+    )
+    empirical = _empirical_rest_row()
+    summary = (
+        "REST row validated against the implemented system:\n"
+        f"  spatial protection:  {empirical['spatial']}\n"
+        f"  temporal protection: {empirical['temporal']}\n"
+        f"  shadow space:        {empirical['shadow']}\n"
+        f"  composability:       {empirical['composable']}\n"
+        "  (* paper classes REST 'Moderate' for the debug mode; secure-"
+        "mode overhead measures ~2%, see Figure 7)"
+    )
+    return (
+        lit
+        + "\n\n"
+        + summary
+        + "\n\n"
+        + _detection_matrix()
+        + "\n\n"
+        + _hardware_cost_table()
+    )
+
+
+if __name__ == "__main__":
+    cli_main(regenerate, __doc__.splitlines()[0])

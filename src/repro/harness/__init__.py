@@ -1,0 +1,27 @@
+"""Experiment harness: configurations, runners, metrics, reporting."""
+
+from repro.harness.configs import DefenseSpec, SimulationConfig, table2_text
+from repro.harness.experiment import RunResult, run_benchmark, run_suite
+from repro.harness.metrics import (
+    geo_mean_overhead,
+    overhead_percent,
+    weighted_mean_overhead,
+)
+from repro.harness.reporting import bar_chart, format_table
+from repro.harness.sweeps import SweepResult, seed_sweep
+
+__all__ = [
+    "SweepResult",
+    "seed_sweep",
+    "DefenseSpec",
+    "RunResult",
+    "SimulationConfig",
+    "bar_chart",
+    "format_table",
+    "geo_mean_overhead",
+    "overhead_percent",
+    "run_benchmark",
+    "run_suite",
+    "table2_text",
+    "weighted_mean_overhead",
+]

@@ -1,0 +1,55 @@
+"""Overhead aggregation exactly as the paper defines it.
+
+Footnote 5: weighted arithmetic mean overhead =
+    AriMean(<Plain-normalized runtime> * <Plain runtime>
+            / <Sum of plain runtimes>) - 1
+which algebraically reduces to  sum(runtimes) / sum(plain runtimes) - 1.
+
+Footnote 6: geometric mean overhead =
+    GeoMean(<Plain-normalized runtime>) - 1.
+
+The paper's discussion cites the weighted mean (following John, "More
+on finding a single number...", which argues for weighted means over
+geometric means when runtimes differ widely).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+
+def overhead_percent(runtime: float, baseline: float) -> float:
+    """Single-benchmark overhead in percent."""
+    if baseline <= 0:
+        raise ValueError("baseline runtime must be positive")
+    return (runtime / baseline - 1.0) * 100.0
+
+
+def weighted_mean_overhead(
+    runtimes: Sequence[float], baselines: Sequence[float]
+) -> float:
+    """WtdAriMean overhead in percent (paper footnote 5)."""
+    _validate(runtimes, baselines)
+    return (sum(runtimes) / sum(baselines) - 1.0) * 100.0
+
+
+def geo_mean_overhead(
+    runtimes: Sequence[float], baselines: Sequence[float]
+) -> float:
+    """GeoMean overhead in percent (paper footnote 6)."""
+    _validate(runtimes, baselines)
+    log_sum = sum(
+        math.log(runtime / baseline)
+        for runtime, baseline in zip(runtimes, baselines)
+    )
+    return (math.exp(log_sum / len(runtimes)) - 1.0) * 100.0
+
+
+def _validate(runtimes: Sequence[float], baselines: Sequence[float]) -> None:
+    if len(runtimes) != len(baselines):
+        raise ValueError("runtime and baseline lists must align")
+    if not runtimes:
+        raise ValueError("need at least one benchmark")
+    if any(b <= 0 for b in baselines) or any(r <= 0 for r in runtimes):
+        raise ValueError("runtimes must be positive")

@@ -1,0 +1,84 @@
+"""Plain-text table and bar-chart rendering for experiment outputs.
+
+Keeps the experiment modules printable in any terminal: each figure of
+the paper becomes an ASCII grouped-bar chart plus the underlying table,
+and each table becomes an aligned text table.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: Optional[str] = None,
+) -> str:
+    """Render an aligned text table."""
+    cells = [[str(c) for c in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(row[i]) for row in cells)) if cells else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(row[i].ljust(widths[i]) for i in range(len(row))))
+    return "\n".join(lines)
+
+
+def bar_chart(
+    series: Dict[str, Dict[str, float]],
+    title: str = "",
+    unit: str = "%",
+    width: int = 48,
+    clamp: Optional[float] = None,
+) -> str:
+    """Render grouped horizontal bars: series[group][label] = value.
+
+    Values beyond ``clamp`` are drawn clamped with the true value noted,
+    the way the paper annotates its off-scale 240-450% bars.
+    """
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    all_values = [v for group in series.values() for v in group.values()]
+    if not all_values:
+        return "\n".join(lines + ["(no data)"])
+    limit = clamp if clamp is not None else max(all_values)
+    limit = max(limit, 1e-9)
+    label_width = max(
+        (len(label) for group in series.values() for label in group), default=4
+    )
+    for group_name, group in series.items():
+        lines.append(f"{group_name}:")
+        for label, value in group.items():
+            clipped = min(value, limit)
+            bar = "#" * max(0, int(round(clipped / limit * width)))
+            note = f"{value:8.1f}{unit}"
+            if clamp is not None and value > clamp:
+                note += " (off scale)"
+            lines.append(f"  {label:<{label_width}} |{bar:<{width}}| {note}")
+    return "\n".join(lines)
+
+
+def overhead_matrix(
+    results: Dict[str, Dict[str, "RunResult"]],
+    spec_names: Sequence[str],
+    baseline_name: str = "Plain",
+) -> Dict[str, Dict[str, float]]:
+    """Convert raw results into overhead-% per benchmark per spec."""
+    matrix: Dict[str, Dict[str, float]] = {}
+    for bench, per_bench in results.items():
+        baseline = per_bench[baseline_name].runtime
+        matrix[bench] = {
+            name: (per_bench[name].runtime / baseline - 1.0) * 100.0
+            for name in spec_names
+            if name in per_bench
+        }
+    return matrix

@@ -1,0 +1,72 @@
+"""gem5-style flat statistics dump for one simulation run.
+
+The paper's numbers come from gem5's ``stats.txt``; this renders the
+equivalent flat ``name  value  # description`` listing for our runs, so
+anyone used to that workflow can diff two configurations directly
+(e.g. ``diff <(secure stats) <(debug stats)``).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.harness.experiment import RunResult
+
+
+def _rows(result: RunResult) -> List[Tuple[str, object, str]]:
+    core = result.core_stats
+    hier = result.hierarchy_stats
+    work = result.workload_stats
+    rows: List[Tuple[str, object, str]] = [
+        ("sim.cycles", result.cycles, "Total simulated cycles"),
+        ("sim.insts", result.instructions, "Committed micro-ops"),
+        ("sim.ipc", round(core.ipc, 4), "Instructions per cycle"),
+        (
+            "sim.inst_expansion",
+            round(result.instruction_expansion, 4),
+            "Dynamic instruction inflation vs application ops",
+        ),
+        ("core.rob.blocked_by_store", core.rob_blocked_by_store_cycles,
+         "Cycles the ROB head was a non-committable store-like op"),
+        ("core.rob.full_cycles", core.rob_full_cycles,
+         "Dispatch cycles lost to a full ROB"),
+        ("core.iq.full_cycles", core.iq_full_cycles,
+         "Dispatch cycles lost to a full IQ"),
+        ("core.lsq.forwards", core.lsq_forwards,
+         "Store-to-load forwards"),
+        ("core.bpred.mispredicts", core.branch_mispredicts,
+         "Branch mispredictions"),
+        ("core.fetch.icache_stall_cycles", core.icache_stall_cycles,
+         "Fetch cycles stalled on L1-I misses"),
+        ("l1d.miss_rate", round(result.l1d_miss_rate, 4),
+         "L1-D miss rate"),
+        ("l2.miss_rate", round(result.l2_miss_rate, 4), "L2 miss rate"),
+        ("rest.arms", getattr(hier, "arms", 0), "arm instructions"),
+        ("rest.disarms", getattr(hier, "disarms", 0),
+         "disarm instructions"),
+        ("rest.tokens_at_mem", getattr(hier, "tokens_at_memory_interface", 0),
+         "Token lines crossing the L2/memory interface"),
+        ("rest.staged_ops", getattr(hier, "staged_token_ops", 0),
+         "Token ops absorbed by the staging buffer"),
+        ("workload.mallocs", work.mallocs, "Heap allocations"),
+        ("workload.frees", work.frees, "Heap frees"),
+        ("workload.calls", work.calls, "Function calls"),
+    ]
+    for op, count in sorted(core.op_counts.items()):
+        rows.append((f"commit.op.{op}", count, f"Committed {op} ops"))
+    return rows
+
+
+def format_stats(result: RunResult, header: bool = True) -> str:
+    """Render the flat stats listing for one run."""
+    lines: List[str] = []
+    if header:
+        lines.append(
+            f"---------- Begin Simulation Statistics "
+            f"({result.benchmark} / {result.spec.name}) ----------"
+        )
+    for name, value, description in _rows(result):
+        lines.append(f"{name:<36} {value!s:>14}  # {description}")
+    if header:
+        lines.append("---------- End Simulation Statistics ----------")
+    return "\n".join(lines)

@@ -1,0 +1,69 @@
+"""Multi-seed sweeps: run-to-run stability of the headline numbers.
+
+The paper reports single numbers per configuration; a reproduction
+built on synthetic workloads should show that its conclusions do not
+hinge on one lucky seed.  :func:`seed_sweep` reruns a configuration
+set across seeds and reports mean and spread of each weighted-mean
+overhead.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.harness.configs import DefenseSpec, SimulationConfig
+from repro.harness.experiment import run_suite
+from repro.harness.metrics import weighted_mean_overhead
+from repro.workloads.spec import BenchmarkProfile
+
+
+@dataclass
+class SweepResult:
+    """Per-spec overhead statistics across seeds."""
+
+    spec_name: str
+    samples: List[float]
+
+    @property
+    def mean(self) -> float:
+        return sum(self.samples) / len(self.samples)
+
+    @property
+    def stdev(self) -> float:
+        if len(self.samples) < 2:
+            return 0.0
+        mu = self.mean
+        return math.sqrt(
+            sum((x - mu) ** 2 for x in self.samples) / (len(self.samples) - 1)
+        )
+
+    @property
+    def spread(self) -> float:
+        return max(self.samples) - min(self.samples)
+
+
+def seed_sweep(
+    profiles: Sequence[BenchmarkProfile],
+    specs: Sequence[DefenseSpec],
+    seeds: Sequence[int],
+    scale: float = 0.2,
+) -> Dict[str, SweepResult]:
+    """Run the suite once per seed; returns overhead stats per spec."""
+    if not seeds:
+        raise ValueError("need at least one seed")
+    samples: Dict[str, List[float]] = {spec.name: [] for spec in specs}
+    for seed in seeds:
+        config = SimulationConfig(scale=scale, seed=seed)
+        results = run_suite(profiles, specs, config)
+        plains = [results[b]["Plain"].runtime for b in results]
+        for spec in specs:
+            runtimes = [results[b][spec.name].runtime for b in results]
+            samples[spec.name].append(
+                weighted_mean_overhead(runtimes, plains)
+            )
+    return {
+        name: SweepResult(spec_name=name, samples=values)
+        for name, values in samples.items()
+    }

@@ -1,0 +1,250 @@
+"""AST for Mini-C.
+
+Deliberately C-shaped where it matters for memory safety:
+
+* arrays are raw memory — ``Index`` computes ``base + index * width``
+  with no bounds information attached, so out-of-range indices produce
+  out-of-range *addresses*, not errors;
+* pointers are plain integers and can be stored in variables, passed
+  to functions, kept after ``Free`` (dangling), and offset
+  arithmetically;
+* there is no undefined-behaviour detection in the language itself —
+  that is the defense's job.
+
+Expressions evaluate to Python ints; 8-byte little-endian cells are
+the only data type (enough for every scenario the paper discusses).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple, Union
+
+#: Every memory cell is 8 bytes.
+CELL = 8
+
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+
+class Expr:
+    """Base class for expressions (evaluate to an int)."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class Const(Expr):
+    """An integer literal."""
+
+    value: int
+
+
+@dataclass(frozen=True)
+class Var(Expr):
+    """Read a scalar variable (or take an array's base address)."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class BinOp(Expr):
+    """Binary arithmetic/comparison: + - * // % < <= > >= == !=."""
+
+    op: str
+    left: Expr
+    right: Expr
+
+
+@dataclass(frozen=True)
+class Load(Expr):
+    """Read one cell from memory: ``*(base + index*8)``.
+
+    ``base`` is any address-valued expression (array variable,
+    pointer); no bounds are known or checked — C semantics.
+    """
+
+    base: Expr
+    index: Expr = Const(0)
+
+
+@dataclass(frozen=True)
+class Call(Expr):
+    """Call a user function; its Return value is the result (or 0)."""
+
+    name: str
+    args: Tuple[Expr, ...] = ()
+
+    def __init__(self, name: str, args: Sequence[Expr] = ()) -> None:
+        object.__setattr__(self, "name", name)
+        object.__setattr__(self, "args", tuple(args))
+
+
+@dataclass(frozen=True)
+class Malloc(Expr):
+    """Heap allocation through the defense's allocator."""
+
+    size: Expr
+
+
+# ---------------------------------------------------------------------------
+# Statements
+# ---------------------------------------------------------------------------
+
+
+class Statement:
+    """Base class for statements."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class Assign(Statement):
+    """``name = expr`` (scalar variable)."""
+
+    name: str
+    value: Expr
+
+
+@dataclass(frozen=True)
+class Store(Statement):
+    """Write one cell: ``*(base + index*8) = value`` — unchecked."""
+
+    base: Expr
+    index: Expr
+    value: Expr
+
+
+@dataclass(frozen=True)
+class Free(Statement):
+    """Release a heap pointer (the variable keeps its dangling value)."""
+
+    pointer: Expr
+
+
+@dataclass(frozen=True)
+class MemcpyStmt(Statement):
+    """``memcpy(dst, src, n)`` through the defense's libc layer."""
+
+    dst: Expr
+    src: Expr
+    length: Expr
+
+
+@dataclass(frozen=True)
+class If(Statement):
+    condition: Expr
+    then_body: Tuple[Statement, ...]
+    else_body: Tuple[Statement, ...] = ()
+
+    def __init__(
+        self,
+        condition: Expr,
+        then_body: Sequence[Statement],
+        else_body: Sequence[Statement] = (),
+    ) -> None:
+        object.__setattr__(self, "condition", condition)
+        object.__setattr__(self, "then_body", tuple(then_body))
+        object.__setattr__(self, "else_body", tuple(else_body))
+
+
+@dataclass(frozen=True)
+class While(Statement):
+    condition: Expr
+    body: Tuple[Statement, ...]
+
+    def __init__(self, condition: Expr, body: Sequence[Statement]) -> None:
+        object.__setattr__(self, "condition", condition)
+        object.__setattr__(self, "body", tuple(body))
+
+
+@dataclass(frozen=True)
+class For(Statement):
+    """``for (var = start; var < end; var++) body`` — the sweeping
+    loop shape behind every linear overflow."""
+
+    var: str
+    start: Expr
+    end: Expr
+    body: Tuple[Statement, ...]
+
+    def __init__(
+        self, var: str, start: Expr, end: Expr, body: Sequence[Statement]
+    ) -> None:
+        object.__setattr__(self, "var", var)
+        object.__setattr__(self, "start", start)
+        object.__setattr__(self, "end", end)
+        object.__setattr__(self, "body", tuple(body))
+
+
+@dataclass(frozen=True)
+class ExprStatement(Statement):
+    """Evaluate an expression for its effects (e.g. a Call)."""
+
+    expr: Expr
+
+
+@dataclass(frozen=True)
+class Return(Statement):
+    value: Expr = Const(0)
+
+
+# ---------------------------------------------------------------------------
+# Declarations
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ArrayDecl:
+    """A local array of ``cells`` 8-byte cells on the stack.
+
+    These are the "vulnerable buffers" the compiler plugin protects:
+    the interpreter hands their byte sizes to
+    ``Defense.function_enter``, which places redzones/tokens per the
+    active scheme.
+    """
+
+    name: str
+    cells: int
+
+    @property
+    def bytes(self) -> int:
+        return self.cells * CELL
+
+
+@dataclass(frozen=True)
+class Function:
+    name: str
+    params: Tuple[str, ...] = ()
+    arrays: Tuple[ArrayDecl, ...] = ()
+    body: Tuple[Statement, ...] = ()
+
+    def __init__(
+        self,
+        name: str,
+        params: Sequence[str] = (),
+        arrays: Sequence[ArrayDecl] = (),
+        body: Sequence[Statement] = (),
+    ) -> None:
+        object.__setattr__(self, "name", name)
+        object.__setattr__(self, "params", tuple(params))
+        object.__setattr__(self, "arrays", tuple(arrays))
+        object.__setattr__(self, "body", tuple(body))
+
+
+@dataclass(frozen=True)
+class Program:
+    """A whole translation unit; execution starts at ``main``."""
+
+    functions: Tuple[Function, ...]
+
+    def __init__(self, functions: Sequence[Function]) -> None:
+        object.__setattr__(self, "functions", tuple(functions))
+
+    def function(self, name: str) -> Function:
+        for function in self.functions:
+            if function.name == name:
+                return function
+        raise KeyError(f"no function {name!r}")

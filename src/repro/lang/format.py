@@ -1,0 +1,150 @@
+"""Pretty-printer: Mini-C AST back to surface syntax.
+
+``parse(format_program(ast))`` reproduces the AST for any program the
+parser can produce (property-tested), which makes traces of generated
+programs inspectable and lets tools round-trip programs through text.
+
+Statements whose operand shapes exceed the surface syntax (e.g. a
+``Store`` through a computed base expression) are lowered through a
+temporary variable, matching what a C programmer would write.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import List
+
+from repro.lang.ast import (
+    ArrayDecl,
+    Assign,
+    BinOp,
+    Call,
+    Const,
+    Expr,
+    ExprStatement,
+    For,
+    Free,
+    Function,
+    If,
+    Load,
+    Malloc,
+    MemcpyStmt,
+    Program,
+    Return,
+    Statement,
+    Store,
+    Var,
+    While,
+)
+
+_INDENT = "    "
+
+
+def format_expr(expr: Expr) -> str:
+    """Render one expression (fully parenthesised where nested)."""
+    if isinstance(expr, Const):
+        return str(expr.value)
+    if isinstance(expr, Var):
+        return expr.name
+    if isinstance(expr, BinOp):
+        op = "/" if expr.op == "//" else expr.op
+        return f"({format_expr(expr.left)} {op} {format_expr(expr.right)})"
+    if isinstance(expr, Load):
+        base = expr.base
+        if isinstance(base, Var):
+            return f"{base.name}[{format_expr(expr.index)}]"
+        raise ValueError(
+            "surface syntax needs a named base for loads; lower through "
+            "a temporary first"
+        )
+    if isinstance(expr, Malloc):
+        return f"malloc({format_expr(expr.size)})"
+    if isinstance(expr, Call):
+        args = ", ".join(format_expr(argument) for argument in expr.args)
+        return f"{expr.name}({args})"
+    raise ValueError(f"unknown expression {expr!r}")
+
+
+class _Formatter:
+    def __init__(self) -> None:
+        self._temp_counter = itertools.count()
+        self.lines: List[str] = []
+
+    def emit(self, depth: int, text: str) -> None:
+        self.lines.append(f"{_INDENT * depth}{text}")
+
+    def statement(self, statement: Statement, depth: int) -> None:
+        if isinstance(statement, Assign):
+            self.emit(
+                depth, f"{statement.name} = {format_expr(statement.value)};"
+            )
+        elif isinstance(statement, Store):
+            base = statement.base
+            if not isinstance(base, Var):
+                # Lower: tmp = <base>; tmp[idx] = value;
+                temp = f"_t{next(self._temp_counter)}"
+                self.emit(depth, f"{temp} = {format_expr(base)};")
+                base = Var(temp)
+            self.emit(
+                depth,
+                f"{base.name}[{format_expr(statement.index)}] = "
+                f"{format_expr(statement.value)};",
+            )
+        elif isinstance(statement, Free):
+            self.emit(depth, f"free({format_expr(statement.pointer)});")
+        elif isinstance(statement, MemcpyStmt):
+            self.emit(
+                depth,
+                "memcpy("
+                f"{format_expr(statement.dst)}, "
+                f"{format_expr(statement.src)}, "
+                f"{format_expr(statement.length)});",
+            )
+        elif isinstance(statement, If):
+            self.emit(depth, f"if ({format_expr(statement.condition)}) {{")
+            for inner in statement.then_body:
+                self.statement(inner, depth + 1)
+            if statement.else_body:
+                self.emit(depth, "} else {")
+                for inner in statement.else_body:
+                    self.statement(inner, depth + 1)
+            self.emit(depth, "}")
+        elif isinstance(statement, While):
+            self.emit(depth, f"while ({format_expr(statement.condition)}) {{")
+            for inner in statement.body:
+                self.statement(inner, depth + 1)
+            self.emit(depth, "}")
+        elif isinstance(statement, For):
+            self.emit(
+                depth,
+                f"for ({statement.var} = {format_expr(statement.start)}; "
+                f"{statement.var} < {format_expr(statement.end)}; "
+                f"{statement.var}++) {{",
+            )
+            for inner in statement.body:
+                self.statement(inner, depth + 1)
+            self.emit(depth, "}")
+        elif isinstance(statement, ExprStatement):
+            self.emit(depth, f"{format_expr(statement.expr)};")
+        elif isinstance(statement, Return):
+            self.emit(depth, f"return {format_expr(statement.value)};")
+        else:
+            raise ValueError(f"unknown statement {statement!r}")
+
+    def function(self, function: Function) -> None:
+        params = ", ".join(f"int {name}" for name in function.params)
+        self.emit(0, f"int {function.name}({params}) {{")
+        for decl in function.arrays:
+            self.emit(1, f"int {decl.name}[{decl.cells}];")
+        for statement in function.body:
+            self.statement(statement, 1)
+        self.emit(0, "}")
+        self.emit(0, "")
+
+
+def format_program(program: Program) -> str:
+    """Render a whole program as Mini-C source text."""
+    formatter = _Formatter()
+    for function in program.functions:
+        formatter.function(function)
+    return "\n".join(formatter.lines)

@@ -1,0 +1,217 @@
+"""The Mini-C interpreter: AST × Defense → execution on the machine.
+
+The interpreter is where "compiling with the plugin" happens:
+
+* function entry calls ``defense.function_enter`` with the declared
+  arrays' sizes — the prologue instrumentation (REST arms, ASan
+  poisons, plain does nothing);
+* every ``Load``/``Store`` goes through ``defense.load``/``defense.
+  store`` — the per-access instrumentation point (ASan's checks live
+  there; REST's accesses are bare because the hardware checks);
+* ``MemcpyStmt`` goes through ``defense.memcpy`` — the interception
+  point;
+* ``Malloc``/``Free`` go through the defense's allocator.
+
+Memory-safety violations are therefore *not* the interpreter's
+concern: an out-of-range ``Index`` just computes an out-of-range
+address, and whatever the active defense (and the REST hardware
+underneath) does with it, happens.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.defenses.base import Defense
+from repro.lang.ast import (
+    CELL,
+    Assign,
+    BinOp,
+    Call,
+    Const,
+    Expr,
+    ExprStatement,
+    For,
+    Free,
+    If,
+    Load,
+    Malloc,
+    MemcpyStmt,
+    Program,
+    Return,
+    Statement,
+    Store,
+    Var,
+    While,
+)
+
+
+class MiniCError(Exception):
+    """A language-level error (unknown name, bad program structure).
+
+    Memory-safety violations are *not* MiniCErrors — they surface as
+    the defense's exceptions (RestException / AsanViolation), exactly
+    as a real miscompiled-upon memory bug would."""
+
+
+class _ReturnSignal(Exception):
+    def __init__(self, value: int) -> None:
+        self.value = value
+
+
+class _Frame:
+    """One activation: scalar env + the defense's stack frame."""
+
+    __slots__ = ("env", "defense_frame", "arrays")
+
+    def __init__(self, env, defense_frame, arrays) -> None:
+        self.env = env
+        self.defense_frame = defense_frame
+        self.arrays = arrays
+
+
+#: Guard against runaway loops in buggy programs.
+MAX_STEPS = 1_000_000
+
+
+class Interpreter:
+    """Executes a Program against a Defense."""
+
+    def __init__(self, program: Program, defense: Defense) -> None:
+        self.program = program
+        self.defense = defense
+        self._steps = 0
+        self.functions_entered = 0
+
+    # -- public ------------------------------------------------------------
+
+    def run(self, *args: int) -> int:
+        """Execute ``main(*args)``; returns its Return value."""
+        return self.call_function("main", list(args))
+
+    def call_function(self, name: str, args: List[int]) -> int:
+        function = self.program.function(name)
+        if len(args) != len(function.params):
+            raise MiniCError(
+                f"{name}() takes {len(function.params)} args, got {len(args)}"
+            )
+        buffer_sizes = [decl.bytes for decl in function.arrays]
+        frame_handle = self.defense.function_enter(buffer_sizes)
+        self.functions_entered += 1
+        env: Dict[str, int] = dict(zip(function.params, args))
+        arrays: Dict[str, int] = {}
+        for decl, buffer in zip(function.arrays, frame_handle.buffers):
+            arrays[decl.name] = buffer.address
+        # Heap-only defenses may place buffers without protection but
+        # must still give each array an address.
+        if len(arrays) != len(function.arrays):
+            raise MiniCError("defense failed to place all arrays")
+        frame = _Frame(env, frame_handle, arrays)
+        try:
+            self._exec_block(function.body, frame)
+            result = 0
+        except _ReturnSignal as signal:
+            result = signal.value
+        finally:
+            self.defense.function_exit(frame_handle)
+        return result
+
+    # -- statements ----------------------------------------------------------
+
+    def _exec_block(self, body, frame: _Frame) -> None:
+        for statement in body:
+            self._exec(statement, frame)
+
+    def _exec(self, statement: Statement, frame: _Frame) -> None:
+        self._tick()
+        if isinstance(statement, Assign):
+            frame.env[statement.name] = self._eval(statement.value, frame)
+        elif isinstance(statement, Store):
+            base = self._eval(statement.base, frame)
+            index = self._eval(statement.index, frame)
+            value = self._eval(statement.value, frame)
+            self.defense.store(
+                base + index * CELL,
+                (value & (2**64 - 1)).to_bytes(CELL, "little"),
+            )
+        elif isinstance(statement, Free):
+            self.defense.free(self._eval(statement.pointer, frame))
+        elif isinstance(statement, MemcpyStmt):
+            self.defense.memcpy(
+                self._eval(statement.dst, frame),
+                self._eval(statement.src, frame),
+                self._eval(statement.length, frame),
+            )
+        elif isinstance(statement, If):
+            if self._eval(statement.condition, frame):
+                self._exec_block(statement.then_body, frame)
+            else:
+                self._exec_block(statement.else_body, frame)
+        elif isinstance(statement, While):
+            while self._eval(statement.condition, frame):
+                self._exec_block(statement.body, frame)
+        elif isinstance(statement, For):
+            value = self._eval(statement.start, frame)
+            end = self._eval(statement.end, frame)
+            while value < end:
+                frame.env[statement.var] = value
+                self._exec_block(statement.body, frame)
+                value += 1
+        elif isinstance(statement, ExprStatement):
+            self._eval(statement.expr, frame)
+        elif isinstance(statement, Return):
+            raise _ReturnSignal(self._eval(statement.value, frame))
+        else:
+            raise MiniCError(f"unknown statement {statement!r}")
+
+    # -- expressions ------------------------------------------------------------
+
+    def _eval(self, expr: Expr, frame: _Frame) -> int:
+        self._tick()
+        if isinstance(expr, Const):
+            return expr.value
+        if isinstance(expr, Var):
+            if expr.name in frame.env:
+                return frame.env[expr.name]
+            if expr.name in frame.arrays:
+                return frame.arrays[expr.name]  # array decays to pointer
+            raise MiniCError(f"undefined name {expr.name!r}")
+        if isinstance(expr, BinOp):
+            return self._binop(expr, frame)
+        if isinstance(expr, Load):
+            base = self._eval(expr.base, frame)
+            index = self._eval(expr.index, frame)
+            raw = self.defense.load(base + index * CELL, CELL)
+            return int.from_bytes(raw, "little")
+        if isinstance(expr, Malloc):
+            return self.defense.malloc(self._eval(expr.size, frame))
+        if isinstance(expr, Call):
+            args = [self._eval(argument, frame) for argument in expr.args]
+            return self.call_function(expr.name, args)
+        raise MiniCError(f"unknown expression {expr!r}")
+
+    def _binop(self, expr: BinOp, frame: _Frame) -> int:
+        left = self._eval(expr.left, frame)
+        right = self._eval(expr.right, frame)
+        operations = {
+            "+": lambda: left + right,
+            "-": lambda: left - right,
+            "*": lambda: left * right,
+            "//": lambda: left // right,
+            "%": lambda: left % right,
+            "<": lambda: int(left < right),
+            "<=": lambda: int(left <= right),
+            ">": lambda: int(left > right),
+            ">=": lambda: int(left >= right),
+            "==": lambda: int(left == right),
+            "!=": lambda: int(left != right),
+        }
+        try:
+            return operations[expr.op]()
+        except KeyError:
+            raise MiniCError(f"unknown operator {expr.op!r}") from None
+
+    def _tick(self) -> None:
+        self._steps += 1
+        if self._steps > MAX_STEPS:
+            raise MiniCError("program exceeded the step budget")

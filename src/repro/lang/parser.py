@@ -1,0 +1,345 @@
+"""A recursive-descent parser for Mini-C's C-like surface syntax.
+
+Grammar (C-flavoured, everything is ``int`` / ``int*``):
+
+.. code-block:: none
+
+    program   :=  function*
+    function  :=  "int" IDENT "(" [ "int" IDENT { "," "int" IDENT } ] ")" block
+    block     :=  "{" statement* "}"
+    statement :=  "int" IDENT "[" NUMBER "]" ";"            (array decl)
+               |  "int" IDENT "=" expr ";"                  (scalar decl)
+               |  IDENT "=" expr ";"
+               |  IDENT "[" expr "]" "=" expr ";"
+               |  "free" "(" expr ")" ";"
+               |  "memcpy" "(" expr "," expr "," expr ")" ";"
+               |  "if" "(" expr ")" block [ "else" block ]
+               |  "while" "(" expr ")" block
+               |  "for" "(" IDENT "=" expr ";" IDENT "<" expr ";" IDENT "++" ")" block
+               |  "return" [ expr ] ";"
+               |  expr ";"
+    expr      :=  additive { ("<"|"<="|">"|">="|"=="|"!=") additive }
+    additive  :=  term { ("+"|"-") term }
+    term      :=  unary { ("*"|"/"|"%") unary }
+    unary     :=  NUMBER | "(" expr ")" | "malloc" "(" expr ")"
+               |  IDENT [ "(" [ expr { "," expr } ] ")" | "[" expr "]" ]
+
+Array declarations may appear anywhere in a function body; they are
+hoisted to the function's frame (as in C, where locals live for the
+whole activation).  ``//`` comments run to end of line.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional, Tuple
+
+from repro.lang.ast import (
+    ArrayDecl,
+    Assign,
+    BinOp,
+    Call,
+    Const,
+    Expr,
+    ExprStatement,
+    For,
+    Free,
+    Function,
+    If,
+    Load,
+    Malloc,
+    MemcpyStmt,
+    Program,
+    Return,
+    Statement,
+    Store,
+    Var,
+    While,
+)
+
+
+class ParseError(Exception):
+    """Syntax error with line information."""
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+|//[^\n]*)
+  | (?P<number>0[xX][0-9a-fA-F]+|\d+)
+  | (?P<ident>[A-Za-z_][A-Za-z0-9_]*)
+  | (?P<op><=|>=|==|!=|\+\+|[-+*/%<>=;,(){}\[\]])
+    """,
+    re.VERBOSE,
+)
+
+KEYWORDS = {
+    "int", "if", "else", "while", "for", "return",
+    "malloc", "free", "memcpy",
+}
+
+
+def _tokenize(source: str) -> List[Tuple[str, str, int]]:
+    tokens: List[Tuple[str, str, int]] = []
+    line = 1
+    position = 0
+    while position < len(source):
+        match = _TOKEN_RE.match(source, position)
+        if match is None:
+            raise ParseError(
+                f"line {line}: unexpected character {source[position]!r}"
+            )
+        position = match.end()
+        text = match.group()
+        line += text.count("\n")
+        if match.lastgroup == "ws":
+            continue
+        kind = match.lastgroup
+        if kind == "ident" and text in KEYWORDS:
+            kind = text
+        tokens.append((kind, text, line))
+    tokens.append(("eof", "", line))
+    return tokens
+
+
+class Parser:
+    """One-pass recursive descent over the token stream."""
+
+    def __init__(self, source: str) -> None:
+        self._tokens = _tokenize(source)
+        self._index = 0
+
+    # -- token helpers ---------------------------------------------------
+
+    def _peek(self) -> Tuple[str, str, int]:
+        return self._tokens[self._index]
+
+    def _advance(self) -> Tuple[str, str, int]:
+        token = self._tokens[self._index]
+        self._index += 1
+        return token
+
+    def _check(self, kind: str, text: Optional[str] = None) -> bool:
+        token = self._peek()
+        return token[0] == kind and (text is None or token[1] == text)
+
+    def _match(self, kind: str, text: Optional[str] = None) -> bool:
+        if self._check(kind, text):
+            self._advance()
+            return True
+        return False
+
+    def _expect(self, kind: str, text: Optional[str] = None) -> str:
+        token = self._peek()
+        if token[0] != kind or (text is not None and token[1] != text):
+            wanted = text or kind
+            raise ParseError(
+                f"line {token[2]}: expected {wanted!r}, got {token[1]!r}"
+            )
+        return self._advance()[1]
+
+    # -- grammar -----------------------------------------------------------
+
+    def parse_program(self) -> Program:
+        functions = []
+        while not self._check("eof"):
+            functions.append(self._function())
+        if not functions:
+            raise ParseError("empty program")
+        return Program(functions)
+
+    def _function(self) -> Function:
+        self._expect("int")
+        name = self._expect("ident")
+        self._expect("op", "(")
+        params: List[str] = []
+        if not self._check("op", ")"):
+            while True:
+                self._expect("int")
+                params.append(self._expect("ident"))
+                if not self._match("op", ","):
+                    break
+        self._expect("op", ")")
+        arrays: List[ArrayDecl] = []
+        body = self._block(arrays)
+        return Function(name=name, params=tuple(params), arrays=tuple(arrays), body=body)
+
+    def _block(self, arrays: List[ArrayDecl]) -> List[Statement]:
+        self._expect("op", "{")
+        statements: List[Statement] = []
+        while not self._match("op", "}"):
+            statement = self._statement(arrays)
+            if statement is not None:
+                statements.append(statement)
+        return statements
+
+    def _statement(self, arrays: List[ArrayDecl]) -> Optional[Statement]:
+        if self._match("int"):
+            name = self._expect("ident")
+            if self._match("op", "["):
+                cells = int(self._expect("number"), 0)
+                self._expect("op", "]")
+                self._expect("op", ";")
+                arrays.append(ArrayDecl(name, cells))
+                return None  # hoisted to the frame
+            self._expect("op", "=")
+            value = self._expression()
+            self._expect("op", ";")
+            return Assign(name, value)
+        if self._match("free"):
+            self._expect("op", "(")
+            pointer = self._expression()
+            self._expect("op", ")")
+            self._expect("op", ";")
+            return Free(pointer)
+        if self._match("memcpy"):
+            self._expect("op", "(")
+            dst = self._expression()
+            self._expect("op", ",")
+            src = self._expression()
+            self._expect("op", ",")
+            length = self._expression()
+            self._expect("op", ")")
+            self._expect("op", ";")
+            return MemcpyStmt(dst, src, length)
+        if self._match("if"):
+            self._expect("op", "(")
+            condition = self._expression()
+            self._expect("op", ")")
+            then_body = self._block(arrays)
+            else_body: List[Statement] = []
+            if self._match("else"):
+                else_body = self._block(arrays)
+            return If(condition, then_body, else_body)
+        if self._match("while"):
+            self._expect("op", "(")
+            condition = self._expression()
+            self._expect("op", ")")
+            return While(condition, self._block(arrays))
+        if self._match("for"):
+            return self._for_statement(arrays)
+        if self._match("return"):
+            if self._match("op", ";"):
+                return Return(Const(0))
+            value = self._expression()
+            self._expect("op", ";")
+            return Return(value)
+        if self._check("ident"):
+            return self._assignment_or_call()
+        token = self._peek()
+        raise ParseError(
+            f"line {token[2]}: unexpected {token[1]!r} at statement start"
+        )
+
+    def _for_statement(self, arrays: List[ArrayDecl]) -> Statement:
+        self._expect("op", "(")
+        var = self._expect("ident")
+        self._expect("op", "=")
+        start = self._expression()
+        self._expect("op", ";")
+        var2 = self._expect("ident")
+        if var2 != var:
+            raise ParseError(f"for-loop condition must test {var!r}")
+        self._expect("op", "<")
+        end = self._expression()
+        self._expect("op", ";")
+        var3 = self._expect("ident")
+        if var3 != var:
+            raise ParseError(f"for-loop increment must be {var}++")
+        self._expect("op", "++")
+        self._expect("op", ")")
+        return For(var, start, end, self._block(arrays))
+
+    def _assignment_or_call(self) -> Statement:
+        name = self._expect("ident")
+        if self._match("op", "["):
+            index = self._expression()
+            self._expect("op", "]")
+            self._expect("op", "=")
+            value = self._expression()
+            self._expect("op", ";")
+            return Store(Var(name), index, value)
+        if self._match("op", "="):
+            value = self._expression()
+            self._expect("op", ";")
+            return Assign(name, value)
+        if self._check("op", "("):
+            call = self._call_tail(name)
+            self._expect("op", ";")
+            return ExprStatement(call)
+        token = self._peek()
+        raise ParseError(
+            f"line {token[2]}: expected assignment or call after {name!r}"
+        )
+
+    # -- expressions --------------------------------------------------------
+
+    _COMPARISONS = ("<", "<=", ">", ">=", "==", "!=")
+
+    def _expression(self) -> Expr:
+        left = self._additive()
+        while any(self._check("op", op) for op in self._COMPARISONS):
+            op = self._advance()[1]
+            left = BinOp(op, left, self._additive())
+        return left
+
+    def _additive(self) -> Expr:
+        left = self._term()
+        while self._check("op", "+") or self._check("op", "-"):
+            op = self._advance()[1]
+            left = BinOp(op, left, self._term())
+        return left
+
+    def _term(self) -> Expr:
+        left = self._unary()
+        while (
+            self._check("op", "*")
+            or self._check("op", "/")
+            or self._check("op", "%")
+        ):
+            op = self._advance()[1]
+            if op == "/":
+                op = "//"  # integer division
+            left = BinOp(op, left, self._unary())
+        return left
+
+    def _unary(self) -> Expr:
+        if self._check("number"):
+            return Const(int(self._advance()[1], 0))
+        if self._match("op", "("):
+            inner = self._expression()
+            self._expect("op", ")")
+            return inner
+        if self._match("malloc"):
+            self._expect("op", "(")
+            size = self._expression()
+            self._expect("op", ")")
+            return Malloc(size)
+        if self._check("ident"):
+            name = self._advance()[1]
+            if self._check("op", "("):
+                return self._call_tail(name)
+            if self._match("op", "["):
+                index = self._expression()
+                self._expect("op", "]")
+                return Load(Var(name), index)
+            return Var(name)
+        token = self._peek()
+        raise ParseError(
+            f"line {token[2]}: unexpected {token[1]!r} in expression"
+        )
+
+    def _call_tail(self, name: str) -> Call:
+        self._expect("op", "(")
+        args: List[Expr] = []
+        if not self._check("op", ")"):
+            while True:
+                args.append(self._expression())
+                if not self._match("op", ","):
+                    break
+        self._expect("op", ")")
+        return Call(name, tuple(args))
+
+
+def parse(source: str) -> Program:
+    """Parse Mini-C source text into a Program."""
+    return Parser(source).parse_program()

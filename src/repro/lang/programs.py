@@ -1,0 +1,145 @@
+"""Canonical Mini-C programs, including the paper's Listing 1."""
+
+from __future__ import annotations
+
+from repro.lang.ast import (
+    ArrayDecl,
+    Assign,
+    BinOp,
+    Call,
+    Const,
+    For,
+    Free,
+    Function,
+    If,
+    Load,
+    Malloc,
+    MemcpyStmt,
+    Program,
+    Return,
+    Store,
+    Var,
+    While,
+)
+
+
+def heartbleed_program(claimed_cells: int = 128) -> Program:
+    """Listing 1, reshaped into Mini-C.
+
+    ``tls1_process_heartbeat`` trusts an attacker-controlled payload
+    length: it allocates a response buffer sized by the *claim* and
+    memcpy's that much out of a request buffer that only holds 16
+    cells.  The secrets live in the adjacent allocation.
+
+    main() builds the heap: request (16 cells, the real payload),
+    secrets (right after it), then processes the heartbeat with the
+    bogus claimed length and returns the first leaked secret cell.
+    """
+    process = Function(
+        name="tls1_process_heartbeat",
+        params=("request", "payload_claim"),
+        body=[
+            # unsigned char *buffer = OPENSSL_malloc(payload);
+            Assign("response", Malloc(BinOp("*", Var("payload_claim"), Const(8)))),
+            # memcpy(buffer, p, payload);   <- the bug: claim unchecked
+            MemcpyStmt(
+                Var("response"),
+                Var("request"),
+                BinOp("*", Var("payload_claim"), Const(8)),
+            ),
+            # return the cell where the neighbour's secret lands
+            Return(Load(Var("response"), Const(18))),
+        ],
+    )
+    main = Function(
+        name="main",
+        body=[
+            Assign("request", Malloc(Const(16 * 8))),
+            Assign("secrets", Malloc(Const(16 * 8))),
+            # The real 16-cell payload...
+            For("i", Const(0), Const(16), [
+                Store(Var("request"), Var("i"), Const(0x48_42)),  # 'HB'
+            ]),
+            # ...and the neighbour's secret material.
+            For("i", Const(0), Const(16), [
+                Store(Var("secrets"), Var("i"), Const(0x5345_4352_4554)),
+            ]),
+            Return(
+                Call(
+                    "tls1_process_heartbeat",
+                    (Var("request"), Const(claimed_cells)),
+                )
+            ),
+        ],
+    )
+    return Program([process, main])
+
+
+def sum_array_program(cells: int = 8, overrun: int = 0) -> Program:
+    """Sum a stack array; ``overrun`` extra iterations walk off its end.
+
+    With ``overrun == 0`` this is a correct program under every
+    defense; with ``overrun > 0`` it is the canonical sweeping-loop
+    overflow (the access pattern tripwires are built for).
+    """
+    main = Function(
+        name="main",
+        arrays=(ArrayDecl("values", cells),),
+        body=[
+            For("i", Const(0), Const(cells), [
+                Store(Var("values"), Var("i"), BinOp("*", Var("i"), Const(3))),
+            ]),
+            Assign("total", Const(0)),
+            For("i", Const(0), Const(cells + overrun), [
+                Assign(
+                    "total",
+                    BinOp("+", Var("total"), Load(Var("values"), Var("i"))),
+                ),
+            ]),
+            Return(Var("total")),
+        ],
+    )
+    return Program([main])
+
+
+def use_after_free_program() -> Program:
+    """Free a session record, then read it through the stale pointer."""
+    main = Function(
+        name="main",
+        body=[
+            Assign("session", Malloc(Const(64))),
+            Store(Var("session"), Const(0), Const(0xC0FFEE)),
+            Free(Var("session")),
+            Return(Load(Var("session"), Const(0))),  # dangling read
+        ],
+    )
+    return Program([main])
+
+
+def branchy_program(n: int = 10) -> Program:
+    """Exercises If/While/Call plumbing; returns sum of odds below n."""
+    is_odd = Function(
+        name="is_odd",
+        params=("x",),
+        body=[Return(BinOp("%", Var("x"), Const(2)))],
+    )
+    main = Function(
+        name="main",
+        body=[
+            Assign("total", Const(0)),
+            Assign("i", Const(0)),
+            # while (i < n) { if (is_odd(i)) total += i; i++; }
+            While(
+                BinOp("<", Var("i"), Const(n)),
+                [
+                    If(
+                        Call("is_odd", (Var("i"),)),
+                        [Assign("total", BinOp("+", Var("total"), Var("i")))],
+                    ),
+                    Assign("i", BinOp("+", Var("i"), Const(1))),
+                ],
+            ),
+            Return(Var("total")),
+        ],
+    )
+    return Program([is_odd, main])

@@ -1,0 +1,6 @@
+"""Main-memory substrate: sparse backing store and DRAM timing model."""
+
+from repro.mem.backing import BackingStore
+from repro.mem.dram import DramConfig, DramModel
+
+__all__ = ["BackingStore", "DramConfig", "DramModel"]

@@ -1,0 +1,220 @@
+"""A small kernel model for per-process REST tokens (paper §IV-B).
+
+The kernel owns the privileged side of REST: it generates token values,
+installs them in the token configuration register across context
+switches, and polices the two hazards the paper identifies for the
+per-process design — cloned processes inheriting the parent's token
+bytes, and token values leaking across IPC.
+
+Context switching needs no armed-location bookkeeping at all: flushing
+the L1-D (which materialises token bits into token *bytes* in memory)
+and swapping the register value is sufficient, because token state is
+content-based — when the process runs again under its own token value,
+its tokens are re-detected from memory on the next fill.  That is the
+same property that made the hardware changes metadata-only.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, Optional
+
+from repro.cache.hierarchy import MemoryHierarchy
+from repro.core.exceptions import PrivilegeError
+from repro.core.modes import PrivilegeLevel
+from repro.core.token import Token
+
+
+class TokenSwitchPolicy(Enum):
+    """System designs from Section IV-B."""
+
+    #: One system-wide token, rotated at reboot.
+    SINGLE = "single"
+    #: A unique token per process, swapped on context switch.
+    PER_PROCESS = "per-process"
+
+
+class TokenLeakError(Exception):
+    """The kernel refused to copy a process's token value across IPC."""
+
+
+@dataclass
+class Process:
+    """One schedulable process with a private arena and token."""
+
+    pid: int
+    token: Token
+    arena_base: int
+    arena_size: int
+    parent_pid: Optional[int] = None
+    switches: int = 0
+
+    @property
+    def arena_end(self) -> int:
+        return self.arena_base + self.arena_size
+
+    def owns(self, address: int, size: int = 1) -> bool:
+        return (
+            self.arena_base <= address
+            and address + size <= self.arena_end
+        )
+
+
+class Kernel:
+    """Privileged manager of processes, tokens and context switches."""
+
+    #: Virtual arena spacing between processes.
+    ARENA_STRIDE = 1 << 26  # 64 MiB
+
+    def __init__(
+        self,
+        hierarchy: Optional[MemoryHierarchy] = None,
+        policy: TokenSwitchPolicy = TokenSwitchPolicy.PER_PROCESS,
+        seed: int = 1000,
+    ) -> None:
+        self.hierarchy = hierarchy or MemoryHierarchy()
+        self.policy = policy
+        self._seed = itertools.count(seed)
+        self._pids = itertools.count(1)
+        self.processes: Dict[int, Process] = {}
+        self.current: Optional[Process] = None
+        self.context_switches = 0
+        self.token_leaks_blocked = 0
+
+    # -- process lifecycle ---------------------------------------------------
+
+    def _new_token(self) -> Token:
+        width = self.hierarchy.detector.token.width
+        if self.policy is TokenSwitchPolicy.SINGLE:
+            return self.hierarchy.token_config.token_for_hardware()
+        return Token.random(width, seed=next(self._seed))
+
+    def spawn(self, arena_size: int = 1 << 20) -> Process:
+        """Create a process with a fresh arena and (policy-dependent)
+        token, and switch to it."""
+        pid = next(self._pids)
+        process = Process(
+            pid=pid,
+            token=self._new_token(),
+            arena_base=0x1000_0000 + pid * self.ARENA_STRIDE,
+            arena_size=arena_size,
+        )
+        self.processes[pid] = process
+        self.switch_to(process)
+        return process
+
+    def switch_to(self, process: Process) -> None:
+        """Context switch: flush derived token state, swap the register.
+
+        No per-location bookkeeping: the outgoing process's token bits
+        become token bytes in memory (writeback), and they will be
+        re-derived by the detector the next time that process runs and
+        touches them.
+        """
+        if process.pid not in self.processes:
+            raise KeyError(f"no such process {process.pid}")
+        if self.current is process:
+            return
+        self.hierarchy.writeback_all()
+        self.hierarchy.token_config.set_token(
+            process.token, PrivilegeLevel.SUPERVISOR
+        )
+        self.current = process
+        process.switches += 1
+        self.context_switches += 1
+
+    def fork(self, parent: Process) -> Process:
+        """Clone ``parent``: copy its arena, give the child a fresh
+        token, and *re-key* inherited tokens to the child's value.
+
+        Without the re-keying, the parent's redzones would arrive in
+        the child as meaningless bytes (wrong token value) and the
+        child's heap would silently lose protection — the hazard the
+        paper says the OS must handle for cloned processes.
+        """
+        self.switch_to(parent)
+        self.hierarchy.writeback_all()  # materialise parent tokens
+        child = Process(
+            pid=next(self._pids),
+            token=self._new_token(),
+            arena_base=0x1000_0000 + (len(self.processes) + 1) * self.ARENA_STRIDE,
+            arena_size=parent.arena_size,
+            parent_pid=parent.pid,
+        )
+        self.processes[child.pid] = child
+        # Kernel copies pages physically (backing store) — it sees raw
+        # bytes, including parent-token patterns, and re-keys them.
+        width = parent.token.width
+        rekeyed = 0
+        backing = self.hierarchy.backing
+        for offset in range(0, parent.arena_size, width):
+            chunk = backing.read(parent.arena_base + offset, width)
+            if chunk == parent.token.value:
+                chunk = child.token.value if (
+                    self.policy is TokenSwitchPolicy.PER_PROCESS
+                ) else chunk
+                rekeyed += 1
+            backing.write(child.arena_base + offset, chunk)
+        child_tokens_rekeyed = rekeyed
+        del child_tokens_rekeyed  # kept for symmetry; stats below
+        self.stats_last_fork_rekeyed = rekeyed
+        return child
+
+    # -- IPC -------------------------------------------------------------------
+
+    def pipe_send(
+        self,
+        source: Process,
+        source_address: int,
+        destination: Process,
+        destination_address: int,
+        size: int,
+    ) -> None:
+        """Kernel-mediated copy between two processes' arenas.
+
+        Two protections apply (paper §IV-B, §V-C):
+
+        * the copy runs at supervisor privilege through the cache, so
+          if the *currently installed* token is touched the hardware
+          raises the privileged REST exception (confused-deputy
+          protection);
+        * the kernel additionally scans the payload for the source
+          process's token value, so a stale/materialised token byte
+          pattern can never leak a secret across the boundary.
+        """
+        if not source.owns(source_address, size):
+            raise PrivilegeError("source range outside sender's arena")
+        if not destination.owns(destination_address, size):
+            raise PrivilegeError("destination range outside receiver's arena")
+        self.switch_to(source)
+        data, _ = self.hierarchy.read(
+            source_address, size, privilege=PrivilegeLevel.SUPERVISOR
+        )
+        if self._contains_token(data, source.token):
+            self.token_leaks_blocked += 1
+            raise TokenLeakError(
+                "payload contains the sender's token value; copy refused"
+            )
+        self.switch_to(destination)
+        self.hierarchy.write(
+            destination_address, data, privilege=PrivilegeLevel.SUPERVISOR
+        )
+
+    @staticmethod
+    def _contains_token(data: bytes, token: Token) -> bool:
+        return token.value in data
+
+    # -- reporting ----------------------------------------------------------------
+
+    def describe(self) -> str:
+        lines = [f"kernel: {self.policy.value} tokens, "
+                 f"{len(self.processes)} processes, "
+                 f"{self.context_switches} switches"]
+        for process in self.processes.values():
+            lines.append(
+                f"  pid {process.pid}: arena 0x{process.arena_base:x}"
+                f"+0x{process.arena_size:x}, switches={process.switches}"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,45 @@
+"""Software substrate: address space, machine abstraction, libc,
+shadow memory and the allocator family (libc / ASan / REST).
+
+Everything in this package is written against the :class:`Machine`
+interface so the same allocator/libc/instrumentation code drives both
+execution modes:
+
+* **functional** — memory operations hit the REST-extended hierarchy
+  immediately; REST/ASan violations raise at the faulting access.  Used
+  by the attack scenarios and the examples.
+* **trace** — memory operations emit micro-ops into a trace consumed by
+  the cycle-level core; allocator bookkeeping stays in Python.  Used by
+  the performance experiments (Figures 3, 7, 8).
+"""
+
+from repro.runtime.layout import AddressSpaceLayout
+from repro.runtime.machine import ExecutionMode, Machine
+from repro.runtime.shadow import ShadowMemory, AsanViolation, ShadowState
+from repro.runtime.libc import Libc
+from repro.runtime.allocators import (
+    AllocationError,
+    AllocatorStats,
+    AsanAllocator,
+    BaseAllocator,
+    FastRestAllocator,
+    LibcAllocator,
+    RestAllocator,
+)
+
+__all__ = [
+    "AddressSpaceLayout",
+    "AllocationError",
+    "AllocatorStats",
+    "AsanAllocator",
+    "AsanViolation",
+    "BaseAllocator",
+    "ExecutionMode",
+    "FastRestAllocator",
+    "Libc",
+    "LibcAllocator",
+    "Machine",
+    "RestAllocator",
+    "ShadowMemory",
+    "ShadowState",
+]

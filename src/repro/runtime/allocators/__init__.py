@@ -1,0 +1,35 @@
+"""Heap allocators: stock libc-style, ASan, and REST.
+
+The three allocators share bookkeeping machinery (:mod:`base`) and
+differ exactly where the paper says they do:
+
+* :class:`LibcAllocator` — performance-first free-list allocator with
+  immediate reuse and no redzones (the "Plain" baseline).
+* :class:`AsanAllocator` — ASan's security-first design: shadow-poisoned
+  redzones around every allocation, freed memory poisoned and parked in
+  a quarantine FIFO, virtually no reuse until quarantine pressure.
+* :class:`RestAllocator` — the ASan allocator re-targeted at tokens:
+  redzones are armed with REST tokens, freed chunks are filled with
+  tokens and quarantined, and the free pool holds *zeroed* chunks (the
+  paper's relaxed invariant, Section IV-A).
+"""
+
+from repro.runtime.allocators.base import (
+    AllocationError,
+    AllocatorStats,
+    BaseAllocator,
+)
+from repro.runtime.allocators.libc_alloc import LibcAllocator
+from repro.runtime.allocators.asan_alloc import AsanAllocator
+from repro.runtime.allocators.rest_alloc import RestAllocator
+from repro.runtime.allocators.fast_rest import FastRestAllocator
+
+__all__ = [
+    "AllocationError",
+    "AllocatorStats",
+    "AsanAllocator",
+    "BaseAllocator",
+    "FastRestAllocator",
+    "LibcAllocator",
+    "RestAllocator",
+]

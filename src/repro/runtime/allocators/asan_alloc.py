@@ -1,0 +1,147 @@
+"""The AddressSanitizer allocator (paper §II, overhead source 1).
+
+Security-first design:
+
+* every allocation is sandwiched between **redzones** whose shadow
+  bytes are poisoned (``HEAP_REDZONE``), separating allocations from
+  each other and from allocator metadata;
+* ``free`` poisons the whole payload (``FREED``) and parks the chunk in
+  a **quarantine** FIFO instead of the free pool, so use-after-free and
+  double-free touch poisoned shadow and are caught;
+* reuse happens only after the quarantine overflows its byte budget,
+  i.e. "virtually no allocation reuse" while quarantine pressure lasts.
+
+The redzone size scales with the allocation, mirroring ASan's policy of
+larger redzones for larger objects (which also counters simple
+redzone-jumping).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional
+
+from repro.runtime.allocators.base import (
+    AllocationError,
+    BaseAllocator,
+    Chunk,
+)
+from repro.runtime.machine import Machine
+from repro.runtime.shadow import ShadowMemory, ShadowState
+
+#: ASan's default quarantine budget is 256 MB; scaled down in proportion
+#: to our scaled-down workloads.
+DEFAULT_QUARANTINE_BYTES = 256 * 1024
+
+
+class AsanAllocator(BaseAllocator):
+    """Redzone + shadow + quarantine allocator."""
+
+    granularity = 8
+    min_redzone = 16
+    max_redzone = 2048
+
+    def __init__(
+        self,
+        machine: Machine,
+        shadow: Optional[ShadowMemory] = None,
+        quarantine_bytes: int = DEFAULT_QUARANTINE_BYTES,
+        arena_base: Optional[int] = None,
+        arena_size: Optional[int] = None,
+    ) -> None:
+        super().__init__(machine, arena_base, arena_size)
+        self.shadow = shadow or ShadowMemory(machine)
+        self.quarantine_bytes = quarantine_bytes
+        self._quarantine: Deque[Chunk] = deque()
+        self._quarantine_size = 0
+        self.double_frees_detected = 0
+
+    # -- geometry --------------------------------------------------------
+
+    def redzone_size(self, size: int) -> int:
+        """Redzone scales with allocation size (ASan policy)."""
+        redzone = self.min_redzone
+        while redzone < self.max_redzone and redzone < size // 4:
+            redzone *= 2
+        return redzone
+
+    def _layout_chunk(self, size: int) -> Chunk:
+        redzone = self.redzone_size(size)
+        payload_span = self._round(size)
+        total = redzone + payload_span + redzone
+        base = self._sbrk(total)
+        return Chunk(
+            base=base, total=total, payload=base + redzone, size=size
+        )
+
+    def header_size(self) -> int:
+        # Metadata lives inside the left redzone.
+        return 0
+
+    def left_redzone(self, chunk: Chunk) -> int:
+        return chunk.payload - chunk.base
+
+    # -- hooks -------------------------------------------------------------
+
+    def _on_malloc(self, chunk: Chunk) -> None:
+        machine = self.machine
+        redzone = self.left_redzone(chunk)
+        machine.compute(10)
+        # Metadata records inside the left redzone.
+        machine.store(chunk.base, size=8)
+        machine.store(chunk.base + 8, size=8)
+        # Poison both redzones; make the payload addressable.
+        self.shadow.poison(chunk.base, redzone, ShadowState.HEAP_REDZONE)
+        right = chunk.payload + (chunk.total - 2 * redzone)
+        self.shadow.poison(
+            right, chunk.base + chunk.total - right, ShadowState.HEAP_REDZONE
+        )
+        self.shadow.unpoison(chunk.payload, chunk.total - 2 * redzone)
+
+    def _on_free(self, chunk: Chunk) -> None:
+        machine = self.machine
+        machine.compute(10)
+        machine.load(chunk.base, 8)
+        machine.store(chunk.base + 8, size=8)
+        # Poison the payload and quarantine the chunk (no reuse yet).
+        redzone = self.left_redzone(chunk)
+        self.shadow.poison(
+            chunk.payload, chunk.total - 2 * redzone, ShadowState.FREED
+        )
+        self._quarantine.append(chunk)
+        self._quarantine_size += chunk.total
+        self.stats.quarantine_chunks += 1
+        self.stats.quarantine_bytes = self._quarantine_size
+        self._drain_quarantine()
+
+    def _drain_quarantine(self) -> None:
+        """Release the oldest quarantined chunks once over budget."""
+        while self._quarantine_size > self.quarantine_bytes:
+            chunk = self._quarantine.popleft()
+            self._quarantine_size -= chunk.total
+            self.stats.quarantine_drains += 1
+            self.machine.compute(6)
+            # The chunk's shadow stays poisoned until reallocation;
+            # _on_malloc unpoisons the payload then.
+            self._recycle(chunk)
+        self.stats.quarantine_bytes = self._quarantine_size
+
+    def _on_invalid_free(self, ptr: int) -> None:
+        # Double free of a quarantined chunk: shadow says FREED.
+        if self.shadow.is_poisoned(ptr):
+            self.double_frees_detected += 1
+            from repro.runtime.shadow import AsanViolation
+
+            raise AsanViolation(
+                ptr, int(ShadowState.FREED), "double-free"
+            )
+        raise AllocationError(f"free of unknown pointer 0x{ptr:x}")
+
+    # -- introspection -------------------------------------------------------
+
+    @property
+    def quarantined(self) -> int:
+        return len(self._quarantine)
+
+    def in_quarantine(self, ptr: int) -> bool:
+        return any(chunk.payload == ptr for chunk in self._quarantine)

@@ -1,0 +1,33 @@
+"""Performance-first libc-style allocator (the "Plain" baseline).
+
+First-fit with size-classed recycling and immediate reuse: a freed chunk
+is handed straight back on the next same-class malloc.  No redzones, no
+quarantine, no poisoning — a use-after-free silently reads whatever now
+lives there, and an overflow silently tramples the neighbour, which is
+exactly what the attack suite demonstrates against this baseline.
+"""
+
+from __future__ import annotations
+
+from repro.runtime.allocators.base import BaseAllocator, Chunk
+
+
+class LibcAllocator(BaseAllocator):
+    """dlmalloc-flavoured baseline allocator."""
+
+    granularity = 16
+
+    def _layout_chunk(self, size: int) -> Chunk:
+        # A compact header directly before the payload, like dlmalloc.
+        total = self.header_size() + self._round(size)
+        base = self._sbrk(total)
+        # Free-list search cost: a short pointer chase.
+        machine = self.machine
+        machine.load(self.arena_base, 8)
+        machine.compute(3)
+        return Chunk(
+            base=base,
+            total=total,
+            payload=base + self.header_size(),
+            size=size,
+        )

@@ -1,0 +1,214 @@
+"""The REST allocator (paper Section IV-A, "Protecting the Heap").
+
+Adapted from the ASan allocator with tokens in place of shadow
+metadata:
+
+* every allocation is surrounded by **armed redzones** — REST tokens
+  placed with ``arm`` instructions, sized as a multiple of the token
+  width and scaled with the allocation;
+* ``free`` fills the whole payload with tokens (blacklisting it) and
+  parks the chunk in the quarantine pool, so dangling-pointer reads,
+  writes and double frees hit a token and raise the privileged REST
+  exception in hardware;
+* the paper's **relaxed invariant**: chunks leaving quarantine are
+  disarmed (which zeroes them), so the *free pool holds zeroed memory*
+  — unlike ASan, which blacklists everything including the free pool.
+  This avoids storing tokens all over newly mapped regions, which is
+  slower than rewriting shadow metadata, and simultaneously prevents
+  uninitialized-data leaks from reused heap memory.
+
+The allocator works on **legacy binaries**: nothing here requires the
+program to be recompiled — only that this allocator is interposed
+(LD_PRELOAD in the paper).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional
+
+from repro.core.exceptions import RestException, RestFaultKind
+from repro.runtime.allocators.base import (
+    AllocationError,
+    BaseAllocator,
+    Chunk,
+)
+from repro.runtime.machine import Machine
+
+DEFAULT_QUARANTINE_BYTES = 256 * 1024
+
+
+class RestAllocator(BaseAllocator):
+    """Token-redzone + quarantine allocator."""
+
+    def __init__(
+        self,
+        machine: Machine,
+        quarantine_bytes: int = DEFAULT_QUARANTINE_BYTES,
+        arena_base: Optional[int] = None,
+        arena_size: Optional[int] = None,
+        randomize_slack_tokens: int = 0,
+        randomize_seed: int = 0,
+    ) -> None:
+        """``randomize_slack_tokens`` > 0 enables the layout
+        randomization the paper recommends combining REST with (§V-C,
+        Predictability): each fresh chunk is placed after a random
+        0..N-token gap, so an attacker cannot compute the displacement
+        between two allocations and jump the redzone."""
+        super().__init__(machine, arena_base, arena_size)
+        self.quarantine_bytes = quarantine_bytes
+        self.randomize_slack_tokens = randomize_slack_tokens
+        import random as _random
+
+        self._placement_rng = _random.Random(randomize_seed)
+        #: All chunk geometry is in token-width multiples.
+        self.token_width = machine.token_width
+        self.granularity = self.token_width
+        # Chunk metadata cannot live inside an armed redzone (the
+        # allocator's own loads would trip the hardware check), so it
+        # sits in a side strip at the front of the arena, separated from
+        # program data by the redzones themselves.
+        self._metadata_strip = 1 << 20
+        self._metadata_brk = self._brk
+        self._brk += self._metadata_strip
+        self._quarantine: Deque[Chunk] = deque()
+        self._quarantine_size = 0
+        self.double_frees_detected = 0
+
+    # -- geometry --------------------------------------------------------
+
+    def redzone_tokens(self, size: int) -> int:
+        """Redzone width in tokens, scaled with the allocation size.
+
+        One token for small allocations, growing for larger ones so
+        attackers cannot trivially jump the redzone (paper §V-C,
+        Predictability).
+        """
+        tokens = 1
+        while (
+            tokens < 8 and tokens * self.token_width < size // 4
+        ):
+            tokens *= 2
+        return tokens
+
+    def _layout_chunk(self, size: int) -> Chunk:
+        width = self.token_width
+        redzone = self.redzone_tokens(size) * width
+        payload_span = self._round(size, width)
+        total = redzone + payload_span + redzone
+        if self.randomize_slack_tokens:
+            slack = self._placement_rng.randrange(
+                self.randomize_slack_tokens + 1
+            )
+            if slack:
+                self._sbrk(slack * width)  # unpredictable gap
+        base = self._sbrk(total)
+        meta = self._metadata_brk
+        self._metadata_brk += 16
+        if self._metadata_brk > self.arena_base + self._metadata_strip:
+            raise AllocationError("REST metadata strip exhausted")
+        return Chunk(
+            base=base, total=total, payload=base + redzone, size=size, meta=meta
+        )
+
+    def header_size(self) -> int:
+        return 0  # metadata sits behind the left redzone tokens
+
+    def left_redzone(self, chunk: Chunk) -> int:
+        return chunk.payload - chunk.base
+
+    def _payload_span(self, chunk: Chunk) -> int:
+        return chunk.total - 2 * self.left_redzone(chunk)
+
+    # -- hooks ---------------------------------------------------------------
+
+    def _on_malloc(self, chunk: Chunk) -> None:
+        machine = self.machine
+        width = self.token_width
+        machine.compute(10)
+        redzone = self.left_redzone(chunk)
+        # Metadata in the out-of-band strip (never inside armed redzones).
+        machine.store(chunk.meta, size=8)
+        machine.store(chunk.meta + 8, size=8)
+        # Arm both redzones.  Fresh or recycled chunks arrive zeroed
+        # (relaxed invariant), so the payload needs no work at all.
+        for offset in range(0, redzone, width):
+            machine.arm(chunk.base + offset)
+        right = chunk.payload + self._payload_span(chunk)
+        for offset in range(0, redzone, width):
+            machine.arm(right + offset)
+
+    def _on_free(self, chunk: Chunk) -> None:
+        machine = self.machine
+        width = self.token_width
+        machine.compute(10)
+        # Blacklist the payload: fill it with tokens.
+        span = self._payload_span(chunk)
+        for offset in range(0, span, width):
+            machine.arm(chunk.payload + offset)
+        self._quarantine.append(chunk)
+        self._quarantine_size += chunk.total
+        self.stats.quarantine_chunks += 1
+        self.stats.quarantine_bytes = self._quarantine_size
+        self._drain_quarantine()
+
+    def _drain_quarantine(self) -> None:
+        """Disarm (and thereby zero) chunks leaving quarantine.
+
+        Disarm zeroes the memory before the chunk re-enters the free
+        pool, maintaining the invariant that the free pool is zeroed and
+        preventing uninitialized-data leaks (paper §IV-A, §V-C).
+        """
+        machine = self.machine
+        width = self.token_width
+        while self._quarantine_size > self.quarantine_bytes:
+            chunk = self._quarantine.popleft()
+            self._quarantine_size -= chunk.total
+            self.stats.quarantine_drains += 1
+            machine.compute(6)
+            for offset in range(0, chunk.total, width):
+                machine.disarm(chunk.base + offset)
+            self._recycle(chunk)
+        self.stats.quarantine_bytes = self._quarantine_size
+
+    def _on_free_huge(self, chunk: Chunk) -> None:
+        """munmap path: disarm the redzones, then return the pages.
+
+        No payload sweep is needed — unmapping removes the dangling
+        target entirely, and the next mmap arrives zeroed from the OS,
+        which also preserves the zeroed-free-pool invariant."""
+        machine = self.machine
+        width = self.token_width
+        redzone = self.left_redzone(chunk)
+        for offset in range(0, redzone, width):
+            machine.disarm(chunk.base + offset)
+        right = chunk.payload + self._payload_span(chunk)
+        for offset in range(0, redzone, width):
+            machine.disarm(right + offset)
+        machine.compute(12)
+
+    def _on_invalid_free(self, ptr: int) -> None:
+        # A double free tries to blacklist an already-armed payload; the
+        # very first arm... would be legal, but the allocator's metadata
+        # read of the (armed) left redzone hits a token in hardware.
+        if self._in_quarantine(ptr):
+            self.double_frees_detected += 1
+            raise RestException(
+                ptr,
+                RestFaultKind.LOAD_TOUCHED_TOKEN,
+                precise=False,
+                detail="double free: metadata read hit quarantined token",
+            )
+        raise AllocationError(f"free of unknown pointer 0x{ptr:x}")
+
+    # -- introspection ----------------------------------------------------------
+
+    @property
+    def quarantined(self) -> int:
+        return len(self._quarantine)
+
+    def _in_quarantine(self, ptr: int) -> bool:
+        return any(chunk.payload == ptr for chunk in self._quarantine)
+
+    def in_quarantine(self, ptr: int) -> bool:
+        return self._in_quarantine(ptr)

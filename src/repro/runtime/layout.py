@@ -1,0 +1,70 @@
+"""Virtual address space layout for simulated programs.
+
+Mirrors the regions a sanitizer-aware process needs: code, heap, stack,
+and — for ASan — the shadow region that the rest of the address space
+maps onto through the ``f(addr) = (addr >> 3) + offset`` function
+(paper Figure 2).  REST needs no shadow region at all; its "metadata"
+is the token bytes stored in place of program data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class AddressSpaceLayout:
+    """Region bases for one simulated process."""
+
+    code_base: int = 0x0000_0000_0040_0000
+    globals_base: int = 0x0000_0000_0400_0000
+    globals_size: int = 0x0000_0000_0200_0000  # 32 MiB
+    heap_base: int = 0x0000_0000_1000_0000
+    heap_size: int = 0x0000_0000_4000_0000  # 1 GiB arena
+    stack_top: int = 0x0000_7FFF_F000_0000
+    stack_size: int = 0x0000_0000_0080_0000  # 8 MiB
+    shadow_offset: int = 0x0001_0000_0000_0000
+    shadow_scale: int = 3  # one shadow byte covers 2**3 app bytes
+
+    @property
+    def heap_end(self) -> int:
+        return self.heap_base + self.heap_size
+
+    @property
+    def stack_base(self) -> int:
+        """Lowest valid stack address."""
+        return self.stack_top - self.stack_size
+
+    def shadow_address(self, address: int) -> int:
+        """ASan's mapping function f(addr) (paper Figure 2)."""
+        return (address >> self.shadow_scale) + self.shadow_offset
+
+    def in_heap(self, address: int) -> bool:
+        return self.heap_base <= address < self.heap_end
+
+    def in_stack(self, address: int) -> bool:
+        return self.stack_base <= address < self.stack_top
+
+    def in_shadow(self, address: int) -> bool:
+        low = self.shadow_address(0)
+        high = self.shadow_address(self.stack_top)
+        return low <= address < high
+
+    def validate(self) -> None:
+        """Check that regions do not collide (shadow vs app regions)."""
+        regions = [
+            ("code", self.code_base, self.code_base + 0x100_0000),
+            ("heap", self.heap_base, self.heap_end),
+            ("stack", self.stack_base, self.stack_top),
+            (
+                "shadow",
+                self.shadow_address(self.heap_base),
+                self.shadow_address(self.stack_top),
+            ),
+        ]
+        ordered = sorted(regions, key=lambda r: r[1])
+        for (name_a, _, end_a), (name_b, start_b, _) in zip(
+            ordered, ordered[1:]
+        ):
+            if end_a > start_b:
+                raise ValueError(f"regions {name_a} and {name_b} overlap")

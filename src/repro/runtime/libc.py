@@ -1,0 +1,121 @@
+"""libc-style data-handling routines over the Machine interface.
+
+These are the routines ASan intercepts (paper §II, overhead source 4)
+and through which the classic bugs flow — Listing 1's Heartbleed is an
+unchecked ``memcpy``.  They operate word-at-a-time through the machine,
+so in functional mode an out-of-bounds sweep walks straight into a REST
+token (or an ASan-poisoned granule, if the intercept checks it first),
+and in trace mode they contribute realistic load/store streams.
+"""
+
+from __future__ import annotations
+
+from repro.runtime.machine import Machine
+
+_WORD = 8
+
+
+class Libc:
+    """String/memory routines bound to one machine."""
+
+    def __init__(self, machine: Machine) -> None:
+        self.machine = machine
+        self.calls = 0
+
+    # -- block moves -----------------------------------------------------
+
+    def memcpy(self, dst: int, src: int, n: int) -> int:
+        """Copy ``n`` bytes; word-at-a-time like a real implementation."""
+        self.calls += 1
+        machine = self.machine
+        copied = 0
+        while copied < n:
+            take = min(_WORD, n - copied)
+            data = machine.load(src + copied, take)
+            machine.store(dst + copied, data[:take], deps=(1,))
+            copied += take
+        return dst
+
+    def memmove(self, dst: int, src: int, n: int) -> int:
+        """Overlap-safe copy (backwards when regions overlap)."""
+        self.calls += 1
+        machine = self.machine
+        if src < dst < src + n:
+            copied = n
+            while copied > 0:
+                take = min(_WORD, copied)
+                copied -= take
+                data = machine.load(src + copied, take)
+                machine.store(dst + copied, data[:take], deps=(1,))
+            return dst
+        return self.memcpy(dst, src, n)
+
+    def memset(self, dst: int, byte: int, n: int) -> int:
+        self.calls += 1
+        machine = self.machine
+        written = 0
+        pattern = bytes([byte & 0xFF]) * _WORD
+        while written < n:
+            take = min(_WORD, n - written)
+            machine.store(dst + written, pattern[:take])
+            written += take
+        return dst
+
+    def memcmp(self, a: int, b: int, n: int) -> int:
+        self.calls += 1
+        machine = self.machine
+        offset = 0
+        while offset < n:
+            take = min(_WORD, n - offset)
+            left = machine.load(a + offset, take)
+            right = machine.load(b + offset, take)
+            machine.compute(1)
+            if left != right:
+                for x, y in zip(left, right):
+                    if x != y:
+                        return -1 if x < y else 1
+            offset += take
+        return 0
+
+    # -- string routines (functional mode only for length discovery) -------
+
+    def strlen(self, address: int) -> int:
+        """Scan for NUL byte-by-byte (functional mode only)."""
+        self.calls += 1
+        machine = self.machine
+        if machine.is_trace:
+            raise RuntimeError(
+                "strlen needs memory contents; use functional mode"
+            )
+        length = 0
+        while True:
+            chunk = machine.load(address + length, 1)
+            if chunk[0] == 0:
+                return length
+            length += 1
+
+    def strcpy(self, dst: int, src: int) -> int:
+        """Copy a NUL-terminated string including the terminator."""
+        self.calls += 1
+        n = self.strlen(src)
+        self.memcpy(dst, src, n + 1)
+        return dst
+
+    def strncpy(self, dst: int, src: int, n: int) -> int:
+        self.calls += 1
+        machine = self.machine
+        if machine.is_trace:
+            return self.memcpy(dst, src, n)
+        length = min(self.strlen(src), n)
+        self.memcpy(dst, src, length)
+        if length < n:
+            self.memset(dst + length, 0, n - length)
+        return dst
+
+    def strcat(self, dst: int, src: int) -> int:
+        self.calls += 1
+        return self.strcpy(dst + self.strlen(dst), src)
+
+    def write_cstring(self, address: int, text: bytes) -> None:
+        """Test helper: place a NUL-terminated string in memory."""
+        self.machine.store(address, text + b"\x00")

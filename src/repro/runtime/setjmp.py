@@ -1,0 +1,100 @@
+"""setjmp/longjmp support and REST's interaction with it (paper §V-C).
+
+``longjmp`` pops multiple frames at once.  ASan copes by zeroing the
+shadow of the entire skipped stack region (whitelisting it wholesale).
+REST cannot do the same: the program can neither probe memory for
+tokens nor bulk-clear them — disarm demands the precise address of an
+armed location, and the paper's design keeps no log of armed stack
+locations.  The paper leaves a cheap, secure mechanism as future work.
+
+This module implements both halves of that story:
+
+* :func:`longjmp` with ``frame_registry=None`` models the paper's
+  baseline: the skipped frames' tokens stay armed, and later frames
+  that reuse those stack addresses fault spuriously — the reason REST,
+  as published, does not support setjmp/longjmp programs.
+* with a :class:`FrameRegistry` (the minimal future-work mechanism: a
+  software-side log of the redzone addresses each prologue armed),
+  longjmp disarms exactly the skipped frames' redzones, restoring
+  correctness at a measurable two-disarms-per-buffer cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.defenses.rest import RestDefense
+from repro.runtime.stack import StackFrame
+
+
+@dataclass
+class JmpBuf:
+    """The state setjmp captures."""
+
+    stack_depth: int
+    stack_pointer: int
+
+
+class FrameRegistry:
+    """A log of each frame's armed redzone addresses.
+
+    The hardware offers no way to probe for tokens, so supporting
+    longjmp requires the software to remember what it armed.
+    """
+
+    def __init__(self) -> None:
+        self._armed: Dict[int, List[int]] = {}
+        self.disarms_performed = 0
+
+    def register(self, frame: StackFrame) -> None:
+        addresses = []
+        for buffer in frame.buffers:
+            if buffer.left_redzone:
+                addresses.append(buffer.left_redzone_address)
+                addresses.append(buffer.right_redzone_address)
+        self._armed[id(frame)] = addresses
+
+    def unregister(self, frame: StackFrame) -> None:
+        self._armed.pop(id(frame), None)
+
+    def disarm_frame(self, defense: RestDefense, frame: StackFrame) -> int:
+        """Disarm everything the frame's prologue armed."""
+        addresses = self._armed.pop(id(frame), [])
+        for address in addresses:
+            defense.machine.disarm(address)
+        self.disarms_performed += len(addresses)
+        return len(addresses)
+
+
+def setjmp(defense: RestDefense) -> JmpBuf:
+    """Capture the current stack context."""
+    return JmpBuf(
+        stack_depth=defense.stack.depth,
+        stack_pointer=defense.stack.stack_pointer,
+    )
+
+
+def longjmp(
+    defense: RestDefense,
+    env: JmpBuf,
+    frame_registry: Optional[FrameRegistry] = None,
+) -> int:
+    """Unwind the stack back to ``env``.
+
+    Without a registry, frames are popped but their redzone tokens are
+    left armed (the paper's unsupported case: later frames reusing the
+    addresses fault spuriously).  With a registry, the skipped frames'
+    tokens are disarmed first.  Returns the number of frames skipped.
+    """
+    stack = defense.stack
+    if env.stack_depth > stack.depth:
+        raise RuntimeError("longjmp target frame already returned")
+    skipped = 0
+    while stack.depth > env.stack_depth:
+        frame = stack._frames[-1]
+        if frame_registry is not None:
+            frame_registry.disarm_frame(defense, frame)
+        stack.pop_frame(frame)
+        skipped += 1
+    return skipped

@@ -1,0 +1,123 @@
+"""Call-stack management for simulated programs.
+
+Frames grow downward from the layout's stack top.  The defenses hook
+frame construction to place their protection: ASan inserts and poisons
+shadow redzones around vulnerable variables (paper §II, overhead source
+2 — "stack frame setup"), REST arms token redzones at the prologue and
+disarms them at the epilogue (paper Figure 6A), and the plain baseline
+just moves the stack pointer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.runtime.machine import Machine
+
+
+@dataclass
+class StackBuffer:
+    """One protected local variable within a frame."""
+
+    address: int
+    size: int
+    #: Bytes reserved around the buffer (redzones + alignment pad).
+    left_redzone: int = 0
+    right_redzone: int = 0
+    padding: int = 0
+
+    @property
+    def left_redzone_address(self) -> int:
+        return self.address - self.left_redzone
+
+    @property
+    def right_redzone_address(self) -> int:
+        return self.address + self.size + self.padding
+
+
+@dataclass
+class StackFrame:
+    """One activation record."""
+
+    base: int  # highest address of the frame (old stack pointer)
+    size: int
+    return_pc: int
+    buffers: List[StackBuffer] = field(default_factory=list)
+    #: Defense-private cleanup data.
+    cookie: object = None
+    #: Allocation cursor for carve(); starts at the frame base.
+    cursor: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.cursor:
+            self.cursor = self.base
+
+    @property
+    def top(self) -> int:
+        """Lowest address of the frame (the new stack pointer)."""
+        return self.base - self.size
+
+
+class StackOverflowError(Exception):
+    """Simulated stack exhaustion."""
+
+
+class StackManager:
+    """Downward-growing stack with aligned frame allocation."""
+
+    def __init__(self, machine: Machine) -> None:
+        self.machine = machine
+        self.layout = machine.layout
+        self._sp = self.layout.stack_top
+        self._frames: List[StackFrame] = []
+        self.max_depth = 0
+
+    @property
+    def stack_pointer(self) -> int:
+        return self._sp
+
+    @property
+    def depth(self) -> int:
+        return len(self._frames)
+
+    def push_frame(
+        self,
+        size: int,
+        return_pc: int = 0,
+        align: int = 16,
+    ) -> StackFrame:
+        """Reserve ``size`` bytes of frame, aligned down to ``align``."""
+        new_sp = (self._sp - size) & ~(align - 1)
+        if new_sp < self.layout.stack_base:
+            raise StackOverflowError(
+                f"stack exhausted at depth {len(self._frames)}"
+            )
+        frame = StackFrame(base=self._sp, size=self._sp - new_sp, return_pc=return_pc)
+        self._sp = new_sp
+        self._frames.append(frame)
+        if len(self._frames) > self.max_depth:
+            self.max_depth = len(self._frames)
+        return frame
+
+    def pop_frame(self, frame: Optional[StackFrame] = None) -> StackFrame:
+        """Release the top frame (which must be ``frame`` if given)."""
+        if not self._frames:
+            raise RuntimeError("pop from empty call stack")
+        top = self._frames.pop()
+        if frame is not None and top is not frame:
+            raise RuntimeError("frames popped out of order")
+        self._sp = top.base
+        return top
+
+    def carve(self, frame: StackFrame, size: int, align: int = 8) -> int:
+        """Hand out an aligned region inside ``frame`` (top-down).
+
+        Used by defenses to place buffers and redzones; the caller is
+        responsible for not exceeding the frame size.
+        """
+        address = (frame.cursor - size) & ~(align - 1)
+        if address < frame.top:
+            raise StackOverflowError("frame too small for requested carve")
+        frame.cursor = address
+        return address

@@ -1,0 +1,286 @@
+"""Deterministic synthetic workload generator.
+
+Turns a :class:`BenchmarkProfile` into application behaviour against a
+:class:`Defense`: compute ops, loads/stores over a working set with
+temporal locality, function calls with protected stack buffers, heap
+allocation churn with a bounded live set, and libc block operations.
+All randomness is seeded, so a given (profile, seed) pair generates the
+same application behaviour under every defense — only the defense's own
+added work differs, which is exactly what the overhead experiments
+compare.
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.defenses.base import Defense
+from repro.workloads.spec import BenchmarkProfile
+
+#: Base of the (statically allocated) globals region.
+GLOBALS_BASE = 0x0000_0000_0800_0000
+
+
+@dataclass
+class WorkloadStats:
+    app_instructions: int = 0
+    mallocs: int = 0
+    frees: int = 0
+    calls: int = 0
+    libc_calls: int = 0
+    heap_accesses: int = 0
+    global_accesses: int = 0
+    stack_accesses: int = 0
+
+
+class SyntheticWorkload:
+    """One benchmark run against one defense."""
+
+    #: Fraction of function calls whose frames contain address-taken
+    #: local buffers (the only frames stack protection instruments).
+    PROTECTED_CALL_FRACTION = 0.2
+
+    def __init__(
+        self,
+        profile: BenchmarkProfile,
+        defense: Defense,
+        seed: int = 1234,
+        scale: float = 1.0,
+        alloc_intensity: float = 25.0,
+    ) -> None:
+        """``alloc_intensity`` compresses allocator churn into the
+        scaled-down instruction budget: SPEC runs billions of
+        instructions, so at the paper's per-kilo rates a 10k-instruction
+        model run would perform almost no allocations and every
+        allocator-driven effect (quarantine drift, redzone traffic,
+        cold misses) would vanish.  Multiplying the rate preserves the
+        ratio of allocator work to cache capacity within the shortened
+        run while keeping the benchmarks' *relative* allocation
+        behaviour (xalanc the heaviest, lbm/sjeng near zero) intact.
+        """
+        self.profile = profile
+        self.defense = defense
+        self.alloc_intensity = alloc_intensity
+        self.machine = defense.machine
+        # Stable across interpreter runs (unlike hash() of a str).
+        self.rng = random.Random(
+            seed ^ zlib.crc32(profile.name.encode())
+        )
+        self.budget = profile.scaled_instructions(scale)
+        self.stats = WorkloadStats()
+        #: FIFO of live heap buffers: (ptr, size).
+        self._live: List[Tuple[int, int]] = []
+        #: Hot subset of global granules for locality modelling.
+        self._hot_globals = [
+            self.rng.randrange(0, max(64, profile.global_bytes - 64))
+            for _ in range(64)
+        ]
+        #: Program-counter model: the main loop cycles through the
+        #: profile's code footprint (gcc's big text thrashes the L1-I;
+        #: lbm's kernel lives in a few lines).  Function bodies execute
+        #: straight-line from a per-function base.
+        self._code_base = self.machine.layout.code_base
+        self._pc_counter = 0
+        self._code_positions = max(64, profile.code_footprint // 4)
+        #: Call targets are drawn from a fixed function pool with a hot
+        #: head — programs call the same functions over and over, so
+        #: the L1-I retains them after warm-up.
+        self._function_pool = [
+            self._code_base
+            + (self.rng.randrange(profile.code_footprint) & ~0x3F)
+            for _ in range(max(8, profile.code_footprint // 2048))
+        ]
+
+    # -- address selection ---------------------------------------------------
+
+    def _global_address(self) -> int:
+        profile = self.profile
+        if self.rng.random() < profile.hot_fraction:
+            base = self.rng.choice(self._hot_globals)
+        else:
+            base = self.rng.randrange(0, max(64, profile.global_bytes - 64))
+        return GLOBALS_BASE + (base & ~0x7)
+
+    def _heap_address(self) -> Optional[Tuple[int, int]]:
+        if not self._live:
+            return None
+        if self.rng.random() < self.profile.hot_fraction:
+            ptr, size = self._live[-1]  # most recent allocation is hot
+        else:
+            ptr, size = self.rng.choice(self._live)
+        if size <= 8:
+            return ptr, size
+        offset = self.rng.randrange(0, size - 7) & ~0x7
+        return ptr + offset, min(8, size - offset)
+
+    def _access_address(self, frame_buffers) -> Tuple[int, int, str]:
+        """Pick an in-bounds address: heap, stack buffer, or global."""
+        roll = self.rng.random()
+        if frame_buffers and roll < 0.3:
+            buffer = self.rng.choice(frame_buffers)
+            if buffer.size > 8:
+                offset = self.rng.randrange(0, buffer.size - 7) & ~0x7
+            else:
+                offset = 0
+            return buffer.address + offset, min(8, buffer.size), "stack"
+        if self._live and roll < 0.65:
+            picked = self._heap_address()
+            if picked is not None:
+                return picked[0], picked[1], "heap"
+        return self._global_address(), 8, "global"
+
+    # -- events -------------------------------------------------------------
+
+    def _do_malloc(self) -> None:
+        profile = self.profile
+        low, typical, high = profile.alloc_sizes
+        roll = self.rng.random()
+        if roll < 0.6:
+            size = self.rng.randint(low, typical)
+        else:
+            size = self.rng.randint(typical, high)
+        ptr = self.defense.malloc(size)
+        self._live.append((ptr, size))
+        self.stats.mallocs += 1
+        while len(self._live) > profile.live_target:
+            old_ptr, _ = self._live.pop(0)
+            self.defense.free(old_ptr)
+            self.stats.frees += 1
+
+    def _do_libc_call(self, frame_buffers) -> None:
+        profile = self.profile
+        n = max(8, int(profile.libc_copy_bytes * (0.5 + self.rng.random())))
+        # Prefer copying within a heap buffer large enough; else globals.
+        candidates = [
+            (ptr, size) for ptr, size in self._live if size >= 2 * n + 16
+        ]
+        if candidates and self.rng.random() < 0.6:
+            ptr, size = self.rng.choice(candidates)
+            src = ptr
+            dst = ptr + size - n
+        else:
+            src = GLOBALS_BASE
+            dst = GLOBALS_BASE + max(n, profile.global_bytes // 2)
+        if self.rng.random() < 0.5:
+            self.defense.memcpy(dst, src, n)
+        else:
+            self.defense.memset(dst, 0, n)
+        self.stats.libc_calls += 1
+
+    def _emit_app_op(self, frame_buffers, advance_pc: bool = True) -> None:
+        """One application micro-op according to the profile mix."""
+        profile = self.profile
+        machine = self.machine
+        if advance_pc:
+            # Main-loop code walks the footprint cyclically; function
+            # bodies (advance_pc=False) run straight-line from their
+            # own base, set at the call site.
+            machine.set_pc(
+                self._code_base
+                + 4 * (self._pc_counter % self._code_positions)
+            )
+            self._pc_counter += 1
+        roll = self.rng.random()
+        if roll < profile.load_fraction:
+            address, size, region = self._access_address(frame_buffers)
+            self.defense.load(address, size)
+            self._count_region(region)
+        elif roll < profile.load_fraction + profile.store_fraction:
+            address, size, region = self._access_address(frame_buffers)
+            self.defense.store(address, size=size)
+            self._count_region(region)
+        elif roll < profile.mem_fraction + profile.branch_fraction:
+            taken = self._branch_outcome()
+            machine.branch(taken, pc=machine.layout.code_base + 4 * self.rng.randrange(64))
+        else:
+            machine.compute(
+                1, dependent=self.rng.random() < profile.dependency_density
+            )
+        self.stats.app_instructions += 1
+
+    def _count_region(self, region: str) -> None:
+        if region == "heap":
+            self.stats.heap_accesses += 1
+        elif region == "stack":
+            self.stats.stack_accesses += 1
+        else:
+            self.stats.global_accesses += 1
+
+    def _branch_outcome(self) -> bool:
+        profile = self.profile
+        if self.rng.random() < profile.branch_noise:
+            return self.rng.random() < 0.5
+        return self.rng.random() < profile.branch_bias
+
+    # -- the run ---------------------------------------------------------------
+
+    def run(self) -> WorkloadStats:
+        """Generate/execute the whole workload through the defense."""
+        profile = self.profile
+        remaining = self.budget
+        # Per-kilo event pacing with fractional carry.
+        alloc_carry = call_carry = libc_carry = 0.0
+        block = 250
+        while remaining > 0:
+            chunk = min(block, remaining)
+            kilo = chunk / 1000.0
+            alloc_carry += profile.allocs_per_kilo * self.alloc_intensity * kilo
+            call_carry += profile.calls_per_kilo * kilo
+            libc_carry += profile.libc_per_kilo * kilo
+
+            while alloc_carry >= 1.0:
+                self._do_malloc()
+                alloc_carry -= 1.0
+
+            calls_now = int(call_carry)
+            call_carry -= calls_now
+
+            libc_now = int(libc_carry)
+            libc_carry -= libc_now
+
+            ops_left = chunk
+            for _ in range(calls_now):
+                if ops_left <= 0:
+                    break
+                body = min(ops_left, self.rng.randint(10, 40))
+                # Only functions with address-taken local arrays get
+                # stack protection; most functions have none, so the
+                # compiler leaves their prologues untouched.
+                if self.rng.random() < self.PROTECTED_CALL_FRACTION:
+                    buffer_sizes = [
+                        profile.stack_buffer_size
+                        for _ in range(profile.stack_buffers_per_call)
+                        if profile.stack_buffer_size
+                    ]
+                else:
+                    buffer_sizes = []
+                pool = self._function_pool
+                if self.rng.random() < 0.8:
+                    fn_base = self.rng.choice(pool[: max(1, len(pool) // 4)])
+                else:
+                    fn_base = self.rng.choice(pool)
+                return_pc = self._code_base + 4 * (
+                    self._pc_counter % self._code_positions
+                )
+                frame = self.defense.function_enter(
+                    buffer_sizes, return_pc=return_pc, target_pc=fn_base
+                )
+                for _ in range(body):
+                    self._emit_app_op(frame.buffers, advance_pc=False)
+                self.defense.function_exit(frame)
+                self.stats.calls += 1
+                ops_left -= body
+            for _ in range(libc_now):
+                self._do_libc_call([])
+            for _ in range(ops_left):
+                self._emit_app_op([])
+            remaining -= chunk
+        # Teardown: release the live set so allocator accounting closes.
+        for ptr, _ in self._live:
+            self.defense.free(ptr)
+            self.stats.frees += 1
+        self._live.clear()
+        return self.stats

@@ -1,0 +1,355 @@
+"""Synthetic models of the SPEC CPU2006 C/C++ benchmarks.
+
+Each profile parameterises the workload generator.  The numbers are
+chosen from the paper's own observations (xalanc: 0.2 allocations per
+kilo-instruction and allocator-dominated overheads; gcc similar; lbm and
+sjeng under 10 allocation calls total with near-zero REST overhead) and
+from the well-known behaviour of each benchmark (gobmk/sjeng branchy,
+lbm/libquantum streaming, namd/soplex floating-point, astar
+pointer-chasing, hmmer data-crunching over tables).
+
+``instructions`` is the *application* instruction budget at scale 1.0;
+experiments typically run tens of thousands of instructions per
+benchmark, which is enough for the structural overheads to emerge (the
+absolute cycle counts are not meant to match gem5 runs of billions of
+instructions).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+
+@dataclass(frozen=True)
+class BenchmarkProfile:
+    """Workload parameters for one modelled SPEC benchmark."""
+
+    name: str
+    #: Application micro-ops at scale 1.0 (excludes defense overhead).
+    instructions: int
+    #: Fraction of app ops that are loads / stores.
+    load_fraction: float
+    store_fraction: float
+    #: Fraction of app ops that are conditional branches.
+    branch_fraction: float
+    #: Fraction of compute ops that are FP (vs integer ALU).
+    fp_fraction: float
+    #: Heap allocation calls per kilo-instruction (paper: xalanc 0.2).
+    allocs_per_kilo: float
+    #: (min, typical, max) allocation request sizes in bytes.
+    alloc_sizes: Tuple[int, int, int]
+    #: Target number of live allocations (free the oldest beyond this).
+    live_target: int
+    #: Protected function calls per kilo-instruction.
+    calls_per_kilo: float
+    #: Vulnerable stack buffers per protected call, and typical size.
+    stack_buffers_per_call: int
+    stack_buffer_size: int
+    #: libc data-API (memcpy/memset) calls per kilo-instruction and
+    #: typical copy length.
+    libc_per_kilo: float
+    libc_copy_bytes: int
+    #: Bytes of statically-allocated (global) working set.
+    global_bytes: int
+    #: Probability an app branch is taken (biased branches predict well;
+    #: values near 0.5 with pattern churn mispredict more).
+    branch_bias: float
+    #: How irregular the branch behaviour is (0 = perfectly regular).
+    branch_noise: float
+    #: Locality: fraction of accesses that hit the hot subset.
+    hot_fraction: float
+    #: Fraction of compute ops that depend on their predecessor.
+    dependency_density: float
+    #: Static code footprint in bytes (drives L1-I behaviour: gcc's
+    #: huge text famously thrashes instruction caches; lbm's kernel
+    #: fits in a few lines).
+    code_footprint: int = 32 * 1024
+
+    @property
+    def mem_fraction(self) -> float:
+        return self.load_fraction + self.store_fraction
+
+    def scaled_instructions(self, scale: float) -> int:
+        return max(1000, int(self.instructions * scale))
+
+
+def _profile(**kwargs) -> BenchmarkProfile:
+    return BenchmarkProfile(**kwargs)
+
+
+#: The twelve benchmarks of Figures 3, 7 and 8.
+ALL_PROFILES: Tuple[BenchmarkProfile, ...] = (
+    _profile(
+        name="bzip2",
+        instructions=40_000,
+        load_fraction=0.26,
+        store_fraction=0.11,
+        branch_fraction=0.15,
+        fp_fraction=0.0,
+        allocs_per_kilo=0.01,
+        alloc_sizes=(4096, 65536, 262144),
+        live_target=8,
+        calls_per_kilo=1.0,
+        stack_buffers_per_call=1,
+        stack_buffer_size=64,
+        libc_per_kilo=0.3,
+        libc_copy_bytes=256,
+        global_bytes=1 << 20,
+        branch_bias=0.7,
+        branch_noise=0.25,
+        hot_fraction=0.8,
+        dependency_density=0.4,
+    ),
+    _profile(
+        name="gobmk",
+        instructions=40_000,
+        load_fraction=0.24,
+        store_fraction=0.13,
+        branch_fraction=0.20,
+        fp_fraction=0.01,
+        allocs_per_kilo=0.02,
+        alloc_sizes=(64, 512, 8192),
+        live_target=32,
+        calls_per_kilo=8.0,
+        stack_buffers_per_call=1,
+        stack_buffer_size=128,
+        libc_per_kilo=0.5,
+        libc_copy_bytes=128,
+        global_bytes=2 << 20,
+        branch_bias=0.55,
+        branch_noise=0.45,
+        hot_fraction=0.7,
+        dependency_density=0.45,
+        code_footprint=131072,
+    ),
+    _profile(
+        name="gcc",
+        instructions=40_000,
+        load_fraction=0.28,
+        store_fraction=0.15,
+        branch_fraction=0.18,
+        fp_fraction=0.0,
+        allocs_per_kilo=0.18,  # allocator-heavy (paper Figure 3)
+        alloc_sizes=(32, 1024, 16384),
+        live_target=256,
+        calls_per_kilo=6.0,
+        stack_buffers_per_call=1,
+        stack_buffer_size=64,
+        libc_per_kilo=1.0,
+        libc_copy_bytes=128,
+        global_bytes=4 << 20,
+        branch_bias=0.6,
+        branch_noise=0.35,
+        hot_fraction=0.55,
+        dependency_density=0.5,
+        code_footprint=262144,
+    ),
+    _profile(
+        name="libquantum",
+        instructions=40_000,
+        load_fraction=0.25,
+        store_fraction=0.10,
+        branch_fraction=0.14,
+        fp_fraction=0.05,
+        allocs_per_kilo=0.005,
+        alloc_sizes=(1 << 16, 1 << 20, 1 << 22),
+        live_target=4,
+        calls_per_kilo=0.5,
+        stack_buffers_per_call=0,
+        stack_buffer_size=0,
+        libc_per_kilo=0.1,
+        libc_copy_bytes=512,
+        global_bytes=4 << 20,
+        branch_bias=0.9,
+        branch_noise=0.05,
+        hot_fraction=0.3,  # streaming
+        dependency_density=0.3,
+        code_footprint=8192,
+    ),
+    _profile(
+        name="astar",
+        instructions=40_000,
+        load_fraction=0.32,
+        store_fraction=0.10,
+        branch_fraction=0.16,
+        fp_fraction=0.05,
+        allocs_per_kilo=0.05,
+        alloc_sizes=(32, 256, 4096),
+        live_target=128,
+        calls_per_kilo=3.0,
+        stack_buffers_per_call=0,
+        stack_buffer_size=0,
+        libc_per_kilo=0.2,
+        libc_copy_bytes=64,
+        global_bytes=2 << 20,
+        branch_bias=0.6,
+        branch_noise=0.4,
+        hot_fraction=0.5,
+        dependency_density=0.6,  # pointer chasing
+    ),
+    _profile(
+        name="h264ref",
+        instructions=40_000,
+        load_fraction=0.30,
+        store_fraction=0.14,
+        branch_fraction=0.12,
+        fp_fraction=0.08,
+        allocs_per_kilo=0.03,
+        alloc_sizes=(256, 8192, 65536),
+        live_target=48,
+        calls_per_kilo=4.0,
+        stack_buffers_per_call=1,
+        stack_buffer_size=256,
+        libc_per_kilo=1.5,
+        libc_copy_bytes=384,
+        global_bytes=2 << 20,
+        branch_bias=0.75,
+        branch_noise=0.2,
+        hot_fraction=0.75,
+        dependency_density=0.4,
+        code_footprint=65536,
+    ),
+    _profile(
+        name="lbm",
+        instructions=40_000,
+        load_fraction=0.33,
+        store_fraction=0.15,
+        branch_fraction=0.04,
+        fp_fraction=0.5,
+        allocs_per_kilo=0.0,  # <10 allocation calls overall (paper)
+        alloc_sizes=(1 << 20, 1 << 22, 1 << 23),
+        live_target=2,
+        calls_per_kilo=0.2,
+        stack_buffers_per_call=0,
+        stack_buffer_size=0,
+        libc_per_kilo=0.05,
+        libc_copy_bytes=1024,
+        global_bytes=8 << 20,
+        branch_bias=0.95,
+        branch_noise=0.02,
+        hot_fraction=0.25,  # streaming stencil
+        dependency_density=0.35,
+        code_footprint=8192,
+    ),
+    _profile(
+        name="namd",
+        instructions=40_000,
+        load_fraction=0.31,
+        store_fraction=0.09,
+        branch_fraction=0.07,
+        fp_fraction=0.65,
+        allocs_per_kilo=0.003,
+        alloc_sizes=(4096, 65536, 524288),
+        live_target=16,
+        calls_per_kilo=1.5,
+        stack_buffers_per_call=0,
+        stack_buffer_size=0,
+        libc_per_kilo=0.05,
+        libc_copy_bytes=256,
+        global_bytes=4 << 20,
+        branch_bias=0.9,
+        branch_noise=0.05,
+        hot_fraction=0.7,
+        dependency_density=0.5,
+        code_footprint=16384,
+    ),
+    _profile(
+        name="sjeng",
+        instructions=40_000,
+        load_fraction=0.22,
+        store_fraction=0.11,
+        branch_fraction=0.21,
+        fp_fraction=0.0,
+        allocs_per_kilo=0.0,  # <10 allocation calls overall (paper)
+        alloc_sizes=(1 << 16, 1 << 18, 1 << 20),
+        live_target=2,
+        calls_per_kilo=10.0,
+        stack_buffers_per_call=1,
+        stack_buffer_size=64,
+        libc_per_kilo=0.1,
+        libc_copy_bytes=64,
+        global_bytes=2 << 20,
+        branch_bias=0.55,
+        branch_noise=0.5,
+        hot_fraction=0.8,
+        dependency_density=0.45,
+        code_footprint=49152,
+    ),
+    _profile(
+        name="soplex",
+        instructions=40_000,
+        load_fraction=0.30,
+        store_fraction=0.08,
+        branch_fraction=0.14,
+        fp_fraction=0.4,
+        allocs_per_kilo=0.04,
+        alloc_sizes=(128, 4096, 131072),
+        live_target=64,
+        calls_per_kilo=2.5,
+        stack_buffers_per_call=0,
+        stack_buffer_size=0,
+        libc_per_kilo=0.4,
+        libc_copy_bytes=512,
+        global_bytes=4 << 20,
+        branch_bias=0.7,
+        branch_noise=0.25,
+        hot_fraction=0.6,
+        dependency_density=0.5,
+    ),
+    _profile(
+        name="xalancbmk",
+        instructions=40_000,
+        load_fraction=0.30,
+        store_fraction=0.12,
+        branch_fraction=0.19,
+        fp_fraction=0.0,
+        allocs_per_kilo=0.2,  # the paper's headline number
+        alloc_sizes=(16, 256, 4096),
+        live_target=512,
+        calls_per_kilo=12.0,
+        stack_buffers_per_call=1,
+        stack_buffer_size=32,
+        libc_per_kilo=1.2,
+        libc_copy_bytes=96,
+        global_bytes=2 << 20,
+        branch_bias=0.6,
+        branch_noise=0.3,
+        hot_fraction=0.5,
+        dependency_density=0.5,
+        code_footprint=131072,
+    ),
+    _profile(
+        name="hmmer",
+        instructions=40_000,
+        load_fraction=0.34,
+        store_fraction=0.14,
+        branch_fraction=0.08,
+        fp_fraction=0.1,
+        allocs_per_kilo=0.01,
+        alloc_sizes=(1024, 16384, 131072),
+        live_target=16,
+        calls_per_kilo=0.8,
+        stack_buffers_per_call=0,
+        stack_buffer_size=0,
+        libc_per_kilo=0.3,
+        libc_copy_bytes=256,
+        global_bytes=2 << 20,
+        branch_bias=0.85,
+        branch_noise=0.1,
+        hot_fraction=0.85,
+        dependency_density=0.55,
+    ),
+)
+
+
+_BY_NAME: Dict[str, BenchmarkProfile] = {p.name: p for p in ALL_PROFILES}
+
+
+def profile_by_name(name: str) -> BenchmarkProfile:
+    """Look up a benchmark profile; raises KeyError with suggestions."""
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        known = ", ".join(sorted(_BY_NAME))
+        raise KeyError(f"unknown benchmark {name!r}; known: {known}") from None

@@ -1,0 +1,154 @@
+"""Workload-model validation: do generated traces match their profiles?
+
+The synthetic benchmarks stand in for SPEC, so the reproduction's
+credibility rests on the generator actually producing the behaviour
+each profile specifies.  This module measures a generated trace's
+composition (op mix, allocation rate, call rate, branch behaviour,
+working-set footprint) and compares it against the profile within
+tolerances — used by the test suite and available to users who add
+their own profiles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.cpu.isa import MicroOp, OpType
+from repro.defenses import PlainDefense
+from repro.runtime.machine import ExecutionMode, Machine
+from repro.workloads.generator import SyntheticWorkload, WorkloadStats
+from repro.workloads.spec import BenchmarkProfile
+
+
+@dataclass
+class TraceProfile:
+    """Measured composition of one generated trace."""
+
+    ops: int
+    load_fraction: float
+    store_fraction: float
+    branch_fraction: float
+    allocs_per_kilo: float
+    calls_per_kilo: float
+    branch_taken_fraction: float
+    distinct_data_lines: int
+    distinct_code_lines: int
+
+
+def measure_trace(
+    trace: List[MicroOp], stats: WorkloadStats
+) -> TraceProfile:
+    """Compute the observable composition of a trace."""
+    if not trace:
+        raise ValueError("empty trace")
+    loads = stores = branches = taken = 0
+    data_lines = set()
+    code_lines = set()
+    for uop in trace:
+        code_lines.add(uop.pc >> 6)
+        if uop.op is OpType.LOAD:
+            loads += 1
+            data_lines.add(uop.address >> 6)
+        elif uop.op is OpType.STORE:
+            stores += 1
+            data_lines.add(uop.address >> 6)
+        elif uop.op is OpType.BRANCH:
+            branches += 1
+            if uop.taken:
+                taken += 1
+    app = max(1, stats.app_instructions)
+    return TraceProfile(
+        ops=len(trace),
+        load_fraction=loads / len(trace),
+        store_fraction=stores / len(trace),
+        branch_fraction=branches / len(trace),
+        allocs_per_kilo=stats.mallocs / (app / 1000.0),
+        calls_per_kilo=stats.calls / (app / 1000.0),
+        branch_taken_fraction=taken / branches if branches else 0.0,
+        distinct_data_lines=len(data_lines),
+        distinct_code_lines=len(code_lines),
+    )
+
+
+@dataclass
+class ValidationIssue:
+    field: str
+    expected: float
+    measured: float
+    tolerance: float
+
+    def __str__(self) -> str:
+        return (
+            f"{self.field}: expected ~{self.expected:.3f}, "
+            f"measured {self.measured:.3f} (tolerance {self.tolerance})"
+        )
+
+
+def validate_profile(
+    profile: BenchmarkProfile,
+    seed: int = 1234,
+    scale: float = 0.25,
+    alloc_intensity: float = 25.0,
+) -> List[ValidationIssue]:
+    """Generate a plain-defense trace and check it against the profile.
+
+    Returns the list of violations (empty = the model is faithful).
+    The plain defense adds minimal extra ops, so trace fractions are
+    compared against profile fractions with a tolerance absorbing the
+    prologue/allocator noise.
+    """
+    machine = Machine(mode=ExecutionMode.TRACE)
+    defense = PlainDefense(machine)
+    workload = SyntheticWorkload(
+        profile,
+        defense,
+        seed=seed,
+        scale=scale,
+        alloc_intensity=alloc_intensity,
+    )
+    stats = workload.run()
+    measured = measure_trace(machine.take_trace(), stats)
+
+    issues: List[ValidationIssue] = []
+
+    def check(field: str, expected: float, got: float, tolerance: float):
+        if abs(expected - got) > tolerance:
+            issues.append(ValidationIssue(field, expected, got, tolerance))
+
+    # Fractions are diluted slightly by defense-emitted ops (frames,
+    # allocator); 6 percentage points absorbs that for Plain.
+    check("load_fraction", profile.load_fraction, measured.load_fraction, 0.06)
+    check(
+        "store_fraction", profile.store_fraction, measured.store_fraction, 0.06
+    )
+    check(
+        "branch_fraction",
+        profile.branch_fraction,
+        measured.branch_fraction,
+        0.06,
+    )
+    check(
+        "allocs_per_kilo",
+        profile.allocs_per_kilo * alloc_intensity,
+        measured.allocs_per_kilo,
+        max(0.5, profile.allocs_per_kilo * alloc_intensity * 0.25),
+    )
+    check(
+        "calls_per_kilo",
+        profile.calls_per_kilo,
+        measured.calls_per_kilo,
+        max(0.5, profile.calls_per_kilo * 0.25),
+    )
+    if measured.branch_fraction > 0.02:
+        expected_taken = (
+            profile.branch_bias * (1 - profile.branch_noise)
+            + 0.5 * profile.branch_noise
+        )
+        check(
+            "branch_taken_fraction",
+            expected_taken,
+            measured.branch_taken_fraction,
+            0.08,
+        )
+    return issues

@@ -1,0 +1,140 @@
+"""Stateful property tests: allocators under adversarial op sequences.
+
+Hypothesis drives arbitrary interleavings of malloc/free against each
+allocator and checks the integrity invariants that memory safety
+depends on: live allocations never overlap, payloads stay aligned,
+freed REST chunks are blacklisted until reallocation, and the
+allocator's accounting never drifts.
+"""
+
+from hypothesis import settings
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    precondition,
+    rule,
+)
+from hypothesis import strategies as st
+
+from repro.core import RestException
+from repro.runtime import (
+    AsanAllocator,
+    ExecutionMode,
+    FastRestAllocator,
+    LibcAllocator,
+    Machine,
+    RestAllocator,
+)
+
+
+class AllocatorMachine(RuleBasedStateMachine):
+    """Common rules; subclasses pick the allocator under test."""
+
+    allocator_cls = LibcAllocator
+    functional = False  # REST machines run functionally to check tokens
+
+    @initialize()
+    def setup(self):
+        mode = (
+            ExecutionMode.FUNCTIONAL
+            if self.functional
+            else ExecutionMode.TRACE
+        )
+        self.machine = Machine(mode=mode)
+        self.allocator = self.allocator_cls(
+            self.machine, quarantine_bytes=4096
+        ) if self.allocator_cls is not LibcAllocator else self.allocator_cls(
+            self.machine
+        )
+        self.live = {}  # ptr -> size
+
+    @rule(size=st.integers(min_value=1, max_value=2048))
+    def malloc(self, size):
+        ptr = self.allocator.malloc(size)
+        assert ptr not in self.live
+        self.live[ptr] = size
+
+    @precondition(lambda self: self.live)
+    @rule(data=st.data())
+    def free(self, data):
+        ptr = data.draw(st.sampled_from(sorted(self.live)))
+        self.allocator.free(ptr)
+        del self.live[ptr]
+
+    @invariant()
+    def live_regions_disjoint(self):
+        if not hasattr(self, "live"):
+            return
+        regions = sorted(
+            (ptr, ptr + size) for ptr, size in self.live.items()
+        )
+        for (_, end_a), (start_b, _) in zip(regions, regions[1:]):
+            assert end_a <= start_b, "live allocations overlap"
+
+    @invariant()
+    def accounting_consistent(self):
+        if not hasattr(self, "live"):
+            return
+        stats = self.allocator.stats
+        assert stats.live_allocations == len(self.live)
+        assert stats.bytes_reserved >= stats.bytes_requested
+
+
+class LibcMachine(AllocatorMachine):
+    allocator_cls = LibcAllocator
+
+
+class AsanMachine(AllocatorMachine):
+    allocator_cls = AsanAllocator
+
+    @invariant()
+    def payloads_unpoisoned_redzones_poisoned(self):
+        if not hasattr(self, "live"):
+            return
+        for ptr, size in self.live.items():
+            assert not self.allocator.shadow.is_poisoned(ptr, size)
+            assert self.allocator.shadow.is_poisoned(ptr - 1)
+
+
+class RestMachine(AllocatorMachine):
+    allocator_cls = RestAllocator
+    functional = True
+
+    @invariant()
+    def payload_accessible_redzones_armed(self):
+        if not hasattr(self, "live"):
+            return
+        for ptr, size in self.live.items():
+            self.machine.load(ptr, min(8, size))  # must not fault
+            width = self.machine.token_width
+            assert self.machine.hierarchy.is_armed(ptr - width)
+
+
+class FastRestMachine(AllocatorMachine):
+    allocator_cls = FastRestAllocator
+    functional = True
+
+    @invariant()
+    def payload_accessible_guard_armed(self):
+        if not hasattr(self, "live"):
+            return
+        for ptr, size in self.live.items():
+            self.machine.load(ptr, min(8, size))
+            assert self.machine.hierarchy.is_armed(
+                ptr - self.machine.token_width
+            )
+
+
+_settings = settings(
+    max_examples=12, stateful_step_count=30, deadline=None
+)
+
+TestLibcStateful = LibcMachine.TestCase
+TestLibcStateful.settings = _settings
+TestAsanStateful = AsanMachine.TestCase
+TestAsanStateful.settings = _settings
+TestRestStateful = RestMachine.TestCase
+TestRestStateful.settings = _settings
+TestFastRestStateful = FastRestMachine.TestCase
+TestFastRestStateful.settings = _settings

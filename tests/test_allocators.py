@@ -1,0 +1,264 @@
+"""Tests for the three allocators (libc / ASan / REST)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import RestException
+from repro.runtime import (
+    AllocationError,
+    AsanAllocator,
+    ExecutionMode,
+    LibcAllocator,
+    Machine,
+    RestAllocator,
+)
+from repro.runtime.shadow import AsanViolation
+
+
+def functional_machine():
+    return Machine()
+
+
+class TestLibcAllocator:
+    def test_malloc_returns_aligned_heap_pointer(self):
+        machine = functional_machine()
+        alloc = LibcAllocator(machine)
+        ptr = alloc.malloc(100)
+        assert machine.layout.in_heap(ptr)
+        assert ptr % 16 == 0
+
+    def test_distinct_allocations_disjoint(self):
+        alloc = LibcAllocator(functional_machine())
+        a = alloc.malloc(64)
+        b = alloc.malloc(64)
+        assert abs(a - b) >= 64
+
+    def test_immediate_reuse(self):
+        """Stock allocators reuse freed memory right away."""
+        alloc = LibcAllocator(functional_machine())
+        a = alloc.malloc(64)
+        alloc.free(a)
+        b = alloc.malloc(64)
+        assert b == a
+        assert alloc.stats.reuses == 1
+
+    def test_free_unknown_pointer_raises(self):
+        alloc = LibcAllocator(functional_machine())
+        with pytest.raises(AllocationError):
+            alloc.free(0xDEAD)
+
+    def test_zero_size_rejected(self):
+        alloc = LibcAllocator(functional_machine())
+        with pytest.raises(AllocationError):
+            alloc.malloc(0)
+
+    def test_arena_exhaustion(self):
+        machine = functional_machine()
+        alloc = LibcAllocator(machine, arena_size=4096)
+        with pytest.raises(AllocationError):
+            for _ in range(100):
+                alloc.malloc(256)
+
+    def test_stats(self):
+        alloc = LibcAllocator(functional_machine())
+        alloc.malloc(100)
+        ptr = alloc.malloc(50)
+        alloc.free(ptr)
+        assert alloc.stats.allocations == 2
+        assert alloc.stats.frees == 1
+        assert alloc.stats.live_allocations == 1
+        assert alloc.stats.bytes_requested == 150
+
+
+class TestAsanAllocator:
+    def test_redzones_poisoned_payload_clean(self):
+        machine = functional_machine()
+        alloc = AsanAllocator(machine)
+        ptr = alloc.malloc(100)
+        shadow = alloc.shadow
+        assert not shadow.is_poisoned(ptr, 100)
+        assert shadow.is_poisoned(ptr - 1)
+        redzone = alloc.redzone_size(100)
+        payload_span = alloc._round(100)
+        assert shadow.is_poisoned(ptr + payload_span)
+        assert shadow.is_poisoned(ptr - redzone)
+
+    def test_redzone_scales_with_size(self):
+        alloc = AsanAllocator(functional_machine())
+        assert alloc.redzone_size(16) == 16
+        assert alloc.redzone_size(10_000) > alloc.redzone_size(16)
+        assert alloc.redzone_size(10**7) == alloc.max_redzone
+
+    def test_free_poisons_and_quarantines(self):
+        alloc = AsanAllocator(functional_machine())
+        ptr = alloc.malloc(64)
+        alloc.free(ptr)
+        assert alloc.shadow.is_poisoned(ptr, 64)
+        assert alloc.in_quarantine(ptr)
+
+    def test_no_immediate_reuse(self):
+        """ASan's defining allocator property (paper §II source 1)."""
+        alloc = AsanAllocator(functional_machine())
+        a = alloc.malloc(64)
+        alloc.free(a)
+        b = alloc.malloc(64)
+        assert b != a
+
+    def test_quarantine_drains_when_over_budget(self):
+        alloc = AsanAllocator(functional_machine(), quarantine_bytes=1024)
+        ptrs = [alloc.malloc(128) for _ in range(20)]
+        for ptr in ptrs:
+            alloc.free(ptr)
+        assert alloc.stats.quarantine_drains > 0
+        assert alloc.stats.quarantine_bytes <= 1024
+
+    def test_reuse_after_quarantine_unpoisons(self):
+        alloc = AsanAllocator(functional_machine(), quarantine_bytes=256)
+        a = alloc.malloc(128)
+        alloc.free(a)
+        b = alloc.malloc(200)  # push quarantine over budget
+        alloc.free(b)
+        c = alloc.malloc(128)  # may reuse a's chunk
+        assert not alloc.shadow.is_poisoned(c, 128)
+
+    def test_double_free_detected(self):
+        alloc = AsanAllocator(functional_machine())
+        ptr = alloc.malloc(64)
+        alloc.free(ptr)
+        with pytest.raises(AsanViolation):
+            alloc.free(ptr)
+        assert alloc.double_frees_detected == 1
+
+
+class TestRestAllocator:
+    def test_payload_token_aligned(self):
+        machine = functional_machine()
+        alloc = RestAllocator(machine)
+        ptr = alloc.malloc(100)
+        assert ptr % machine.token_width == 0
+
+    def test_redzones_armed(self):
+        machine = functional_machine()
+        alloc = RestAllocator(machine)
+        ptr = alloc.malloc(100)
+        width = machine.token_width
+        span = alloc._round(100, width)
+        assert machine.hierarchy.is_armed(ptr - width)
+        assert machine.hierarchy.is_armed(ptr + span)
+        # Payload itself is not armed.
+        assert not machine.hierarchy.is_armed(ptr)
+
+    def test_overflow_into_redzone_faults(self):
+        machine = functional_machine()
+        alloc = RestAllocator(machine)
+        ptr = alloc.malloc(64)
+        with pytest.raises(RestException):
+            machine.load(ptr + 64, 8)
+
+    def test_underflow_into_redzone_faults(self):
+        machine = functional_machine()
+        alloc = RestAllocator(machine)
+        ptr = alloc.malloc(64)
+        with pytest.raises(RestException):
+            machine.load(ptr - 8, 8)
+
+    def test_free_blacklists_payload(self):
+        """UAF protection: freed memory is filled with tokens."""
+        machine = functional_machine()
+        alloc = RestAllocator(machine)
+        ptr = alloc.malloc(128)
+        machine.store(ptr, b"secret!!")
+        alloc.free(ptr)
+        with pytest.raises(RestException):
+            machine.load(ptr, 8)
+
+    def test_no_immediate_reuse(self):
+        alloc = RestAllocator(functional_machine())
+        a = alloc.malloc(64)
+        alloc.free(a)
+        b = alloc.malloc(64)
+        assert b != a
+
+    def test_quarantine_drain_zeroes_memory(self):
+        """The relaxed invariant: free pool is zeroed, not armed."""
+        machine = functional_machine()
+        alloc = RestAllocator(machine, quarantine_bytes=512)
+        a = alloc.malloc(64)
+        machine.store(a, b"leakable")
+        alloc.free(a)
+        # Force quarantine over budget so a's chunk drains.
+        for _ in range(4):
+            alloc.free(alloc.malloc(128))
+        assert not alloc.in_quarantine(a)
+        # Reuse must see zeroed memory: no uninitialized-data leaks.
+        c = alloc.malloc(64)
+        if c == a:
+            assert machine.load(c, 8) == b"\x00" * 8
+
+    def test_reuse_after_drain_rearms_redzones(self):
+        machine = functional_machine()
+        alloc = RestAllocator(machine, quarantine_bytes=0)
+        a = alloc.malloc(64)
+        alloc.free(a)  # immediately drains with zero budget
+        b = alloc.malloc(64)
+        assert b == a  # reused
+        assert machine.hierarchy.is_armed(b - machine.token_width)
+        with pytest.raises(RestException):
+            machine.load(b + alloc._round(64, machine.token_width), 8)
+
+    def test_double_free_detected(self):
+        alloc = RestAllocator(functional_machine())
+        ptr = alloc.malloc(64)
+        alloc.free(ptr)
+        with pytest.raises(RestException):
+            alloc.free(ptr)
+        assert alloc.double_frees_detected == 1
+
+    def test_memory_overhead_tracked(self):
+        alloc = RestAllocator(functional_machine())
+        alloc.malloc(64)
+        assert alloc.stats.memory_overhead_ratio >= 3.0  # 64 + 2x64 rz
+
+
+class TestAllocatorProperties:
+    @given(
+        st.lists(st.integers(min_value=1, max_value=500), min_size=1, max_size=30)
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_live_allocations_never_overlap_rest(self, sizes):
+        machine = functional_machine()
+        alloc = RestAllocator(machine)
+        regions = []
+        for size in sizes:
+            ptr = alloc.malloc(size)
+            for start, end in regions:
+                assert ptr + size <= start or ptr >= end
+            regions.append((ptr, ptr + size))
+
+    @given(
+        st.lists(st.integers(min_value=1, max_value=500), min_size=1, max_size=30)
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_live_allocations_never_overlap_asan(self, sizes):
+        machine = functional_machine()
+        alloc = AsanAllocator(machine)
+        regions = []
+        for size in sizes:
+            ptr = alloc.malloc(size)
+            for start, end in regions:
+                assert ptr + size <= start or ptr >= end
+            regions.append((ptr, ptr + size))
+
+    @given(st.data())
+    @settings(max_examples=25, deadline=None)
+    def test_malloc_free_interleaving_consistent(self, data):
+        machine = Machine(mode=ExecutionMode.TRACE)
+        alloc = RestAllocator(machine)
+        live = []
+        for _ in range(30):
+            if live and data.draw(st.booleans()):
+                ptr = live.pop(data.draw(st.integers(0, len(live) - 1)))
+                alloc.free(ptr)
+            else:
+                live.append(alloc.malloc(data.draw(st.integers(1, 300))))
+        assert alloc.stats.live_allocations == len(live)

@@ -1,0 +1,53 @@
+"""Scope-boundary attacks: what no tripwire scheme catches, and why."""
+
+import pytest
+
+from repro.defenses import AsanDefense, PlainDefense, RestDefense
+from repro.runtime import Machine
+from repro.workloads import AttackOutcome, run_attack
+
+
+def all_defenses():
+    return [
+        PlainDefense(Machine()),
+        AsanDefense(Machine()),
+        RestDefense(Machine(), protect_stack=True),
+    ]
+
+
+class TestScopeBoundaries:
+    def test_use_after_return_missed_by_all(self):
+        """REST's epilogue disarm (clean-stack invariant) makes UAR
+        invisible; deployed ASan without fake-stack misses it too."""
+        for defense in all_defenses():
+            result = run_attack("use_after_return", defense)
+            assert result.outcome is AttackOutcome.MISSED, result
+
+    def test_intra_object_overflow_missed_by_all(self):
+        """No metadata can live inside an object: by-construction miss
+        for tripwires (and whole-object bounds checkers)."""
+        for defense in all_defenses():
+            result = run_attack("intra_object_overflow", defense)
+            assert result.outcome is AttackOutcome.MISSED, result
+
+    def test_off_by_one_on_aligned_size_caught_by_both(self):
+        """With no pad (64-byte allocation), the boundary byte lands on
+        the redzone: both tripwire schemes catch it."""
+        assert run_attack("off_by_one_write", AsanDefense(Machine())).detected
+        assert run_attack(
+            "off_by_one_write", RestDefense(Machine())
+        ).detected
+        assert not run_attack(
+            "off_by_one_write", PlainDefense(Machine())
+        ).detected
+
+    def test_off_by_one_vs_pad_overflow_contrast(self):
+        """The pair (off_by_one_write, pad_overflow) bounds REST's
+        granularity false-negative window exactly: aligned boundary
+        caught, pad-absorbed small overflow missed."""
+        rest = RestDefense(Machine())
+        assert run_attack("off_by_one_write", rest).detected
+        rest = RestDefense(Machine())
+        assert (
+            run_attack("pad_overflow", rest).outcome is AttackOutcome.MISSED
+        )

@@ -1,0 +1,170 @@
+"""The security-evaluation matrix: every attack against every defense.
+
+This is the behavioural core of Table III's "REST" row: linear spatial
+detection, temporal detection until reallocation, composability with
+uninstrumented libraries — and the documented misses (targeted accesses,
+pad overflows).
+"""
+
+import pytest
+
+from repro.defenses import AsanDefense, PlainDefense, RestDefense
+from repro.runtime import Machine
+from repro.workloads import ATTACK_REGISTRY, AttackOutcome, run_attack
+
+
+def plain():
+    return PlainDefense(Machine())
+
+
+def asan():
+    return AsanDefense(Machine())
+
+
+def rest_full():
+    return RestDefense(Machine(), protect_stack=True)
+
+
+def rest_heap():
+    return RestDefense(Machine(), protect_stack=False)
+
+
+class TestHeartbleed:
+    def test_plain_leaks_secret(self):
+        result = run_attack("heartbleed", plain())
+        assert result.outcome is AttackOutcome.MISSED
+        assert "leaked" in result.detail
+
+    def test_asan_detects(self):
+        result = run_attack("heartbleed", asan())
+        assert result.detected
+        assert result.detected_by == "AsanViolation"
+
+    def test_rest_detects(self):
+        result = run_attack("heartbleed", rest_full())
+        assert result.detected
+        assert result.detected_by == "RestException"
+
+    def test_rest_heap_only_detects(self):
+        """Legacy-binary protection still stops Heartbleed."""
+        assert run_attack("heartbleed", rest_heap()).detected
+
+
+class TestSpatialMatrix:
+    @pytest.mark.parametrize(
+        "attack",
+        ["linear_heap_overflow_write", "heap_underflow_read"],
+    )
+    def test_heap_linear_attacks(self, attack):
+        assert run_attack(attack, plain()).outcome is AttackOutcome.MISSED
+        assert run_attack(attack, asan()).detected
+        assert run_attack(attack, rest_full()).detected
+        assert run_attack(attack, rest_heap()).detected
+
+    @pytest.mark.parametrize(
+        "attack", ["stack_linear_overflow", "stack_overread"]
+    )
+    def test_stack_linear_attacks(self, attack):
+        assert run_attack(attack, plain()).outcome is AttackOutcome.MISSED
+        assert run_attack(attack, asan()).detected
+        assert run_attack(attack, rest_full()).detected
+        # Heap-only REST deliberately leaves the stack unprotected.
+        assert not run_attack(attack, rest_heap()).detected
+
+    def test_targeted_corruption_missed_by_tripwires(self):
+        """Table III: tripwires provide Linear, not Complete, spatial
+        protection — a redzone-jumping write is invisible."""
+        for factory in (plain, asan, rest_full):
+            result = run_attack("targeted_corruption", factory())
+            assert result.outcome is AttackOutcome.MISSED
+
+    def test_pad_overflow_is_rests_false_negative(self):
+        """§V-C: the token-alignment pad absorbs small overflows (REST
+        miss); ASan's finer 8-byte granularity catches the same bug."""
+        assert run_attack("pad_overflow", rest_full()).outcome is (
+            AttackOutcome.MISSED
+        )
+        assert run_attack("pad_overflow", asan()).detected
+
+
+class TestTemporalMatrix:
+    @pytest.mark.parametrize(
+        "attack", ["use_after_free_read", "use_after_free_write"]
+    )
+    def test_uaf_detected_by_both(self, attack):
+        assert run_attack(attack, asan()).detected
+        assert run_attack(attack, rest_full()).detected
+        assert run_attack(attack, rest_heap()).detected
+
+    def test_uaf_missed_by_plain(self):
+        result = run_attack("use_after_free_read", plain())
+        assert result.outcome is AttackOutcome.MISSED
+
+    def test_double_free(self):
+        assert run_attack("double_free", asan()).detected
+        assert run_attack("double_free", rest_full()).detected
+        assert not run_attack("double_free", plain()).detected
+
+    def test_uaf_after_reallocation_missed_by_all(self):
+        """Table III: temporal protection lasts only 'until realloc'."""
+        for factory in (plain, asan, rest_full):
+            result = run_attack("uaf_after_reallocation", factory())
+            assert result.outcome is AttackOutcome.MISSED, result
+
+    def test_uninitialized_leak_prevented_by_rest_only(self):
+        """REST's zeroed free pool stops stale-data leaks (§IV-A)."""
+        assert (
+            run_attack("uninitialized_heap_leak", plain()).outcome
+            is AttackOutcome.MISSED
+        )
+        assert (
+            run_attack("uninitialized_heap_leak", asan()).outcome
+            is AttackOutcome.MISSED
+        )
+        assert (
+            run_attack("uninitialized_heap_leak", rest_full()).outcome
+            is AttackOutcome.PREVENTED
+        )
+
+
+class TestRestHardening:
+    def test_brute_force_disarm_faults(self):
+        result = run_attack("brute_force_disarm", rest_full())
+        assert result.detected
+
+    def test_brute_force_disarm_na_elsewhere(self):
+        result = run_attack("brute_force_disarm", asan())
+        assert result.outcome is AttackOutcome.NOT_APPLICABLE
+
+    def test_token_forgery_fails(self):
+        result = run_attack("token_forgery", rest_full())
+        assert result.outcome is AttackOutcome.PREVENTED
+
+    def test_library_overflow_composability(self):
+        """§V-C: uninstrumented library code — ASan blind, REST catches."""
+        assert (
+            run_attack("library_overflow", asan()).outcome
+            is AttackOutcome.MISSED
+        )
+        assert run_attack("library_overflow", rest_full()).detected
+        assert run_attack("library_overflow", rest_heap()).detected
+
+    def test_syscall_confused_deputy(self):
+        """§V-C: token exceptions fire at every privilege level."""
+        assert run_attack("syscall_confused_deputy", rest_full()).detected
+        assert (
+            run_attack("syscall_confused_deputy", asan()).outcome
+            is AttackOutcome.MISSED
+        )
+
+
+class TestRegistry:
+    def test_all_attacks_registered_and_runnable_against_rest(self):
+        for name in ATTACK_REGISTRY:
+            result = run_attack(name, rest_full())
+            assert result.attack == name
+            assert result.outcome in AttackOutcome
+
+    def test_unknown_attack_raises(self):
+        with pytest.raises(KeyError):
+            run_attack("nonexistent", rest_full())

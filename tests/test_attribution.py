@@ -1,0 +1,51 @@
+"""Tests for cycle attribution."""
+
+import pytest
+
+from repro.analysis import attribute_overhead, breakdown
+from repro.core.modes import Mode
+from repro.harness.configs import DefenseSpec, SimulationConfig
+from repro.harness.experiment import run_benchmark
+from repro.workloads.spec import profile_by_name
+
+QUICK = SimulationConfig(scale=0.1)
+
+
+@pytest.fixture(scope="module")
+def runs():
+    profile = profile_by_name("hmmer")
+    return {
+        "plain": run_benchmark(profile, DefenseSpec.plain(), QUICK),
+        "secure": run_benchmark(profile, DefenseSpec.rest("s"), QUICK),
+        "debug": run_benchmark(
+            profile, DefenseSpec.rest("d", mode=Mode.DEBUG), QUICK
+        ),
+    }
+
+
+class TestBreakdown:
+    def test_categories_bounded_by_total(self, runs):
+        parts = breakdown(runs["plain"])
+        assert parts.residual >= 0
+        assert sum(parts.as_dict().values()) == parts.total
+
+    def test_debug_overhead_lands_on_blocked_stores(self, runs):
+        """The paper's mechanism: debug-mode cost is delayed store
+        commit — the attribution must say so."""
+        attribution = attribute_overhead(runs["debug"], runs["plain"])
+        assert attribution["rob_blocked_by_store"] > 0
+        # Blocked stores must be a major component of the debug delta.
+        total = sum(attribution.values())
+        assert attribution["rob_blocked_by_store"] > 0.3 * total
+
+    def test_attribution_sums_to_overhead(self, runs):
+        attribution = attribute_overhead(runs["secure"], runs["plain"])
+        overhead = (runs["secure"].cycles / runs["plain"].cycles - 1) * 100
+        assert sum(attribution.values()) == pytest.approx(overhead, abs=0.01)
+
+    def test_mismatched_benchmarks_rejected(self, runs):
+        other = run_benchmark(
+            profile_by_name("sjeng"), DefenseSpec.plain(), QUICK
+        )
+        with pytest.raises(ValueError):
+            attribute_overhead(runs["secure"], other)

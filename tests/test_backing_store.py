@@ -1,0 +1,129 @@
+"""Tests for the sparse backing store."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.mem import BackingStore
+
+
+class TestBasicReadWrite:
+    def test_zero_fill_on_demand(self):
+        mem = BackingStore()
+        assert mem.read(0x1234, 16) == b"\x00" * 16
+        assert mem.resident_pages == 0  # reads never materialise pages
+
+    def test_roundtrip(self):
+        mem = BackingStore()
+        mem.write(0x1000, b"hello world")
+        assert mem.read(0x1000, 11) == b"hello world"
+
+    def test_cross_page_write_and_read(self):
+        mem = BackingStore(page_size=4096)
+        data = bytes(range(256)) * 40  # 10240 bytes, spans 3+ pages
+        mem.write(4096 - 100, data)
+        assert mem.read(4096 - 100, len(data)) == data
+        assert mem.resident_pages >= 3
+
+    def test_sparse_far_addresses(self):
+        mem = BackingStore()
+        mem.write(0x0000_0000_0000_1000, b"low")
+        mem.write(0x7FFF_FFFF_F000_0000, b"high")
+        assert mem.read(0x1000, 3) == b"low"
+        assert mem.read(0x7FFF_FFFF_F000_0000, 4) == b"high"
+        assert mem.resident_pages == 2
+
+    def test_fill(self):
+        mem = BackingStore()
+        mem.fill(0x2000, 100, 0xAB)
+        assert mem.read(0x2000, 100) == b"\xab" * 100
+        mem.fill(0x2000, 100)
+        assert mem.read(0x2000, 100) == b"\x00" * 100
+
+    def test_typed_accessors(self):
+        mem = BackingStore()
+        mem.write_u64(0x100, 0xDEADBEEF12345678)
+        assert mem.read_u64(0x100) == 0xDEADBEEF12345678
+        mem.write_u32(0x200, 0xCAFEBABE)
+        assert mem.read_u32(0x200) == 0xCAFEBABE
+        mem.write_u8(0x300, 0x7F)
+        assert mem.read_u8(0x300) == 0x7F
+
+    def test_u64_truncates_to_64_bits(self):
+        mem = BackingStore()
+        mem.write_u64(0, 2**64 + 5)
+        assert mem.read_u64(0) == 5
+
+    def test_rejects_out_of_space(self):
+        mem = BackingStore()
+        with pytest.raises(ValueError):
+            mem.read(2**64 - 4, 8)
+        with pytest.raises(ValueError):
+            mem.write(-1, b"x")
+
+    def test_rejects_bad_page_size(self):
+        with pytest.raises(ValueError):
+            BackingStore(page_size=1000)
+
+    def test_release_drops_full_pages(self):
+        mem = BackingStore(page_size=4096)
+        mem.write(0, b"\xff" * 4096 * 3)
+        assert mem.resident_pages == 3
+        mem.release(0, 4096 * 3)
+        assert mem.resident_pages == 0
+        assert mem.read(0, 10) == b"\x00" * 10
+
+    def test_release_zeroes_partial_pages(self):
+        mem = BackingStore(page_size=4096)
+        mem.write(0, b"\xff" * 8192)
+        mem.release(100, 4096)  # partial head page, partial tail page
+        assert mem.read(100, 4096) == b"\x00" * 4096
+        assert mem.read(0, 100) == b"\xff" * 100
+
+    def test_traffic_counters(self):
+        mem = BackingStore()
+        mem.write(0, b"abc")
+        mem.read(0, 2)
+        assert mem.bytes_written == 3
+        assert mem.bytes_read == 2
+
+    def test_pages_iterator(self):
+        mem = BackingStore(page_size=4096)
+        mem.write(4096 * 5, b"x")
+        mem.write(4096 * 2, b"y")
+        bases = [base for base, _ in mem.pages()]
+        assert bases == [4096 * 2, 4096 * 5]
+
+
+class TestBackingStoreProperties:
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=2**20),
+                st.binary(min_size=1, max_size=300),
+            ),
+            min_size=1,
+            max_size=20,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_matches_reference_flat_model(self, writes):
+        """The sparse store behaves like a flat byte array."""
+        mem = BackingStore(page_size=4096)
+        reference = bytearray(2**20 + 512)
+        for address, data in writes:
+            mem.write(address, data)
+            reference[address : address + len(data)] = data
+        for address, data in writes:
+            assert mem.read(address, len(data)) == bytes(
+                reference[address : address + len(data)]
+            )
+
+    @given(
+        st.integers(min_value=0, max_value=2**30),
+        st.binary(min_size=1, max_size=64),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_write_then_read_roundtrip(self, address, data):
+        mem = BackingStore()
+        mem.write(address, data)
+        assert mem.read(address, len(data)) == data

@@ -1,0 +1,57 @@
+"""Tests for the branch predictor model."""
+
+import pytest
+
+from repro.cpu import BranchPredictor
+
+
+class TestBranchPredictor:
+    def test_learns_always_taken(self):
+        bp = BranchPredictor()
+        for _ in range(100):
+            bp.predict_and_update(0x400, True)
+        assert bp.accuracy > 0.9
+
+    def test_learns_never_taken(self):
+        bp = BranchPredictor()
+        for _ in range(100):
+            bp.predict_and_update(0x400, False)
+        # Counters initialise weakly-taken, so early misses happen.
+        assert bp.mispredictions <= 5
+
+    def test_learns_alternating_pattern_via_history(self):
+        bp = BranchPredictor()
+        for i in range(2000):
+            bp.predict_and_update(0x400, i % 2 == 0)
+        bp.reset_stats()
+        for i in range(200):
+            bp.predict_and_update(0x400, i % 2 == 0)
+        assert bp.accuracy > 0.95
+
+    def test_loop_branch_pattern(self):
+        """A loop taken 15 times then not-taken once, repeatedly."""
+        bp = BranchPredictor()
+        for _ in range(50):
+            for i in range(16):
+                bp.predict_and_update(0x400, i != 15)
+        assert bp.accuracy > 0.85
+
+    def test_distinct_pcs_do_not_interfere(self):
+        bp = BranchPredictor()
+        for _ in range(200):
+            bp.predict_and_update(0x400, True)
+            bp.predict_and_update(0x800, False)
+        assert bp.accuracy > 0.9
+
+    def test_accuracy_with_no_predictions(self):
+        assert BranchPredictor().accuracy == 1.0
+
+    def test_rejects_bad_geometry(self):
+        with pytest.raises(ValueError):
+            BranchPredictor(table_bits=0)
+
+    def test_reset_stats(self):
+        bp = BranchPredictor()
+        bp.predict_and_update(0, True)
+        bp.reset_stats()
+        assert bp.predictions == 0 and bp.mispredictions == 0

@@ -1,0 +1,170 @@
+"""Tests for the set-associative cache, MSHRs and write buffer."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cache import Cache, CacheConfig
+from repro.cache.mshr import MshrFile
+from repro.cache.writebuffer import WriteBuffer
+
+
+def small_cache(**kwargs):
+    defaults = dict(name="test", size=1024, associativity=2, line_size=64)
+    defaults.update(kwargs)
+    return Cache(CacheConfig(**defaults))
+
+
+class TestGeometry:
+    def test_num_sets(self):
+        cache = small_cache()
+        assert cache.config.num_sets == 1024 // (2 * 64)
+
+    def test_table2_l1_geometry(self):
+        cache = Cache(CacheConfig())
+        assert cache.config.num_sets == 128
+        assert cache.config.hit_latency == 2
+
+    def test_rejects_bad_geometry(self):
+        with pytest.raises(ValueError):
+            CacheConfig(size=1000, associativity=3, line_size=64)
+
+    def test_line_address(self):
+        cache = small_cache()
+        assert cache.line_address(0x1234) == 0x1200
+        assert cache.line_address(0x1200) == 0x1200
+
+
+class TestLookupInstall:
+    def test_miss_then_hit(self):
+        cache = small_cache()
+        assert cache.lookup(0x1000) is None
+        cache.install(0x1000)
+        assert cache.lookup(0x1000) is not None
+        assert cache.lookup(0x1038) is not None  # same line
+
+    def test_lru_eviction(self):
+        cache = small_cache()  # 2-way, 8 sets, 64B lines
+        set_stride = cache.config.num_sets * 64
+        a, b, c = 0x0, set_stride, 2 * set_stride  # all map to set 0
+        cache.install(a)
+        cache.install(b)
+        cache.lookup(a)  # touch a so b becomes LRU
+        _, victim = cache.install(c)
+        assert victim is not None
+        assert cache.victim_address(c, victim) == b
+        assert cache.lookup(a, touch=False) is not None
+        assert cache.lookup(b, touch=False) is None
+
+    def test_victim_carries_metadata(self):
+        cache = small_cache()
+        set_stride = cache.config.num_sets * 64
+        line, _ = cache.install(0x0, token_bits=0b1)
+        line.dirty = True
+        cache.install(set_stride)
+        _, victim = cache.install(2 * set_stride)
+        assert victim is not None and victim.token_bits == 0b1 and victim.dirty
+
+    def test_invalidate(self):
+        cache = small_cache()
+        cache.install(0x1000)
+        cache.invalidate(0x1000)
+        assert cache.lookup(0x1000) is None
+
+    def test_flush(self):
+        cache = small_cache()
+        for i in range(16):
+            cache.install(i * 64)
+        cache.flush()
+        assert all(
+            cache.lookup(i * 64, touch=False) is None for i in range(16)
+        )
+
+    def test_stats(self):
+        cache = small_cache()
+        cache.stats.misses += 1
+        cache.install(0)
+        line = cache.lookup(0)
+        assert line is not None
+        cache.stats.hits += 1
+        assert cache.stats.accesses == 2
+        assert cache.stats.miss_rate == 0.5
+
+    @given(st.lists(st.integers(min_value=0, max_value=2**16), max_size=200))
+    @settings(max_examples=30, deadline=None)
+    def test_installed_lines_always_found_until_evicted(self, addresses):
+        """A just-installed line is always a hit immediately after."""
+        cache = small_cache()
+        for address in addresses:
+            cache.install(address)
+            assert cache.lookup(address, touch=False) is not None
+
+    @given(st.lists(st.integers(min_value=0, max_value=2**14), max_size=300))
+    @settings(max_examples=30, deadline=None)
+    def test_set_occupancy_never_exceeds_associativity(self, addresses):
+        cache = small_cache()
+        for address in addresses:
+            if cache.lookup(address) is None:
+                cache.install(address)
+        for ways in cache._sets:
+            assert sum(1 for line in ways if line.valid) <= 2
+
+
+class TestMshrFile:
+    def test_allocate_and_merge(self):
+        mshrs = MshrFile(registers=2, entries_per_register=3)
+        assert mshrs.allocate(0x1000, op_id=1) is not None
+        assert mshrs.allocate(0x1000, op_id=2) is not None  # merge
+        assert mshrs.occupancy == 1
+        assert mshrs.merges == 1
+
+    def test_structural_stall_when_full(self):
+        mshrs = MshrFile(registers=2, entries_per_register=3)
+        assert mshrs.allocate(0x1000) is not None
+        assert mshrs.allocate(0x2000) is not None
+        assert mshrs.allocate(0x3000) is None
+        assert mshrs.structural_stalls == 1
+
+    def test_merge_capacity_limit(self):
+        mshrs = MshrFile(registers=1, entries_per_register=2)
+        mshrs.allocate(0x1000, 1)
+        mshrs.allocate(0x1000, 2)
+        assert mshrs.allocate(0x1000, 3) is None
+
+    def test_release_frees_register(self):
+        mshrs = MshrFile(registers=1, entries_per_register=1)
+        mshrs.allocate(0x1000)
+        mshrs.release(0x1000)
+        assert mshrs.allocate(0x2000) is not None
+
+    def test_token_hold(self):
+        mshrs = MshrFile(registers=1, entries_per_register=1)
+        mshrs.allocate(0x1000)
+        mshrs.hold_for_token_check(0x1000)
+        assert mshrs.token_holds == 1
+        assert mshrs.lookup(0x1000).held_for_token_check
+
+    def test_rejects_bad_dimensions(self):
+        with pytest.raises(ValueError):
+            MshrFile(0, 1)
+
+
+class TestWriteBuffer:
+    def test_no_stall_with_room(self):
+        wb = WriteBuffer(entries=8)
+        assert wb.insert() == 0
+
+    def test_stalls_when_full(self):
+        wb = WriteBuffer(entries=2, drain_per_access=0.0)
+        wb.insert()
+        wb.insert()
+        assert wb.insert() > 0
+        assert wb.full_stalls == 1
+
+    def test_drains_over_time(self):
+        wb = WriteBuffer(entries=2, drain_per_access=1.0)
+        for _ in range(100):
+            assert wb.insert() == 0  # drains one per access, never fills
+
+    def test_rejects_zero_entries(self):
+        with pytest.raises(ValueError):
+            WriteBuffer(entries=0)

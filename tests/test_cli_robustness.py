@@ -1,0 +1,115 @@
+"""CLI robustness and parser corner cases."""
+
+import io
+from contextlib import redirect_stdout
+
+import pytest
+
+from repro.lang.parser import ParseError, parse
+from repro.lang import Interpreter
+from repro.defenses import PlainDefense
+from repro.runtime import Machine
+
+
+def run_cli(argv):
+    from repro.__main__ import main
+
+    captured = io.StringIO()
+    with redirect_stdout(captured):
+        code = main(argv)
+    return code, captured.getvalue()
+
+
+class TestCliRobustness:
+    def test_trace_roundtrip_via_cli(self, tmp_path):
+        path = str(tmp_path / "t.rtrace")
+        code, output = run_cli(
+            ["trace", "record", path, "--benchmark", "sjeng", "--scale", "0.02"]
+        )
+        assert code == 0 and "recorded" in output
+        code, output = run_cli(["trace", "replay", path])
+        assert code == 0 and "replayed" in output
+        code, output = run_cli(["trace", "stats", path])
+        assert code == 0 and "micro-ops" in output
+        assert "alu" in output
+
+    def test_trace_replay_debug_slower(self, tmp_path):
+        path = str(tmp_path / "t.rtrace")
+        run_cli(
+            ["trace", "record", path, "--benchmark", "hmmer",
+             "--defense", "rest", "--scale", "0.05"]
+        )
+
+        def cycles(extra):
+            _, output = run_cli(["trace", "replay", path] + extra)
+            return int(
+                output.split("micro-ops in ")[1].split(" cycles")[0].replace(",", "")
+            )
+
+        assert cycles(["--debug"]) > cycles([])
+
+    def test_minic_parse_error_reported(self, tmp_path):
+        bad = tmp_path / "bad.c"
+        bad.write_text("int main( { return 0; }")
+        with pytest.raises(ParseError):
+            run_cli(["minic", "run", str(bad)])
+
+    def test_experiments_security_via_cli(self):
+        code, output = run_cli(["experiments", "security"])
+        assert code == 0
+        assert "detection coverage" in output
+
+
+class TestParserCorners:
+    def _run(self, source, *args):
+        return Interpreter(parse(source), PlainDefense(Machine())).run(*args)
+
+    def test_left_associativity(self):
+        assert self._run("int main() { return 10 - 3 - 2; }") == 5
+        assert self._run("int main() { return 16 / 4 / 2; }") == 2
+
+    def test_comparison_chains_parse_left(self):
+        # (1 < 2) < 3 -> 1 < 3 -> 1
+        assert self._run("int main() { return 1 < 2 < 3; }") == 1
+
+    def test_deeply_nested_blocks(self):
+        source = "int main() {"
+        source += "if (1) {" * 10
+        source += "return 99;"
+        source += "}" * 10
+        source += "return 0; }"
+        assert self._run(source) == 99
+
+    def test_multiple_arrays_in_one_function(self):
+        source = """
+        int main() {
+            int a[4];
+            int b[4];
+            a[0] = 1;
+            b[0] = 2;
+            return a[0] + b[0];
+        }
+        """
+        program = parse(source)
+        assert len(program.function("main").arrays) == 2
+        assert self._run(source) == 3
+
+    def test_array_decl_inside_block_hoisted(self):
+        source = """
+        int main() {
+            if (1) {
+                int late[4];
+                late[0] = 5;
+            }
+            return late[0];
+        }
+        """
+        # Hoisting gives the array function scope (C lifetime rules).
+        assert self._run(source) == 5
+
+    def test_keywords_not_usable_as_idents(self):
+        with pytest.raises(ParseError):
+            parse("int main() { int return = 1; return 0; }")
+
+    def test_empty_function_body(self):
+        assert self._run("int main() { }") == 0

@@ -1,0 +1,131 @@
+"""Multicore tests: token semantics survive coherence unmodified.
+
+The paper claims REST needs no coherence/consistency changes and that
+inter-core and inter-cache interactions cannot bypass token semantics
+(§I, §V-B).  These tests exercise cross-core arm/load/store/disarm
+sequences through the MSI snoop layer.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cache.coherence import MulticoreHierarchy
+from repro.core import RestException
+
+
+@pytest.fixture
+def smp():
+    return MulticoreHierarchy(cores=2)
+
+
+class TestCrossCoreTokens:
+    def test_arm_visible_to_other_core(self, smp):
+        """Core 1 cannot read a location core 0 armed."""
+        smp.arm(0, 0x1000)
+        with pytest.raises(RestException):
+            smp.read(1, 0x1000, 8)
+
+    def test_arm_blocks_remote_store(self, smp):
+        smp.arm(0, 0x1000)
+        with pytest.raises(RestException):
+            smp.write(1, 0x1008, b"\xff" * 8)
+
+    def test_remote_disarm_then_access(self, smp):
+        """Disarm from another core restores access system-wide."""
+        smp.arm(0, 0x1000)
+        smp.disarm(1, 0x1000)
+        data, _ = smp.read(0, 0x1000, 8)
+        assert data == b"\x00" * 8
+        data, _ = smp.read(1, 0x1000, 8)
+        assert data == b"\x00" * 8
+
+    def test_shared_read_keeps_token_both_sides(self, smp):
+        """A read-shared *adjacent* location leaves the token armed."""
+        smp.write(0, 0x1040, b"shared!!")
+        smp.arm(0, 0x1000)
+        data, _ = smp.read(1, 0x1040, 8)  # different line, both share
+        assert data == b"shared!!"
+        with pytest.raises(RestException):
+            smp.read(1, 0x1000, 8)
+        with pytest.raises(RestException):
+            smp.read(0, 0x1000, 8)
+
+    def test_token_transfer_counted(self, smp):
+        smp.arm(0, 0x1000)
+        with pytest.raises(RestException):
+            smp.read(1, 0x1000, 8)
+        assert smp.stats.token_line_transfers >= 1
+
+    def test_plain_data_coherence(self, smp):
+        """Ordinary MSI behaviour is intact alongside tokens."""
+        smp.write(0, 0x2000, b"from-c0!")
+        data, _ = smp.read(1, 0x2000, 8)
+        assert data == b"from-c0!"
+        smp.write(1, 0x2000, b"from-c1!")
+        data, _ = smp.read(0, 0x2000, 8)
+        assert data == b"from-c1!"
+        assert smp.stats.invalidations >= 1
+
+    def test_double_disarm_across_cores_raises(self, smp):
+        smp.arm(0, 0x1000)
+        smp.disarm(1, 0x1000)
+        with pytest.raises(RestException):
+            smp.disarm(0, 0x1000)
+
+    def test_is_armed_systemwide(self, smp):
+        smp.arm(0, 0x3000)
+        assert smp.is_armed(0x3000)
+        smp.disarm(0, 0x3000)
+        assert not smp.is_armed(0x3000)
+
+    def test_four_cores(self):
+        smp = MulticoreHierarchy(cores=4)
+        smp.arm(2, 0x1000)
+        for core in range(4):
+            with pytest.raises(RestException):
+                smp.read(core, 0x1000, 8)
+        smp.disarm(3, 0x1000)
+        for core in range(4):
+            smp.read(core, 0x1000, 8)
+
+    def test_rejects_zero_cores(self):
+        with pytest.raises(ValueError):
+            MulticoreHierarchy(cores=0)
+
+
+class TestCoherencePropertyVsReference:
+    @given(st.data())
+    @settings(max_examples=30, deadline=None)
+    def test_token_state_matches_reference_model(self, data):
+        """Random cross-core op sequences track a trivial reference:
+        a set of armed addresses, regardless of which core acts."""
+        smp = MulticoreHierarchy(cores=2)
+        slots = [0x1000 + 64 * i for i in range(4)]
+        armed = set()
+        for _ in range(40):
+            core = data.draw(st.integers(0, 1))
+            slot = data.draw(st.sampled_from(slots))
+            action = data.draw(st.sampled_from(["arm", "disarm", "load", "store"]))
+            if action == "arm":
+                smp.arm(core, slot)
+                armed.add(slot)
+            elif action == "disarm":
+                if slot in armed:
+                    smp.disarm(core, slot)
+                    armed.discard(slot)
+                else:
+                    with pytest.raises(RestException):
+                        smp.disarm(core, slot)
+            elif action == "load":
+                if slot in armed:
+                    with pytest.raises(RestException):
+                        smp.read(core, slot, 8)
+                else:
+                    smp.read(core, slot, 8)
+            else:
+                if slot in armed:
+                    with pytest.raises(RestException):
+                        smp.write(core, slot, b"x" * 8)
+                else:
+                    smp.write(core, slot, b"x" * 8)
+            assert smp.is_armed(slot) == (slot in armed)

@@ -1,0 +1,176 @@
+"""Tests for the defense runtimes (plain / ASan / REST)."""
+
+import pytest
+
+from repro.core import RestException
+from repro.cpu import OpType
+from repro.defenses import AsanDefense, PlainDefense, RestDefense
+from repro.runtime import ExecutionMode, Machine
+from repro.runtime.shadow import AsanViolation
+
+
+class TestPlainDefense:
+    def test_no_protection_ops(self):
+        machine = Machine(mode=ExecutionMode.TRACE)
+        defense = PlainDefense(machine)
+        machine.take_trace()
+        defense.load(0x1000, 8)
+        trace = machine.take_trace()
+        assert len(trace) == 1 and trace[0].op is OpType.LOAD
+
+    def test_heap_roundtrip(self):
+        defense = PlainDefense(Machine())
+        ptr = defense.malloc(64)
+        defense.store(ptr, b"plaintxt")
+        assert defense.load(ptr, 8) == b"plaintxt"
+        defense.free(ptr)
+
+    def test_frames_have_no_redzones(self):
+        defense = PlainDefense(Machine())
+        frame = defense.function_enter([64])
+        assert frame.buffers[0].left_redzone == 0
+        defense.function_exit(frame)
+
+    def test_no_recompilation_needed(self):
+        assert not PlainDefense(Machine()).requires_recompilation
+
+
+class TestAsanDefense:
+    def test_instrumented_load_shape(self):
+        """Each access costs a shadow load + compare + branch + access."""
+        machine = Machine(mode=ExecutionMode.TRACE)
+        defense = AsanDefense(machine)
+        machine.take_trace()
+        defense.load(0x5000, 8)
+        ops = [u.op for u in machine.take_trace()]
+        assert ops == [OpType.LOAD, OpType.ALU, OpType.BRANCH, OpType.LOAD]
+
+    def test_load_of_redzone_raises(self):
+        defense = AsanDefense(Machine())
+        ptr = defense.malloc(64)
+        with pytest.raises(AsanViolation):
+            defense.load(ptr + 64, 8)
+
+    def test_store_to_freed_raises(self):
+        defense = AsanDefense(Machine())
+        ptr = defense.malloc(64)
+        defense.free(ptr)
+        with pytest.raises(AsanViolation):
+            defense.store(ptr, b"x" * 8)
+
+    def test_memcpy_intercept_catches_overread(self):
+        defense = AsanDefense(Machine())
+        src = defense.malloc(64)
+        dst = defense.malloc(4096)
+        with pytest.raises(AsanViolation):
+            defense.memcpy(dst, src, 1024)
+
+    def test_intercept_can_be_disabled(self):
+        defense = AsanDefense(Machine(), intercept_libc=False)
+        src = defense.malloc(64)
+        dst = defense.malloc(4096)
+        defense.memcpy(dst, src, 256)  # silent over-read: libc unchecked
+
+    def test_stack_redzones_poisoned_and_cleaned(self):
+        defense = AsanDefense(Machine())
+        frame = defense.function_enter([64])
+        buffer = frame.buffers[0]
+        assert defense.shadow.is_poisoned(buffer.left_redzone_address)
+        assert defense.shadow.is_poisoned(buffer.right_redzone_address)
+        defense.function_exit(frame)
+        assert not defense.shadow.is_poisoned(buffer.left_redzone_address)
+
+    def test_component_toggles(self):
+        machine = Machine(mode=ExecutionMode.TRACE)
+        defense = AsanDefense(
+            machine,
+            use_allocator=False,
+            protect_stack=False,
+            instrument_accesses=False,
+            intercept_libc=False,
+        )
+        machine.take_trace()
+        defense.load(0x1000, 8)
+        assert len(machine.take_trace()) == 1  # bare load
+
+    def test_requires_recompilation(self):
+        assert AsanDefense(Machine()).requires_recompilation
+
+
+class TestRestDefense:
+    def test_accesses_are_bare(self):
+        """REST adds zero instrumentation to loads/stores."""
+        machine = Machine(mode=ExecutionMode.TRACE)
+        defense = RestDefense(machine)
+        machine.take_trace()
+        defense.load(0x5000, 8)
+        defense.store(0x5000, size=8)
+        ops = [u.op for u in machine.take_trace()]
+        assert ops == [OpType.LOAD, OpType.STORE]
+
+    def test_heap_overflow_detected_in_hardware(self):
+        defense = RestDefense(Machine())
+        ptr = defense.malloc(64)
+        with pytest.raises(RestException):
+            defense.load(ptr + 64, 8)
+
+    def test_stack_redzones_armed_and_disarmed(self):
+        machine = Machine()
+        defense = RestDefense(machine)
+        frame = defense.function_enter([64])
+        buffer = frame.buffers[0]
+        assert machine.hierarchy.is_armed(buffer.left_redzone_address)
+        assert machine.hierarchy.is_armed(buffer.right_redzone_address)
+        defense.function_exit(frame)
+        assert not machine.hierarchy.is_armed(buffer.left_redzone_address)
+
+    def test_heap_only_mode_is_legacy_compatible(self):
+        defense = RestDefense(Machine(), protect_stack=False)
+        assert not defense.requires_recompilation
+        frame = defense.function_enter([64])
+        assert frame.buffers[0].left_redzone == 0
+        defense.function_exit(frame)
+
+    def test_full_mode_requires_recompilation(self):
+        assert RestDefense(Machine(), protect_stack=True).requires_recompilation
+
+    def test_nested_frames(self):
+        machine = Machine()
+        defense = RestDefense(machine)
+        outer = defense.function_enter([64])
+        inner = defense.function_enter([32])
+        defense.function_exit(inner)
+        # Outer frame redzones still in place after inner epilogue.
+        assert machine.hierarchy.is_armed(
+            outer.buffers[0].left_redzone_address
+        )
+        defense.function_exit(outer)
+
+    def test_frame_reuse_after_exit(self):
+        """Future frames inherit a clean stack (paper Figure 6A)."""
+        machine = Machine()
+        defense = RestDefense(machine)
+        for _ in range(5):
+            frame = defense.function_enter([64])
+            buffer = frame.buffers[0]
+            defense.store(buffer.address, b"bodywork")
+            defense.function_exit(frame)
+
+    def test_zero_padding_mitigation(self):
+        machine = Machine()
+        defense = RestDefense(machine)
+        ptr = defense.malloc(40)
+        frame = defense.function_enter([40])
+        buffer = frame.buffers[0]
+        machine.store(buffer.address + 40, b"stale!!!")
+        defense.zero_padding(buffer)
+        assert machine.load(buffer.address + 40, 8) == b"\x00" * 8
+        defense.function_exit(frame)
+
+    def test_memcpy_not_intercepted_yet_safe(self):
+        """No interception needed: the hardware catches the sweep."""
+        defense = RestDefense(Machine())
+        src = defense.malloc(64)
+        dst = defense.malloc(4096)
+        with pytest.raises(RestException):
+            defense.memcpy(dst, src, 1024)

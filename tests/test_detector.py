@@ -1,0 +1,132 @@
+"""Tests for the L1 fill-path token detector."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import Token, TokenConfigRegister, TokenDetector
+
+
+def make_detector(width=64, seed=1):
+    reg = TokenConfigRegister(Token.random(width, seed=seed))
+    return TokenDetector(reg), reg.token_for_hardware()
+
+
+class TestScanLine:
+    def test_detects_full_line_token(self):
+        detector, token = make_detector(64)
+        assert detector.scan_line(token.value) == 0b1
+
+    def test_plain_data_no_match(self):
+        detector, _ = make_detector(64)
+        assert detector.scan_line(b"\x00" * 64) == 0
+        assert detector.scan_line(bytes(range(64))) == 0
+
+    def test_one_bit_flip_defeats_match(self):
+        detector, token = make_detector(64)
+        corrupted = bytearray(token.value)
+        corrupted[63] ^= 0x80
+        assert detector.scan_line(bytes(corrupted)) == 0
+
+    def test_half_line_tokens_two_slots(self):
+        detector, token = make_detector(32)
+        assert detector.slots_per_line == 2
+        line = token.value + b"\x00" * 32
+        assert detector.scan_line(line) == 0b01
+        line = b"\x00" * 32 + token.value
+        assert detector.scan_line(line) == 0b10
+        assert detector.scan_line(token.value * 2) == 0b11
+
+    def test_quarter_line_tokens_four_slots(self):
+        detector, token = make_detector(16)
+        assert detector.slots_per_line == 4
+        line = b"\x00" * 16 + token.value + b"\x00" * 16 + token.value
+        assert detector.scan_line(line) == 0b1010
+
+    def test_rejects_wrong_size(self):
+        detector, _ = make_detector(64)
+        with pytest.raises(ValueError):
+            detector.scan_line(b"\x00" * 63)
+
+    def test_beat_compares_early_out(self):
+        detector, token = make_detector(64)
+        # A line differing in the first beat costs 1 compare.
+        detector.scan_line(b"\xff" * 64)
+        assert detector.beat_compares == 1
+        # A full match costs all 16 beats.
+        detector.scan_line(token.value)
+        assert detector.beat_compares == 1 + 16
+
+    def test_counters(self):
+        detector, token = make_detector(64)
+        detector.scan_line(token.value)
+        detector.scan_line(b"\x00" * 64)
+        assert detector.fills_checked == 2
+        assert detector.matches_found == 1
+
+
+class TestSlotGeometry:
+    def test_slot_of(self):
+        detector, _ = make_detector(16)
+        assert detector.slot_of(0x1000) == 0
+        assert detector.slot_of(0x1010) == 1
+        assert detector.slot_of(0x102F) == 2
+        assert detector.slot_of(0x1030) == 3
+
+    def test_slots_touched_single(self):
+        detector, _ = make_detector(16)
+        assert detector.slots_touched(0x1000, 4) == [0]
+        assert detector.slots_touched(0x103C, 4) == [3]
+
+    def test_slots_touched_spanning(self):
+        detector, _ = make_detector(16)
+        assert detector.slots_touched(0x100E, 4) == [0, 1]
+        assert detector.slots_touched(0x1000, 64) == [0, 1, 2, 3]
+
+    def test_slots_touched_rejects_empty(self):
+        detector, _ = make_detector(64)
+        with pytest.raises(ValueError):
+            detector.slots_touched(0, 0)
+
+    def test_token_line_image(self):
+        detector, token = make_detector(32)
+        image = detector.token_line_image()
+        assert image == token.value * 2
+        assert detector.scan_line(image) == 0b11
+
+
+class TestCriticalWordMatch:
+    def test_partial_match_detected(self):
+        detector, token = make_detector(64)
+        word = token.value[8:16]
+        assert detector.critical_word_partial_match(word, 8)
+
+    def test_partial_mismatch(self):
+        detector, _ = make_detector(64)
+        assert not detector.critical_word_partial_match(b"\x01" * 8, 8)
+
+    def test_partial_match_in_second_slot(self):
+        detector, token = make_detector(32)
+        word = token.value[0:8]
+        assert detector.critical_word_partial_match(word, 32)
+
+
+class TestDetectorProperties:
+    @given(st.binary(min_size=64, max_size=64))
+    @settings(max_examples=100, deadline=None)
+    def test_random_data_never_matches(self, data):
+        """2^-512 false-positive bound: random data never matches."""
+        detector, token = make_detector(64)
+        expected = 0b1 if data == token.value else 0
+        assert detector.scan_line(data) == expected
+
+    @given(st.integers(min_value=0, max_value=3))
+    def test_single_slot_detection(self, slot):
+        detector, token = make_detector(16)
+        line = bytearray(64)
+        line[slot * 16 : (slot + 1) * 16] = token.value
+        assert detector.scan_line(bytes(line)) == (1 << slot)
+
+    def test_line_size_must_be_multiple_of_width(self):
+        reg = TokenConfigRegister(Token.random(64, seed=1))
+        with pytest.raises(ValueError):
+            TokenDetector(reg, line_size=32)

@@ -1,0 +1,133 @@
+"""Tests for globals protection and the fault-diagnosis report path."""
+
+import pytest
+
+from repro.core import RestException
+from repro.defenses import AsanDefense, PlainDefense, RestDefense
+from repro.defenses.diagnosis import explain_fault
+from repro.runtime import Machine
+from repro.runtime.shadow import AsanViolation
+
+
+class TestGlobalsProtection:
+    def test_plain_globals_unprotected(self):
+        defense = PlainDefense(Machine())
+        g = defense.register_global(100)
+        defense.store(g + 100, b"overflow")  # silently fine
+
+    def test_asan_global_redzone(self):
+        defense = AsanDefense(Machine())
+        g = defense.register_global(100)
+        defense.store(g, b"in")
+        with pytest.raises(AsanViolation):
+            defense.load(g + 100, 8)
+
+    def test_rest_global_token_bookend(self):
+        defense = RestDefense(Machine())
+        g = defense.register_global(100)
+        defense.store(g, b"in")
+        # The pad up to token alignment absorbs tiny overflows (the
+        # documented §V-C granularity effect)...
+        defense.load(g + 100, 8)
+        # ...but the linear sweep hits the bookend token.
+        with pytest.raises(RestException):
+            for offset in range(0, 256, 8):
+                defense.load(g + 100 + offset, 8)
+
+    def test_globals_do_not_overlap(self):
+        defense = RestDefense(Machine())
+        a = defense.register_global(64)
+        b = defense.register_global(64)
+        assert b >= a + 64
+        assert len(defense.globals_registered) == 2
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            PlainDefense(Machine()).register_global(0)
+
+
+class TestAsanInterceptCompleteness:
+    def test_memmove_intercepted(self):
+        defense = AsanDefense(Machine())
+        src = defense.malloc(64)
+        with pytest.raises(AsanViolation):
+            defense.memmove(src + 32, src, 128)
+
+    def test_strncpy_intercepted(self):
+        defense = AsanDefense(Machine())
+        dst = defense.malloc(16)
+        src = defense.malloc(64)
+        defense.libc.write_cstring(src, b"long string here")
+        with pytest.raises(AsanViolation):
+            defense.strncpy(dst, src, 64)
+
+    def test_strcat_intercepted(self):
+        defense = AsanDefense(Machine())
+        dst = defense.malloc(16)
+        defense.libc.write_cstring(dst, b"0123456789")
+        src = defense.malloc(64)
+        defense.libc.write_cstring(src, b"ABCDEFGHIJKLMNOP")
+        with pytest.raises(AsanViolation):
+            defense.strcat(dst, src)
+
+
+class TestFaultDiagnosis:
+    def test_heap_overflow_diagnosed(self):
+        defense = RestDefense(Machine())
+        ptr = defense.malloc(100)
+        try:
+            for offset in range(96, 256, 8):
+                defense.load(ptr + offset, 8)
+        except RestException as error:
+            report = explain_fault(defense, error.address)
+            assert "heap" in report and "RIGHT" in report
+            assert f"0x{ptr:x}" in report
+
+    def test_underflow_diagnosed(self):
+        defense = RestDefense(Machine())
+        ptr = defense.malloc(100)
+        try:
+            defense.load(ptr - 8, 8)
+        except RestException as error:
+            report = explain_fault(defense, error.address)
+            assert "LEFT redzone" in report and "underflow" in report
+
+    def test_uaf_diagnosed(self):
+        defense = RestDefense(Machine())
+        ptr = defense.malloc(100)
+        defense.free(ptr)
+        try:
+            defense.load(ptr, 8)
+        except RestException as error:
+            report = explain_fault(defense, error.address)
+            assert "FREED" in report and "use-after-free" in report
+
+    def test_stack_overflow_diagnosed(self):
+        defense = RestDefense(Machine())
+        frame = defense.function_enter([64])
+        buffer = frame.buffers[0]
+        try:
+            for offset in range(56, 256, 8):
+                defense.store(buffer.address + offset, b"x" * 8)
+        except RestException as error:
+            report = explain_fault(defense, error.address)
+            assert "stack-buffer-overflow" in report
+        finally:
+            defense.function_exit(frame)
+
+    def test_sprinkled_decoy_diagnosed(self):
+        defense = RestDefense(Machine())
+        decoys = defense.sprinkle_tokens(0x40000, 64 * 16, count=1, seed=1)
+        report = explain_fault(defense, decoys[0])
+        assert "decoy" in report
+
+    def test_wild_pointer_diagnosed(self):
+        defense = RestDefense(Machine())
+        report = explain_fault(defense, 0xDEAD_0000_0000)
+        assert "outside every known region" in report
+
+    def test_live_payload_diagnosed(self):
+        defense = RestDefense(Machine())
+        ptr = defense.malloc(64)
+        report = explain_fault(defense, ptr + 8)
+        assert "inside live" in report

@@ -1,0 +1,64 @@
+"""Tests for the DRAM timing model (Table II memory parameters)."""
+
+import pytest
+
+from repro.mem import DramConfig, DramModel
+
+
+class TestTiming:
+    def test_table2_parameters(self):
+        config = DramConfig()
+        assert config.cas_ns == 13.75
+        assert config.precharge_ns == 13.75
+        assert config.ras_ns == 35.0
+
+    def test_row_miss_costs_more(self):
+        config = DramConfig()
+        assert config.row_miss_cycles > config.row_hit_cycles
+
+    def test_ns_to_cycles_at_2ghz(self):
+        config = DramConfig(core_clock_ghz=2.0)
+        assert config.ns_to_cycles(10.0) == 20
+        assert config.ns_to_cycles(0.1) == 1  # floor of one cycle
+
+    def test_first_access_is_row_miss(self):
+        dram = DramModel()
+        latency = dram.access(0x1000, is_write=False)
+        assert latency == dram.config.row_miss_cycles
+        assert dram.stats.row_misses == 1
+
+    def test_same_row_hits(self):
+        dram = DramModel()
+        dram.access(0x1000, is_write=False)
+        latency = dram.access(0x1040, is_write=False)
+        assert latency == dram.config.row_hit_cycles
+        assert dram.stats.row_hits == 1
+
+    def test_different_row_same_bank_misses(self):
+        dram = DramModel()
+        config = dram.config
+        dram.access(0x0, is_write=False)
+        # Same bank: row numbers congruent modulo bank count.
+        far = config.row_size * config.banks
+        assert dram.access(far, is_write=False) == config.row_miss_cycles
+
+    def test_read_write_counters(self):
+        dram = DramModel()
+        dram.access(0, is_write=False)
+        dram.access(0, is_write=True)
+        assert dram.stats.reads == 1
+        assert dram.stats.writes == 1
+        assert dram.stats.accesses == 2
+
+    def test_row_hit_rate(self):
+        dram = DramModel()
+        dram.access(0, False)
+        for _ in range(9):
+            dram.access(64, False)
+        assert dram.stats.row_hit_rate == pytest.approx(0.9)
+
+    def test_reset_stats(self):
+        dram = DramModel()
+        dram.access(0, False)
+        dram.reset_stats()
+        assert dram.stats.accesses == 0

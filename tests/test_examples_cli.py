@@ -1,0 +1,73 @@
+"""Smoke tests: every example script and CLI command runs clean."""
+
+import io
+import runpy
+import sys
+from contextlib import redirect_stdout
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted(
+    (Path(__file__).parent.parent / "examples").glob("*.py")
+)
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs_clean(script, monkeypatch):
+    # overhead_comparison reads argv; pin it to a fast configuration.
+    if script.stem == "overhead_comparison":
+        monkeypatch.setattr(sys, "argv", [str(script), "sjeng", "0.05"])
+    else:
+        monkeypatch.setattr(sys, "argv", [str(script)])
+    captured = io.StringIO()
+    with redirect_stdout(captured):
+        runpy.run_path(str(script), run_name="__main__")
+    output = captured.getvalue()
+    assert output.strip(), f"{script.stem} produced no output"
+    assert "!!" not in output, f"{script.stem} reported a failure:\n{output}"
+
+
+class TestCli:
+    def _run(self, argv):
+        from repro.__main__ import main
+
+        captured = io.StringIO()
+        with redirect_stdout(captured):
+            code = main(argv)
+        return code, captured.getvalue()
+
+    def test_demo(self):
+        code, output = self._run(["demo"])
+        assert code == 0
+        assert "token" in output
+
+    def test_config(self):
+        code, output = self._run(["config"])
+        assert code == 0
+        assert "DDR3" in output
+
+    def test_attack_single(self):
+        code, output = self._run(
+            ["attack", "heartbleed", "--defense", "rest"]
+        )
+        assert code == 0
+        assert "detected" in output
+
+    def test_attack_unknown(self):
+        code, _ = self._run(["attack", "nonsense"])
+        assert code == 2
+
+    def test_experiments_table2(self):
+        code, output = self._run(["experiments", "table2"])
+        assert code == 0
+        assert "2 GHz" in output
+
+    def test_experiments_unknown(self):
+        code, _ = self._run(["experiments", "fig99"])
+        assert code == 2
+
+    def test_experiments_table1(self):
+        code, output = self._run(["experiments", "table1"])
+        assert code == 0
+        assert "CONFORMS" in output

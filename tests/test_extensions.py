@@ -1,0 +1,184 @@
+"""Tests for the §VIII / §V-C extensions: the REST-native fast
+allocator, token sprinkling, and layout randomization."""
+
+import pytest
+
+from repro.core import RestException
+from repro.defenses import RestDefense
+from repro.runtime import ExecutionMode, FastRestAllocator, Machine, RestAllocator
+from repro.cpu.isa import OpType
+
+
+class TestFastRestAllocator:
+    def test_same_protection_overflow(self):
+        machine = Machine()
+        alloc = FastRestAllocator(machine)
+        ptr = alloc.malloc(64)
+        with pytest.raises(RestException):
+            machine.load(ptr + 64, 8)  # the shared guard
+
+    def test_same_protection_underflow(self):
+        machine = Machine()
+        alloc = FastRestAllocator(machine)
+        ptr = alloc.malloc(64)
+        with pytest.raises(RestException):
+            machine.load(ptr - 8, 8)
+
+    def test_same_protection_uaf(self):
+        machine = Machine()
+        alloc = FastRestAllocator(machine)
+        ptr = alloc.malloc(128)
+        alloc.free(ptr)
+        with pytest.raises(RestException):
+            machine.load(ptr, 8)
+
+    def test_double_free_detected(self):
+        alloc = FastRestAllocator(Machine())
+        ptr = alloc.malloc(64)
+        alloc.free(ptr)
+        with pytest.raises(RestException):
+            alloc.free(ptr)
+
+    def test_neighbours_share_one_guard(self):
+        """Chunks from one slab are separated by exactly one token."""
+        machine = Machine()
+        alloc = FastRestAllocator(machine)
+        a = alloc.malloc(64)
+        b = alloc.malloc(64)
+        assert abs(b - a) == 64 + machine.token_width
+
+    def test_steady_state_malloc_needs_no_arms(self):
+        """After the slab exists, malloc is arm-free (the headline
+        improvement over the ASan-derived allocator)."""
+        machine = Machine(mode=ExecutionMode.TRACE)
+        alloc = FastRestAllocator(machine)
+        alloc.malloc(64)  # carves the slab
+        machine.take_trace()
+        alloc.malloc(64)  # steady state
+        arms = sum(1 for u in machine.take_trace() if u.op is OpType.ARM)
+        assert arms == 0
+
+    def test_cheaper_than_asan_derived(self):
+        """Fewer machine ops per malloc/free cycle than the baseline."""
+
+        def ops_for(allocator_cls):
+            machine = Machine(mode=ExecutionMode.TRACE)
+            alloc = allocator_cls(machine, quarantine_bytes=4096)
+            ptrs = [alloc.malloc(96) for _ in range(64)]
+            for ptr in ptrs:
+                alloc.free(ptr)
+            for _ in range(64):
+                alloc.free(alloc.malloc(96))
+            return len(machine.take_trace())
+
+        assert ops_for(FastRestAllocator) < ops_for(RestAllocator)
+
+    def test_lower_memory_overhead(self):
+        fast = FastRestAllocator(Machine())
+        base = RestAllocator(Machine())
+        for _ in range(32):
+            fast.malloc(64)
+            base.malloc(64)
+        assert (
+            fast.stats.memory_overhead_ratio
+            < base.stats.memory_overhead_ratio
+        )
+
+    def test_quarantine_then_reuse_zeroed(self):
+        machine = Machine()
+        alloc = FastRestAllocator(machine, quarantine_bytes=0)
+        a = alloc.malloc(64)
+        machine.store(a, b"stale!!!")
+        alloc.free(a)  # drains immediately, disarm zeroes
+        b = alloc.malloc(64)
+        if b == a:
+            assert machine.load(b, 8) == b"\x00" * 8
+
+    def test_huge_allocation_sandwich_path(self):
+        machine = Machine()
+        alloc = FastRestAllocator(machine)
+        ptr = alloc.malloc(256 * 1024)
+        with pytest.raises(RestException):
+            machine.load(ptr - 8, 8)
+        alloc.free(ptr)  # munmap path: disarms its redzones
+        machine.load(ptr - 64, 8)  # guards gone with the mapping
+
+    def test_defense_integration(self):
+        defense = RestDefense(Machine(), allocator="fast")
+        ptr = defense.malloc(100)
+        with pytest.raises(RestException):
+            defense.load(ptr + 128, 8)
+
+    def test_unknown_allocator_rejected(self):
+        with pytest.raises(ValueError):
+            RestDefense(Machine(), allocator="tcmalloc")
+
+
+class TestTokenSprinkling:
+    def test_decoys_armed(self):
+        machine = Machine()
+        defense = RestDefense(machine)
+        addresses = defense.sprinkle_tokens(0x40000, 64 * 64, count=8, seed=1)
+        assert len(addresses) == 8
+        for address in addresses:
+            assert machine.hierarchy.is_armed(address)
+
+    def test_decoys_catch_region_scans(self):
+        """A sweep across the sprinkled region hits a decoy."""
+        machine = Machine()
+        defense = RestDefense(machine)
+        defense.sprinkle_tokens(0x40000, 64 * 64, count=16, seed=2)
+        with pytest.raises(RestException):
+            for offset in range(0, 64 * 64, 8):
+                machine.load(0x40000 + offset, 8)
+
+    def test_unsprinkle(self):
+        machine = Machine()
+        defense = RestDefense(machine)
+        addresses = defense.sprinkle_tokens(0x40000, 64 * 16, count=4, seed=3)
+        defense.unsprinkle(addresses)
+        for offset in range(0, 64 * 16, 8):
+            machine.load(0x40000 + offset, 8)
+        assert defense.sprinkled_tokens == []
+
+    def test_too_many_decoys_rejected(self):
+        defense = RestDefense(Machine())
+        with pytest.raises(ValueError):
+            defense.sprinkle_tokens(0x40000, 64 * 4, count=10)
+
+    def test_deterministic_by_seed(self):
+        a = RestDefense(Machine()).sprinkle_tokens(0x40000, 64 * 64, 8, seed=7)
+        b = RestDefense(Machine()).sprinkle_tokens(0x40000, 64 * 64, 8, seed=7)
+        assert a == b
+
+
+class TestLayoutRandomization:
+    def test_deltas_become_unpredictable(self):
+        """With randomization, the displacement between two fresh
+        allocations varies run to run — the attacker cannot precompute
+        the redzone jump (§V-C)."""
+
+        def delta(seed):
+            alloc = RestAllocator(
+                Machine(), randomize_slack_tokens=8, randomize_seed=seed
+            )
+            a = alloc.malloc(64)
+            b = alloc.malloc(64)
+            return b - a
+
+        deltas = {delta(seed) for seed in range(12)}
+        assert len(deltas) > 3
+
+    def test_protection_unchanged(self):
+        machine = Machine()
+        alloc = RestAllocator(machine, randomize_slack_tokens=8)
+        ptr = alloc.malloc(64)
+        with pytest.raises(RestException):
+            machine.load(ptr + 64, 8)
+
+    def test_disabled_by_default(self):
+        def delta():
+            alloc = RestAllocator(Machine())
+            return alloc.malloc(64), alloc.malloc(64)
+
+        assert delta() == delta()

@@ -1,0 +1,134 @@
+"""Tests for the synthetic workload generator and SPEC profiles."""
+
+import pytest
+
+from repro.cpu import OpType
+from repro.defenses import PlainDefense, RestDefense
+from repro.runtime import ExecutionMode, Machine
+from repro.workloads import ALL_PROFILES, SyntheticWorkload, profile_by_name
+
+
+def run_workload(profile_name, defense_cls=PlainDefense, seed=1, scale=0.1,
+                 intensity=25.0):
+    machine = Machine(mode=ExecutionMode.TRACE)
+    defense = defense_cls(machine)
+    workload = SyntheticWorkload(
+        profile_by_name(profile_name),
+        defense,
+        seed=seed,
+        scale=scale,
+        alloc_intensity=intensity,
+    )
+    stats = workload.run()
+    return machine.take_trace(), stats
+
+
+class TestProfiles:
+    def test_twelve_benchmarks(self):
+        assert len(ALL_PROFILES) == 12
+        names = {p.name for p in ALL_PROFILES}
+        assert {"gcc", "xalancbmk", "lbm", "sjeng", "hmmer"} <= names
+
+    def test_paper_cited_characteristics(self):
+        # xalanc: 0.2 allocations per kilo-instruction (paper VI-B).
+        assert profile_by_name("xalancbmk").allocs_per_kilo == 0.2
+        # lbm and sjeng: fewer than 10 allocation calls overall.
+        assert profile_by_name("lbm").allocs_per_kilo == 0.0
+        assert profile_by_name("sjeng").allocs_per_kilo == 0.0
+
+    def test_fractions_sane(self):
+        for profile in ALL_PROFILES:
+            assert 0 < profile.mem_fraction < 0.6
+            assert profile.mem_fraction + profile.branch_fraction < 0.8
+            assert 0 <= profile.branch_bias <= 1
+
+    def test_unknown_profile_raises(self):
+        with pytest.raises(KeyError):
+            profile_by_name("perlbench")
+
+    def test_scaled_instructions_floor(self):
+        profile = profile_by_name("gcc")
+        assert profile.scaled_instructions(0.0000001) == 1000
+
+
+class TestGeneration:
+    def test_deterministic_across_runs(self):
+        trace_a, _ = run_workload("gcc", seed=5)
+        trace_b, _ = run_workload("gcc", seed=5)
+        assert len(trace_a) == len(trace_b)
+        assert all(
+            x.op is y.op and x.address == y.address
+            for x, y in zip(trace_a, trace_b)
+        )
+
+    def test_seed_changes_trace(self):
+        trace_a, _ = run_workload("gcc", seed=5)
+        trace_b, _ = run_workload("gcc", seed=6)
+        assert any(
+            x.op is not y.op or x.address != y.address
+            for x, y in zip(trace_a, trace_b)
+        )
+
+    def test_app_behaviour_same_across_defenses(self):
+        """The *application* behaviour (allocs, accesses) must not
+        depend on the defense — only the added work does."""
+        _, plain_stats = run_workload("xalancbmk", PlainDefense)
+        _, rest_stats = run_workload("xalancbmk", RestDefense)
+        assert plain_stats.app_instructions == rest_stats.app_instructions
+        assert plain_stats.mallocs == rest_stats.mallocs
+        assert plain_stats.calls == rest_stats.calls
+
+    def test_instruction_budget_respected(self):
+        _, stats = run_workload("bzip2", scale=0.1)
+        budget = profile_by_name("bzip2").scaled_instructions(0.1)
+        assert stats.app_instructions == budget
+
+    def test_op_mix_tracks_profile(self):
+        trace, stats = run_workload("lbm", scale=0.25)
+        profile = profile_by_name("lbm")
+        loads = sum(1 for u in trace if u.op is OpType.LOAD)
+        stores = sum(1 for u in trace if u.op is OpType.STORE)
+        n = stats.app_instructions
+        assert abs(loads / n - profile.load_fraction) < 0.05
+        assert abs(stores / n - profile.store_fraction) < 0.05
+
+    def test_alloc_rate_scales_with_intensity(self):
+        _, low = run_workload("gcc", intensity=5.0)
+        _, high = run_workload("gcc", intensity=50.0)
+        assert high.mallocs > low.mallocs
+
+    def test_no_allocs_for_lbm(self):
+        _, stats = run_workload("lbm")
+        assert stats.mallocs == 0
+
+    def test_rest_trace_contains_arms(self):
+        trace, _ = run_workload("xalancbmk", RestDefense)
+        arms = sum(1 for u in trace if u.op is OpType.ARM)
+        assert arms > 0
+
+    def test_plain_trace_contains_no_arms(self):
+        trace, _ = run_workload("xalancbmk", PlainDefense)
+        assert all(u.op not in (OpType.ARM, OpType.DISARM) for u in trace)
+
+    def test_live_set_released_at_teardown(self):
+        machine = Machine(mode=ExecutionMode.TRACE)
+        defense = PlainDefense(machine)
+        workload = SyntheticWorkload(
+            profile_by_name("gcc"), defense, scale=0.1
+        )
+        stats = workload.run()
+        assert stats.mallocs == stats.frees
+        assert defense.allocator.stats.live_allocations == 0
+
+
+class TestReplayability:
+    def test_rest_trace_replays_without_fault(self):
+        """The benign trace must replay cleanly on REST hardware —
+        arm/disarm ordering is preserved through the allocator."""
+        from repro.cache import MemoryHierarchy
+        from repro.cpu import OutOfOrderCore
+
+        trace, _ = run_workload("xalancbmk", RestDefense, scale=0.05)
+        core = OutOfOrderCore(MemoryHierarchy())
+        stats = core.run(trace)
+        assert stats.committed == len(trace)

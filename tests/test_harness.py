@@ -1,0 +1,140 @@
+"""Integration tests for the experiment harness."""
+
+import pytest
+
+from repro.core.modes import Mode
+from repro.harness.configs import (
+    DefenseSpec,
+    SimulationConfig,
+    figure7_specs,
+    figure8_specs,
+    table2_text,
+)
+from repro.harness.experiment import build_defense, run_benchmark, run_suite
+from repro.harness.reporting import bar_chart, format_table, overhead_matrix
+from repro.runtime.machine import ExecutionMode, Machine
+from repro.workloads.spec import profile_by_name
+
+QUICK = SimulationConfig(scale=0.05)
+
+
+class TestSpecs:
+    def test_figure7_specs_cover_paper_legend(self):
+        names = {s.name for s in figure7_specs()}
+        assert names == {
+            "ASan",
+            "Debug Full",
+            "Secure Full",
+            "PerfectHW Full",
+            "Debug Heap",
+            "Secure Heap",
+            "PerfectHW Heap",
+        }
+
+    def test_figure8_specs(self):
+        names = {s.name for s in figure8_specs()}
+        assert names == {
+            f"{w} {scope}" for w in (16, 32, 64) for scope in ("Full", "Heap")
+        }
+
+    def test_build_defense_kinds(self):
+        machine = Machine(mode=ExecutionMode.TRACE)
+        assert build_defense(machine, DefenseSpec.plain()).describe() == "plain"
+        assert build_defense(machine, DefenseSpec.asan()).describe() == "asan"
+        assert (
+            build_defense(machine, DefenseSpec.rest("x")).describe() == "rest"
+        )
+        with pytest.raises(ValueError):
+            build_defense(machine, DefenseSpec(name="?", defense="mpx"))
+
+    def test_table2_text(self):
+        text = table2_text()
+        assert "2 GHz" in text and "DDR3" in text
+
+
+class TestRunBenchmark:
+    def test_run_produces_cycles_and_stats(self):
+        result = run_benchmark(
+            profile_by_name("sjeng"), DefenseSpec.plain(), QUICK
+        )
+        assert result.cycles > 0
+        assert result.instructions > 0
+        assert result.app_instructions > 0
+        assert 0 <= result.l1d_miss_rate <= 1
+
+    def test_rest_run_arms_hardware(self):
+        result = run_benchmark(
+            profile_by_name("xalancbmk"), DefenseSpec.rest("Secure Full"), QUICK
+        )
+        assert result.hierarchy_stats.arms > 0
+
+    def test_instruction_expansion_ordering(self):
+        """ASan inflates the dynamic instruction count far more than
+        REST does — that is the whole point of the paper."""
+        profile = profile_by_name("xalancbmk")
+        plain = run_benchmark(profile, DefenseSpec.plain(), QUICK)
+        asan = run_benchmark(profile, DefenseSpec.asan(), QUICK)
+        rest = run_benchmark(profile, DefenseSpec.rest("Secure Full"), QUICK)
+        assert plain.instruction_expansion < rest.instruction_expansion
+        assert rest.instruction_expansion < asan.instruction_expansion
+        # ASan's expansion dwarfs REST's extra-over-plain work.
+        rest_extra = rest.instruction_expansion - plain.instruction_expansion
+        asan_extra = asan.instruction_expansion - plain.instruction_expansion
+        assert asan_extra > 5 * rest_extra
+
+    def test_same_seed_reproducible(self):
+        profile = profile_by_name("gobmk")
+        a = run_benchmark(profile, DefenseSpec.plain(), QUICK)
+        b = run_benchmark(profile, DefenseSpec.plain(), QUICK)
+        assert a.cycles == b.cycles
+
+    def test_debug_mode_slower_than_secure(self):
+        profile = profile_by_name("hmmer")
+        secure = run_benchmark(profile, DefenseSpec.rest("s"), QUICK)
+        debug = run_benchmark(
+            profile, DefenseSpec.rest("d", mode=Mode.DEBUG), QUICK
+        )
+        assert debug.cycles > secure.cycles
+
+
+class TestRunSuite:
+    def test_plain_baseline_added(self):
+        results = run_suite(
+            [profile_by_name("sjeng")], [DefenseSpec.rest("Secure Full")], QUICK
+        )
+        assert "Plain" in results["sjeng"]
+        assert "Secure Full" in results["sjeng"]
+
+    def test_progress_callback(self):
+        seen = []
+        run_suite(
+            [profile_by_name("sjeng")],
+            [DefenseSpec.rest("Secure Full")],
+            QUICK,
+            progress=seen.append,
+        )
+        assert any("sjeng" in line for line in seen)
+
+
+class TestReporting:
+    def test_format_table(self):
+        text = format_table(["a", "bb"], [["1", "2"], ["333", "4"]], "T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bb" in lines[1]
+        assert len(lines) == 5
+
+    def test_bar_chart_clamps(self):
+        text = bar_chart({"g": {"x": 500.0, "y": 10.0}}, clamp=100.0)
+        assert "off scale" in text
+
+    def test_bar_chart_empty(self):
+        assert "(no data)" in bar_chart({"g": {}})
+
+    def test_overhead_matrix(self):
+        results = run_suite(
+            [profile_by_name("sjeng")], [DefenseSpec.rest("Secure Full")], QUICK
+        )
+        matrix = overhead_matrix(results, ["Secure Full"])
+        assert "sjeng" in matrix
+        assert isinstance(matrix["sjeng"]["Secure Full"], float)

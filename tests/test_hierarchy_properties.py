@@ -1,0 +1,132 @@
+"""Property-based tests: the hierarchy against a trivial reference.
+
+The REST hardware is a lot of machinery (token bits, deferred
+materialisation, eviction refills, detector rescans), but its
+*architectural* token state must always equal a trivial reference
+model: a set of armed addresses.  Hypothesis drives random operation
+sequences — including cache-thrashing reads that force evictions and
+refetches — and checks every observable against the reference.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cache import MemoryHierarchy
+from repro.cache.cache import CacheConfig
+from repro.cache.hierarchy import HierarchyConfig
+from repro.core import Mode, RestException, Token, TokenConfigRegister
+from repro.core.exceptions import InvalidRestInstructionError
+
+
+def tiny_hierarchy(width=64, seed=1):
+    """Small caches so random sequences actually evict lines."""
+    register = TokenConfigRegister(Token.random(width, seed=seed))
+    config = HierarchyConfig(
+        l1d=CacheConfig(name="L1-D", size=512, associativity=2, line_size=64),
+        l2=CacheConfig(
+            name="L2", size=1024, associativity=2, line_size=64, hit_latency=20
+        ),
+    )
+    return MemoryHierarchy(config=config, token_config=register)
+
+
+SLOTS = [64 * i for i in range(24)]  # spans several cache sets
+
+operation = st.tuples(
+    st.sampled_from(["arm", "disarm", "load", "store", "flush"]),
+    st.sampled_from(SLOTS),
+)
+
+
+class TestTokenStateInvariant:
+    @given(st.lists(operation, min_size=1, max_size=80))
+    @settings(max_examples=60, deadline=None)
+    def test_matches_reference_armed_set(self, operations):
+        h = tiny_hierarchy()
+        armed = set()
+        for action, slot in operations:
+            if action == "arm":
+                h.arm(slot)
+                armed.add(slot)
+            elif action == "disarm":
+                if slot in armed:
+                    h.disarm(slot)
+                    armed.discard(slot)
+                else:
+                    with pytest.raises(RestException):
+                        h.disarm(slot)
+            elif action == "load":
+                if slot in armed:
+                    with pytest.raises(RestException):
+                        h.read(slot, 8)
+                else:
+                    h.read(slot, 8)
+            elif action == "store":
+                if slot in armed:
+                    with pytest.raises(RestException):
+                        h.write(slot, b"z" * 8)
+                else:
+                    h.write(slot, b"z" * 8)
+            else:  # flush: evict everything; tokens must survive
+                h.writeback_all()
+            assert h.is_armed(slot) == (slot in armed)
+
+    @given(st.lists(operation, min_size=1, max_size=60))
+    @settings(max_examples=30, deadline=None)
+    def test_narrow_tokens_same_invariant(self, operations):
+        h = tiny_hierarchy(width=16)
+        armed = set()
+        for action, slot in operations:
+            if action == "arm":
+                h.arm(slot)
+                armed.add(slot)
+            elif action == "disarm":
+                if slot in armed:
+                    h.disarm(slot)
+                    armed.discard(slot)
+                else:
+                    with pytest.raises(RestException):
+                        h.disarm(slot)
+            elif action == "load":
+                if slot in armed:
+                    with pytest.raises(RestException):
+                        h.read(slot, 8)
+                else:
+                    h.read(slot, 8)
+            elif action == "store":
+                if slot in armed:
+                    with pytest.raises(RestException):
+                        h.write(slot, b"z" * 8)
+                else:
+                    h.write(slot, b"z" * 8)
+            else:
+                h.writeback_all()
+            assert h.is_armed(slot) == (slot in armed)
+
+    @given(
+        st.lists(st.sampled_from(SLOTS), min_size=1, max_size=30, unique=True)
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_data_integrity_around_tokens(self, armed_slots):
+        """Arming and disarming never corrupts neighbouring data."""
+        h = tiny_hierarchy()
+        data_slots = [s for s in SLOTS if s not in armed_slots]
+        for slot in data_slots:
+            h.write(slot, slot.to_bytes(8, "little"))
+        for slot in armed_slots:
+            h.arm(slot)
+        h.writeback_all()  # force token materialisation
+        for slot in data_slots:
+            value, _ = h.read(slot, 8)
+            assert value == slot.to_bytes(8, "little")
+        for slot in armed_slots:
+            h.disarm(slot)
+            value, _ = h.read(slot, 8)
+            assert value == b"\x00" * 8  # disarm zeroes
+
+    @given(st.integers(min_value=1, max_value=63))
+    def test_unaligned_arm_never_changes_state(self, misalignment):
+        h = tiny_hierarchy()
+        with pytest.raises(InvalidRestInstructionError):
+            h.arm(64 + misalignment)
+        assert not h.is_armed(64)

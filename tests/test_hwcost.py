@@ -1,0 +1,49 @@
+"""Tests for the hardware cost accounting (the 1-bit-1-comparator claim)."""
+
+import pytest
+
+from repro.cache.cache import CacheConfig
+from repro.cache.hierarchy import HierarchyConfig
+from repro.core.hwcost import comparison_table, rest_cost
+
+
+class TestRestCost:
+    def test_table2_config_one_bit_per_line(self):
+        cost = rest_cost()
+        # 64 KB / 64 B = 1024 lines, one token bit each for 64B tokens.
+        assert cost.l1d_lines == 1024
+        assert cost.token_bits_per_line == 1
+        assert cost.total_metadata_bits == 1024
+        assert cost.metadata_bytes == 128  # 128 bytes of SRAM, total
+
+    def test_storage_overhead_is_negligible(self):
+        cost = rest_cost()
+        # 1 bit per 512-bit line: under 0.2% of the data array.
+        assert cost.storage_overhead_fraction < 0.002
+
+    def test_narrow_tokens_scale_bits(self):
+        """Paper §III-B: 2 and 4 bits per line for 32B/16B tokens."""
+        assert rest_cost(token_width=32).token_bits_per_line == 2
+        assert rest_cost(token_width=16).token_bits_per_line == 4
+
+    def test_single_beat_comparator(self):
+        cost = rest_cost()
+        assert cost.comparators == 1
+        assert cost.comparator_width_bits == 32
+
+    def test_token_register_width(self):
+        assert rest_cost(token_width=64).token_register_bits == 512
+        assert rest_cost(token_width=16).token_register_bits == 128
+
+    def test_custom_cache_geometry(self):
+        config = HierarchyConfig(
+            l1d=CacheConfig(name="L1-D", size=32 * 1024, associativity=8)
+        )
+        assert rest_cost(config).l1d_lines == 512
+
+    def test_comparison_table_has_rest_first(self):
+        rows = comparison_table()
+        assert rows[0][0] == "REST"
+        assert "1024 bits" in rows[0][1]
+        schemes = {row[0] for row in rows}
+        assert {"HDFI", "CHERI", "Watchdog"} <= schemes

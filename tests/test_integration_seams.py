@@ -1,0 +1,152 @@
+"""Integration tests across subsystem seams: defenses on kernel
+hierarchies, narrow tokens on multicore, Mini-C on the fast allocator,
+sweeps, and experiment glue."""
+
+import pytest
+
+from repro.cache.coherence import MulticoreHierarchy
+from repro.core import (
+    Mode,
+    PrivilegeLevel,
+    RestException,
+    Token,
+    TokenConfigRegister,
+)
+from repro.defenses import RestDefense
+from repro.harness.configs import DefenseSpec
+from repro.harness.sweeps import seed_sweep
+from repro.lang import Interpreter, parse
+from repro.os import Kernel
+from repro.runtime import Machine
+from repro.workloads.spec import profile_by_name
+
+
+class TestDefenseOnKernelHierarchy:
+    def test_rest_defense_inside_a_process(self):
+        """A process's heap defense works under per-process tokens and
+        survives context switches."""
+        kernel = Kernel()
+        process_a = kernel.spawn()
+        machine = Machine(hierarchy=kernel.hierarchy)
+        defense = RestDefense(machine, protect_stack=False)
+        buffer = defense.malloc(64)
+        defense.store(buffer, b"a-data!!")
+
+        kernel.spawn()  # switch away (flush + token swap)
+        kernel.switch_to(process_a)  # and back
+        assert defense.load(buffer, 8) == b"a-data!!"
+        with pytest.raises(RestException):
+            defense.load(buffer + 64, 8)  # redzone survives the switches
+
+    def test_foreign_process_cannot_trip_or_read_redzones_as_tokens(self):
+        kernel = Kernel()
+        process_a = kernel.spawn()
+        machine = Machine(hierarchy=kernel.hierarchy)
+        defense = RestDefense(machine, protect_stack=False)
+        buffer = defense.malloc(64)
+        kernel.spawn()  # now B's token is installed
+        # B scans A's redzone region: the bytes are A's token —
+        # meaningless under B's register, no exception, no B-token.
+        data, _ = kernel.hierarchy.read(buffer + 64, 64)
+        assert data != kernel.hierarchy.detector.token.value
+
+
+class TestNarrowTokensOnMulticore:
+    @pytest.mark.parametrize("width", [16, 32])
+    def test_cross_core_detection_narrow(self, width):
+        register = TokenConfigRegister(Token.random(width, seed=4))
+        smp = MulticoreHierarchy(cores=2, token_config=register)
+        smp.arm(0, 0x1000 + width)  # a middle slot of the line
+        with pytest.raises(RestException):
+            smp.read(1, 0x1000 + width, 8)
+        # Sibling slots in the same line stay accessible from core 1.
+        smp.read(1, 0x1000, 8)
+        smp.disarm(1, 0x1000 + width)
+        smp.read(0, 0x1000 + width, 8)
+
+
+class TestMiniCOnVariants:
+    SOURCE = """
+    int main() {
+        int p = malloc(256);
+        for (i = 0; i < 32; i++) { p[i] = i; }
+        int total = 0;
+        for (i = 0; i < 32; i++) { total = total + p[i]; }
+        free(p);
+        return total;
+    }
+    """
+
+    def test_fast_allocator(self):
+        defense = RestDefense(Machine(), allocator="fast")
+        assert Interpreter(parse(self.SOURCE), defense).run() == sum(
+            range(32)
+        )
+
+    def test_narrow_token_machine(self):
+        register = TokenConfigRegister(Token.random(16, seed=6))
+        from repro.cache.hierarchy import MemoryHierarchy
+
+        machine = Machine(hierarchy=MemoryHierarchy(token_config=register))
+        defense = RestDefense(machine)
+        assert Interpreter(parse(self.SOURCE), defense).run() == sum(
+            range(32)
+        )
+
+    def test_debug_mode_machine(self):
+        register = TokenConfigRegister(
+            Token.random(64, seed=6), mode=Mode.DEBUG
+        )
+        from repro.cache.hierarchy import MemoryHierarchy
+
+        machine = Machine(hierarchy=MemoryHierarchy(token_config=register))
+        defense = RestDefense(machine)
+        bad = parse(
+            "int main() { int p = malloc(64); return p[8]; }"
+        )
+        with pytest.raises(RestException) as info:
+            Interpreter(bad, defense).run()
+        assert info.value.precise  # debug mode: precise report
+
+
+class TestSweepGlue:
+    def test_seed_sweep_statistics(self):
+        sweep = seed_sweep(
+            [profile_by_name("sjeng")],
+            [DefenseSpec.rest("Secure Full")],
+            seeds=(1, 2, 3),
+            scale=0.05,
+        )
+        result = sweep["Secure Full"]
+        assert len(result.samples) == 3
+        assert result.spread >= 0
+        assert result.stdev >= 0
+        assert min(result.samples) <= result.mean <= max(result.samples)
+
+    def test_seed_sweep_requires_seeds(self):
+        with pytest.raises(ValueError):
+            seed_sweep(
+                [profile_by_name("sjeng")],
+                [DefenseSpec.rest("Secure Full")],
+                seeds=(),
+            )
+
+
+class TestTokenRotationEndToEnd:
+    def test_rotation_with_writeback_rekeys_protection(self):
+        """Rotation at 'reboot': old tokens must be re-armed under the
+        new value before protection resumes (heap-only REST re-arms on
+        the next allocation round, no recompilation)."""
+        machine = Machine()
+        defense = RestDefense(machine, protect_stack=False)
+        old_buffer = defense.malloc(64)
+        register = machine.hierarchy.token_config
+        machine.hierarchy.writeback_all()
+        register.rotate(PrivilegeLevel.SUPERVISOR, seed=77)
+        # Pre-rotation redzones are stale (old token bytes): the new
+        # detector no longer recognises them...
+        machine.load(old_buffer + 64, 8)
+        # ...but fresh allocations are protected under the new token.
+        new_buffer = defense.malloc(64)
+        with pytest.raises(RestException):
+            machine.load(new_buffer + 64, 8)

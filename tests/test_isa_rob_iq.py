@@ -1,0 +1,123 @@
+"""Tests for the micro-op ISA, reorder buffer and issue queue."""
+
+import pytest
+
+from repro.cpu import IssueQueue, MicroOp, OpType, ReorderBuffer
+from repro.cpu.isa import alu, arm_op, branch, disarm_op, load, store
+
+
+class TestOpTypes:
+    def test_memory_classification(self):
+        assert OpType.LOAD.is_memory
+        assert OpType.STORE.is_memory
+        assert OpType.ARM.is_memory
+        assert OpType.DISARM.is_memory
+        assert not OpType.ALU.is_memory
+
+    def test_store_like_classification(self):
+        """Arm/disarm are functionally stores (paper §III-B)."""
+        assert OpType.STORE.is_store_like
+        assert OpType.ARM.is_store_like
+        assert OpType.DISARM.is_store_like
+        assert not OpType.LOAD.is_store_like
+
+    def test_control_classification(self):
+        assert OpType.BRANCH.is_control
+        assert OpType.CALL.is_control
+        assert OpType.RET.is_control
+        assert not OpType.STORE.is_control
+
+    def test_latencies(self):
+        assert OpType.ALU.base_latency == 1
+        assert OpType.DIV.base_latency > OpType.MUL.base_latency > 1
+        assert OpType.FP.base_latency > OpType.ALU.base_latency
+
+    def test_constructors(self):
+        op = load(0x1000, 4, deps=(2,))
+        assert op.op is OpType.LOAD and op.size == 4 and op.deps == (2,)
+        assert store(0x2000).op is OpType.STORE
+        assert arm_op(0x3000).op is OpType.ARM
+        assert disarm_op(0x3000).op is OpType.DISARM
+        assert branch(True).taken is True
+        assert alu().deps == ()
+
+    def test_repr(self):
+        assert "0x1000" in repr(load(0x1000))
+        assert "taken=True" in repr(branch(True))
+        assert "alu" in repr(alu())
+
+
+class TestReorderBuffer:
+    def test_fifo_order(self):
+        rob = ReorderBuffer(4)
+        a = rob.push(alu())
+        b = rob.push(alu())
+        assert rob.head() is a
+        assert rob.pop_head() is a
+        assert rob.head() is b
+
+    def test_capacity(self):
+        rob = ReorderBuffer(2)
+        rob.push(alu())
+        rob.push(alu())
+        assert rob.full
+        with pytest.raises(RuntimeError):
+            rob.push(alu())
+
+    def test_flush(self):
+        rob = ReorderBuffer(8)
+        rob.push(alu())
+        rob.flush()
+        assert rob.empty
+
+    def test_max_occupancy(self):
+        rob = ReorderBuffer(8)
+        for _ in range(5):
+            rob.push(alu())
+        rob.pop_head()
+        assert rob.max_occupancy == 5
+
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ValueError):
+            ReorderBuffer(0)
+
+
+class TestIssueQueue:
+    def _entry(self):
+        rob = ReorderBuffer(8)
+        return rob.push(alu())
+
+    def test_ready_selection(self):
+        iq = IssueQueue(4)
+        early = self._entry()
+        late = self._entry()
+        iq.push(early, ready_cycle=5)
+        iq.push(late, ready_cycle=10)
+        assert iq.issue_ready(cycle=7, width=4) == [early]
+        assert iq.issue_ready(cycle=12, width=4) == [late]
+
+    def test_width_limit_oldest_first(self):
+        iq = IssueQueue(8)
+        entries = [self._entry() for _ in range(5)]
+        for entry in entries:
+            iq.push(entry, ready_cycle=0)
+        issued = iq.issue_ready(cycle=1, width=2)
+        assert issued == entries[:2]
+        assert len(iq) == 3
+
+    def test_capacity(self):
+        iq = IssueQueue(1)
+        iq.push(self._entry(), 0)
+        assert iq.full
+        with pytest.raises(RuntimeError):
+            iq.push(self._entry(), 0)
+
+    def test_flush(self):
+        iq = IssueQueue(4)
+        iq.push(self._entry(), 0)
+        iq.flush()
+        assert len(iq) == 0
+
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ValueError):
+            IssueQueue(0)

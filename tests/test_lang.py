@@ -1,0 +1,247 @@
+"""Tests for the Mini-C language: semantics and defense integration."""
+
+import pytest
+
+from repro.core import RestException
+from repro.defenses import AsanDefense, PlainDefense, RestDefense
+from repro.lang import (
+    ArrayDecl,
+    Assign,
+    BinOp,
+    Call,
+    Const,
+    For,
+    Free,
+    Function,
+    If,
+    Interpreter,
+    Load,
+    Malloc,
+    MemcpyStmt,
+    MiniCError,
+    Program,
+    Return,
+    Store,
+    Var,
+    While,
+    heartbleed_program,
+    sum_array_program,
+)
+from repro.lang.programs import branchy_program, use_after_free_program
+from repro.runtime import Machine
+from repro.runtime.shadow import AsanViolation
+
+
+def run(program, defense=None, *args):
+    defense = defense or PlainDefense(Machine())
+    return Interpreter(program, defense).run(*args)
+
+
+def main_with(body, arrays=(), params=()):
+    return Program(
+        [Function(name="main", params=params, arrays=arrays, body=body)]
+    )
+
+
+class TestExpressionSemantics:
+    def test_arithmetic(self):
+        program = main_with([
+            Return(BinOp("+", BinOp("*", Const(6), Const(7)), Const(1)))
+        ])
+        assert run(program) == 43
+
+    def test_comparisons_yield_01(self):
+        for op, expected in (("<", 1), (">", 0), ("==", 0), ("!=", 1)):
+            program = main_with([Return(BinOp(op, Const(2), Const(5)))])
+            assert run(program) == expected, op
+
+    def test_division_and_modulo(self):
+        program = main_with([
+            Return(BinOp("+", BinOp("//", Const(17), Const(5)),
+                         BinOp("%", Const(17), Const(5)))),
+        ])
+        assert run(program) == 3 + 2
+
+    def test_unknown_operator_rejected(self):
+        program = main_with([Return(BinOp("^", Const(1), Const(1)))])
+        with pytest.raises(MiniCError):
+            run(program)
+
+    def test_undefined_variable_rejected(self):
+        with pytest.raises(MiniCError):
+            run(main_with([Return(Var("ghost"))]))
+
+
+class TestControlFlow:
+    def test_if_else(self):
+        program = main_with([
+            If(Const(0), [Return(Const(1))], [Return(Const(2))]),
+        ])
+        assert run(program) == 2
+
+    def test_while_accumulates(self):
+        assert run(branchy_program(10)) == 1 + 3 + 5 + 7 + 9
+
+    def test_for_range(self):
+        program = main_with([
+            Assign("s", Const(0)),
+            For("i", Const(2), Const(6), [
+                Assign("s", BinOp("+", Var("s"), Var("i"))),
+            ]),
+            Return(Var("s")),
+        ])
+        assert run(program) == 2 + 3 + 4 + 5
+
+    def test_function_call_and_params(self):
+        double = Function("double", params=("x",),
+                          body=[Return(BinOp("*", Var("x"), Const(2)))])
+        main = Function("main", body=[Return(Call("double", (Const(21),)))])
+        assert run(Program([double, main])) == 42
+
+    def test_wrong_arity_rejected(self):
+        double = Function("double", params=("x",), body=[Return(Var("x"))])
+        main = Function("main", body=[Return(Call("double", ()))])
+        with pytest.raises(MiniCError):
+            run(Program([double, main]))
+
+    def test_main_args(self):
+        program = Program([
+            Function("main", params=("a", "b"),
+                     body=[Return(BinOp("-", Var("a"), Var("b")))])
+        ])
+        assert run(program, None, 50, 8) == 42
+
+    def test_implicit_return_zero(self):
+        assert run(main_with([Assign("x", Const(9))])) == 0
+
+    def test_runaway_loop_guard(self):
+        program = main_with([While(Const(1), [Assign("x", Const(1))])])
+        with pytest.raises(MiniCError):
+            run(program)
+
+
+class TestMemorySemantics:
+    def test_stack_array_store_load(self):
+        program = main_with(
+            [
+                Store(Var("buf"), Const(3), Const(777)),
+                Return(Load(Var("buf"), Const(3))),
+            ],
+            arrays=(ArrayDecl("buf", 8),),
+        )
+        assert run(program) == 777
+
+    def test_heap_roundtrip(self):
+        program = main_with([
+            Assign("p", Malloc(Const(64))),
+            Store(Var("p"), Const(0), Const(123)),
+            Assign("v", Load(Var("p"), Const(0))),
+            Free(Var("p")),
+            Return(Var("v")),
+        ])
+        assert run(program) == 123
+
+    def test_memcpy_between_heap_buffers(self):
+        program = main_with([
+            Assign("src", Malloc(Const(64))),
+            Assign("dst", Malloc(Const(64))),
+            Store(Var("src"), Const(2), Const(9009)),
+            MemcpyStmt(Var("dst"), Var("src"), Const(64)),
+            Return(Load(Var("dst"), Const(2))),
+        ])
+        assert run(program) == 9009
+
+    def test_pointer_arithmetic_is_raw(self):
+        """C semantics: pointers are ints; offsets are unchecked."""
+        program = main_with([
+            Assign("p", Malloc(Const(64))),
+            Assign("q", BinOp("+", Var("p"), Const(16))),
+            Store(Var("q"), Const(0), Const(5)),
+            Return(Load(Var("p"), Const(2))),
+        ])
+        assert run(program) == 5
+
+
+class TestSameResultUnderEveryDefense:
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda: PlainDefense(Machine()),
+            lambda: AsanDefense(Machine()),
+            lambda: RestDefense(Machine()),
+            lambda: RestDefense(Machine(), allocator="fast"),
+        ],
+        ids=["plain", "asan", "rest", "rest-fast"],
+    )
+    def test_benign_program_result_invariant(self, factory):
+        assert run(sum_array_program(8), factory()) == sum(
+            3 * i for i in range(8)
+        )
+
+
+class TestBugsFlowToDefense:
+    def test_heartbleed_leaks_under_plain(self):
+        leak = run(heartbleed_program())
+        assert leak == 0x5345_4352_4554  # "SECRET" material
+
+    def test_heartbleed_caught_by_rest_heap_only(self):
+        with pytest.raises(RestException):
+            run(
+                heartbleed_program(),
+                RestDefense(Machine(), protect_stack=False),
+            )
+
+    def test_heartbleed_caught_by_asan(self):
+        with pytest.raises(AsanViolation):
+            run(heartbleed_program(), AsanDefense(Machine()))
+
+    def test_stack_sweep_caught_by_rest_full(self):
+        with pytest.raises(RestException):
+            run(sum_array_program(8, overrun=16), RestDefense(Machine()))
+
+    def test_stack_sweep_missed_by_rest_heap_only(self):
+        """Heap-only REST leaves the stack unprotected — the sweep
+        reads past the array into the frame, undetected (paper §IV-A:
+        users may forego stack protection)."""
+        run(
+            sum_array_program(8, overrun=4),
+            RestDefense(Machine(), protect_stack=False),
+        )
+
+    def test_uaf_caught_by_rest(self):
+        with pytest.raises(RestException):
+            run(use_after_free_program(), RestDefense(Machine()))
+
+    def test_uaf_returns_stale_data_under_plain(self):
+        assert run(use_after_free_program()) == 0xC0FFEE
+
+    def test_single_cell_overflow_write(self):
+        program = main_with(
+            [Store(Var("buf"), Const(8), Const(1))],  # one past the end
+            arrays=(ArrayDecl("buf", 8),),
+        )
+        with pytest.raises(RestException):
+            run(program, RestDefense(Machine()))
+        with pytest.raises(AsanViolation):
+            run(program, AsanDefense(Machine()))
+        run(program)  # plain: silent corruption
+
+    def test_epilogue_runs_even_when_body_faults(self):
+        """The defense's frame teardown must not leak on exceptions."""
+        defense = RestDefense(Machine())
+        program = sum_array_program(8, overrun=16)
+        with pytest.raises(RestException):
+            run(program, defense)
+        assert defense.stack.depth == 0
+
+
+class TestProgramStructure:
+    def test_unknown_function(self):
+        with pytest.raises(KeyError):
+            run(Program([Function("main", body=[Return(Call("nope"))])]))
+
+    def test_program_function_lookup(self):
+        program = branchy_program()
+        assert program.function("is_odd").params == ("x",)
+        with pytest.raises(KeyError):
+            program.function("missing")

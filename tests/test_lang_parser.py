@@ -1,0 +1,182 @@
+"""Tests for the Mini-C parser."""
+
+import pytest
+
+from repro.core import RestException
+from repro.defenses import PlainDefense, RestDefense
+from repro.lang import Interpreter
+from repro.lang.ast import ArrayDecl, BinOp, Const, For, Load, Store, Var
+from repro.lang.parser import ParseError, parse
+from repro.runtime import Machine
+
+
+def run(source, defense=None, *args):
+    defense = defense or PlainDefense(Machine())
+    return Interpreter(parse(source), defense).run(*args)
+
+
+class TestParsing:
+    def test_minimal_main(self):
+        assert run("int main() { return 42; }") == 42
+
+    def test_arithmetic_precedence(self):
+        assert run("int main() { return 2 + 3 * 4; }") == 14
+        assert run("int main() { return (2 + 3) * 4; }") == 20
+        assert run("int main() { return 17 / 5 + 17 % 5; }") == 5
+
+    def test_hex_literals(self):
+        assert run("int main() { return 0x10; }") == 16
+
+    def test_comments_ignored(self):
+        assert run(
+            "int main() { // the answer\n  return 42; // here\n}"
+        ) == 42
+
+    def test_scalar_declaration_and_assignment(self):
+        source = """
+        int main() {
+            int x = 5;
+            x = x + 1;
+            return x;
+        }
+        """
+        assert run(source) == 6
+
+    def test_array_declaration_hoisted(self):
+        program = parse("""
+        int main() {
+            int buf[8];
+            buf[0] = 7;
+            return buf[0];
+        }
+        """)
+        assert program.function("main").arrays == (ArrayDecl("buf", 8),)
+        assert Interpreter(program, PlainDefense(Machine())).run() == 7
+
+    def test_if_else(self):
+        source = """
+        int main(int x) {
+            if (x < 10) { return 1; } else { return 2; }
+        }
+        """
+        assert run(source, None, 5) == 1
+        assert run(source, None, 15) == 2
+
+    def test_while_loop(self):
+        source = """
+        int main() {
+            int i = 0;
+            int total = 0;
+            while (i < 5) { total = total + i; i = i + 1; }
+            return total;
+        }
+        """
+        assert run(source) == 10
+
+    def test_for_loop_ast_shape(self):
+        program = parse("""
+        int main() {
+            int buf[4];
+            for (i = 0; i < 4; i++) { buf[i] = i; }
+            return buf[3];
+        }
+        """)
+        loop = program.function("main").body[0]
+        assert isinstance(loop, For) and loop.var == "i"
+        assert run("""
+        int main() {
+            int buf[4];
+            for (i = 0; i < 4; i++) { buf[i] = i; }
+            return buf[3];
+        }
+        """) == 3
+
+    def test_functions_and_calls(self):
+        source = """
+        int add(int a, int b) { return a + b; }
+        int main() { return add(40, 2); }
+        """
+        assert run(source) == 42
+
+    def test_malloc_free_memcpy(self):
+        source = """
+        int main() {
+            int src = malloc(64);
+            int dst = malloc(64);
+            src[1] = 99;
+            memcpy(dst, src, 64);
+            int v = dst[1];
+            free(src);
+            free(dst);
+            return v;
+        }
+        """
+        assert run(source) == 99
+
+    def test_call_as_statement(self):
+        source = """
+        int poke(int p) { p[0] = 1; return 0; }
+        int main() {
+            int buf = malloc(32);
+            poke(buf);
+            return buf[0];
+        }
+        """
+        assert run(source) == 1
+
+
+class TestParseErrors:
+    @pytest.mark.parametrize(
+        "source",
+        [
+            "",  # empty
+            "int main( { return 0; }",  # bad params
+            "int main() { return 0 }",  # missing semicolon
+            "int main() { x ; }",  # bare ident
+            "int main() { for (i = 0; j < 4; i++) {} }",  # mixed loop var
+            "int main() { return $; }",  # bad character
+            "main() { return 0; }",  # missing type
+        ],
+    )
+    def test_rejects(self, source):
+        with pytest.raises(ParseError):
+            parse(source)
+
+
+class TestParsedListing1:
+    SOURCE = """
+    // Listing 1, in Mini-C surface syntax.
+    int tls1_process_heartbeat(int request, int payload_claim) {
+        int response = malloc(payload_claim * 8);
+        memcpy(response, request, payload_claim * 8);   // the bug
+        return response[18];
+    }
+
+    int main() {
+        int request = malloc(128);
+        int secrets = malloc(128);
+        for (i = 0; i < 16; i++) { request[i] = 0x4842; }
+        for (i = 0; i < 16; i++) { secrets[i] = 0x534543524554; }
+        return tls1_process_heartbeat(request, 128);
+    }
+    """
+
+    def test_leaks_under_plain(self):
+        assert run(self.SOURCE) == 0x534543524554
+
+    def test_caught_by_rest(self):
+        with pytest.raises(RestException):
+            run(self.SOURCE, RestDefense(Machine(), protect_stack=False))
+
+    def test_stack_sweep_from_source(self):
+        source = """
+        int main() {
+            int buf[8];
+            int total = 0;
+            for (i = 0; i < 24; i++) { total = total + buf[i]; }
+            return total;
+        }
+        """
+        run(source)  # plain: reads past the array silently
+        with pytest.raises(RestException):
+            run(source, RestDefense(Machine()))

@@ -1,0 +1,126 @@
+"""Recursion and deeper interpreter behaviour in Mini-C."""
+
+import pytest
+
+from repro.core import RestException
+from repro.defenses import PlainDefense, RestDefense
+from repro.lang import Interpreter, parse
+from repro.runtime import Machine
+
+
+def run(source, defense=None, *args):
+    defense = defense or PlainDefense(Machine())
+    return Interpreter(parse(source), defense).run(*args)
+
+
+class TestRecursion:
+    FIB = """
+    int fib(int n) {
+        if (n < 2) { return n; }
+        return fib(n - 1) + fib(n - 2);
+    }
+    int main(int n) { return fib(n); }
+    """
+
+    def test_fibonacci(self):
+        assert run(self.FIB, None, 10) == 55
+
+    def test_fibonacci_under_rest_stack_protection(self):
+        """Recursive frames with protected arrays arm/disarm cleanly."""
+        source = """
+        int depth_sum(int n) {
+            int scratch[8];
+            scratch[0] = n;
+            if (n == 0) { return 0; }
+            return scratch[0] + depth_sum(n - 1);
+        }
+        int main() { return depth_sum(12); }
+        """
+        defense = RestDefense(Machine(), protect_stack=True)
+        assert run(source, defense) == sum(range(13))
+        assert defense.stack.depth == 0  # every frame unwound
+
+    def test_mutual_recursion(self):
+        source = """
+        int is_even(int n) {
+            if (n == 0) { return 1; }
+            return is_odd(n - 1);
+        }
+        int is_odd(int n) {
+            if (n == 0) { return 0; }
+            return is_even(n - 1);
+        }
+        int main() { return is_even(10) + is_odd(7) * 10; }
+        """
+        assert run(source) == 1 + 10
+
+    def test_deep_recursion_overflow_in_protected_frames(self):
+        """Unbounded recursion exhausts the simulated stack."""
+        from repro.runtime.layout import AddressSpaceLayout
+        from repro.runtime.stack import StackOverflowError
+
+        source = """
+        int spin(int n) {
+            int pad[64];
+            pad[0] = n;
+            return spin(n + 1);
+        }
+        int main() { return spin(0); }
+        """
+        # A small simulated stack so its limit is reached well before
+        # the host interpreter's own recursion limit.
+        layout = AddressSpaceLayout(stack_size=32 * 1024)
+        defense = RestDefense(Machine(layout=layout))
+        with pytest.raises(StackOverflowError):
+            run(source, defense)
+
+
+class TestInterpreterMisc:
+    def test_array_address_passed_to_callee(self):
+        """Arrays decay to pointers across calls (C semantics) — and a
+        callee overflowing the caller's array hits the caller's
+        redzone."""
+        source = """
+        int fill(int buffer, int n) {
+            for (i = 0; i < n; i++) { buffer[i] = i; }
+            return 0;
+        }
+        int main() {
+            int local[8];
+            fill(local, 8);
+            return local[7];
+        }
+        """
+        assert run(source, RestDefense(Machine())) == 7
+
+    def test_callee_overflows_callers_buffer(self):
+        source = """
+        int fill(int buffer, int n) {
+            for (i = 0; i < n; i++) { buffer[i] = i; }
+            return 0;
+        }
+        int main() {
+            int local[8];
+            fill(local, 64);
+            return 0;
+        }
+        """
+        with pytest.raises(RestException):
+            run(source, RestDefense(Machine()))
+        run(source)  # plain: silent
+
+    def test_nested_array_frames_isolated(self):
+        source = """
+        int inner() {
+            int mine[4];
+            mine[0] = 111;
+            return mine[0];
+        }
+        int main() {
+            int ours[4];
+            ours[0] = 7;
+            int got = inner();
+            return ours[0] + got;
+        }
+        """
+        assert run(source, RestDefense(Machine())) == 118

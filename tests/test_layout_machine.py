@@ -1,0 +1,107 @@
+"""Tests for the address-space layout and the Machine abstraction."""
+
+import pytest
+
+from repro.cpu import OpType
+from repro.runtime import ExecutionMode, Machine
+from repro.runtime.layout import AddressSpaceLayout
+
+
+class TestLayout:
+    def test_regions_disjoint(self):
+        AddressSpaceLayout().validate()
+
+    def test_shadow_mapping_function(self):
+        layout = AddressSpaceLayout()
+        # f(addr) = (addr >> 3) + offset (paper Figure 2)
+        assert layout.shadow_address(0) == layout.shadow_offset
+        assert layout.shadow_address(8) == layout.shadow_offset + 1
+        assert layout.shadow_address(64) == layout.shadow_offset + 8
+
+    def test_region_predicates(self):
+        layout = AddressSpaceLayout()
+        assert layout.in_heap(layout.heap_base)
+        assert not layout.in_heap(layout.heap_end)
+        assert layout.in_stack(layout.stack_top - 8)
+        assert not layout.in_stack(layout.stack_top)
+        assert layout.in_shadow(layout.shadow_address(layout.heap_base))
+
+    def test_overlapping_layout_rejected(self):
+        bad = AddressSpaceLayout(heap_base=0x40_0000, heap_size=0x100_0000)
+        with pytest.raises(ValueError):
+            bad.validate()
+
+
+class TestMachineFunctional:
+    def test_load_store_roundtrip(self):
+        machine = Machine()
+        machine.store(0x1000, b"data")
+        assert machine.load(0x1000, 4) == b"data"
+
+    def test_arm_disarm_functional(self):
+        machine = Machine()
+        machine.arm(0x2000)
+        assert machine.hierarchy.is_armed(0x2000)
+        machine.disarm(0x2000)
+        assert not machine.hierarchy.is_armed(0x2000)
+
+    def test_compute_is_noop_functionally(self):
+        machine = Machine()
+        machine.compute(5)
+        assert machine.trace == []
+
+
+class TestMachineTrace:
+    def test_ops_accumulate(self):
+        machine = Machine(mode=ExecutionMode.TRACE)
+        machine.load(0x1000, 8)
+        machine.store(0x2000, size=8)
+        machine.arm(0x3000)
+        machine.disarm(0x3000)
+        machine.compute(2)
+        ops = [u.op for u in machine.trace]
+        assert ops == [
+            OpType.LOAD,
+            OpType.STORE,
+            OpType.ARM,
+            OpType.DISARM,
+            OpType.ALU,
+            OpType.ALU,
+        ]
+
+    def test_trace_mode_returns_zero_data(self):
+        machine = Machine(mode=ExecutionMode.TRACE)
+        assert machine.load(0x1000, 4) == b"\x00" * 4
+
+    def test_take_trace_detaches(self):
+        machine = Machine(mode=ExecutionMode.TRACE)
+        machine.compute(3)
+        trace = machine.take_trace()
+        assert len(trace) == 3
+        assert machine.trace == []
+
+    def test_perfect_hw_lowers_arm_to_store(self):
+        """Paper §VI-B: PerfectHW replaces arm/disarm by one store each."""
+        machine = Machine(mode=ExecutionMode.TRACE, perfect_hw=True)
+        machine.arm(0x1000)
+        machine.disarm(0x1000)
+        assert [u.op for u in machine.trace] == [OpType.STORE, OpType.STORE]
+
+    def test_call_ret_update_pc(self):
+        machine = Machine(mode=ExecutionMode.TRACE)
+        start = machine._pc
+        machine.call(0x5000)
+        assert machine._pc == 0x5000
+        machine.ret(start)
+        assert machine._pc == start
+        assert [u.op for u in machine.trace] == [OpType.CALL, OpType.RET]
+
+    def test_compare_and_branch_shape(self):
+        machine = Machine(mode=ExecutionMode.TRACE)
+        machine.load(0x1000, 1)
+        machine.compare_and_branch(taken=False)
+        ops = [u.op for u in machine.trace]
+        assert ops == [OpType.LOAD, OpType.ALU, OpType.BRANCH]
+        # The compare depends on the load; the branch on the compare.
+        assert machine.trace[1].deps == (1,)
+        assert machine.trace[2].deps == (1,)

@@ -1,0 +1,102 @@
+"""Tests for the libc routines over the Machine interface."""
+
+import pytest
+
+from repro.cpu import OpType
+from repro.runtime import ExecutionMode, Libc, Machine
+
+
+@pytest.fixture
+def env():
+    machine = Machine()
+    return machine, Libc(machine)
+
+
+class TestMemFunctions:
+    def test_memcpy(self, env):
+        machine, libc = env
+        machine.store(0x1000, b"hello world!")
+        libc.memcpy(0x2000, 0x1000, 12)
+        assert machine.load(0x2000, 12) == b"hello world!"
+
+    def test_memcpy_odd_sizes(self, env):
+        machine, libc = env
+        machine.store(0x1000, bytes(range(37)))
+        libc.memcpy(0x2000, 0x1000, 37)
+        assert machine.load(0x2000, 37) == bytes(range(37))
+
+    def test_memset(self, env):
+        machine, libc = env
+        libc.memset(0x3000, 0x5A, 100)
+        assert machine.load(0x3000, 100) == b"\x5a" * 100
+
+    def test_memmove_forward_overlap(self, env):
+        machine, libc = env
+        machine.store(0x1000, b"abcdefgh")
+        libc.memmove(0x1002, 0x1000, 8)
+        assert machine.load(0x1002, 8) == b"abcdefgh"
+
+    def test_memmove_no_overlap_same_as_memcpy(self, env):
+        machine, libc = env
+        machine.store(0x1000, b"xyz")
+        libc.memmove(0x4000, 0x1000, 3)
+        assert machine.load(0x4000, 3) == b"xyz"
+
+    def test_memcmp(self, env):
+        machine, libc = env
+        machine.store(0x1000, b"aaaa")
+        machine.store(0x2000, b"aaab")
+        assert libc.memcmp(0x1000, 0x2000, 4) == -1
+        assert libc.memcmp(0x2000, 0x1000, 4) == 1
+        assert libc.memcmp(0x1000, 0x1000, 4) == 0
+
+
+class TestStringFunctions:
+    def test_strlen(self, env):
+        machine, libc = env
+        libc.write_cstring(0x1000, b"hello")
+        assert libc.strlen(0x1000) == 5
+
+    def test_strcpy(self, env):
+        machine, libc = env
+        libc.write_cstring(0x1000, b"copy me")
+        libc.strcpy(0x2000, 0x1000)
+        assert machine.load(0x2000, 8) == b"copy me\x00"
+
+    def test_strncpy_pads_with_zeros(self, env):
+        machine, libc = env
+        machine.store(0x2000, b"\xff" * 10)
+        libc.write_cstring(0x1000, b"ab")
+        libc.strncpy(0x2000, 0x1000, 10)
+        assert machine.load(0x2000, 10) == b"ab" + b"\x00" * 8
+
+    def test_strcat(self, env):
+        machine, libc = env
+        libc.write_cstring(0x1000, b"foo")
+        libc.write_cstring(0x2000, b"bar")
+        libc.strcat(0x1000, 0x2000)
+        assert machine.load(0x1000, 7) == b"foobar\x00"
+
+    def test_strlen_requires_functional_mode(self):
+        machine = Machine(mode=ExecutionMode.TRACE)
+        libc = Libc(machine)
+        with pytest.raises(RuntimeError):
+            libc.strlen(0x1000)
+
+
+class TestTraceShape:
+    def test_memcpy_emits_load_store_pairs(self):
+        machine = Machine(mode=ExecutionMode.TRACE)
+        libc = Libc(machine)
+        libc.memcpy(0x2000, 0x1000, 64)
+        trace = machine.take_trace()
+        loads = sum(1 for u in trace if u.op is OpType.LOAD)
+        stores = sum(1 for u in trace if u.op is OpType.STORE)
+        assert loads == 8 and stores == 8  # 64B word-at-a-time
+
+    def test_store_depends_on_load(self):
+        machine = Machine(mode=ExecutionMode.TRACE)
+        libc = Libc(machine)
+        libc.memcpy(0x2000, 0x1000, 8)
+        trace = machine.take_trace()
+        assert trace[1].op is OpType.STORE and trace[1].deps == (1,)

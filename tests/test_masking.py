@@ -1,0 +1,70 @@
+"""Tests for exception unmaskability (paper §V-B).
+
+"REST exceptions cannot be masked from the same privilege level" —
+only privileged code may set the mask bit, and while it is set the
+hardware counts suppressed faults instead of raising.
+"""
+
+import pytest
+
+from repro.cache import MemoryHierarchy
+from repro.core import (
+    PrivilegeError,
+    PrivilegeLevel,
+    RestException,
+    Token,
+    TokenConfigRegister,
+)
+
+
+@pytest.fixture
+def hierarchy():
+    register = TokenConfigRegister(Token.random(64, seed=9))
+    return MemoryHierarchy(token_config=register)
+
+
+class TestUnmaskability:
+    def test_user_level_cannot_mask(self, hierarchy):
+        with pytest.raises(PrivilegeError):
+            hierarchy.token_config.set_exception_mask(
+                True, PrivilegeLevel.USER
+            )
+        assert not hierarchy.token_config.exceptions_masked
+
+    def test_attacker_cannot_disable_own_tripwires(self, hierarchy):
+        """The §V-B scenario: a compromised user process tries to turn
+        off detection before sweeping memory — and cannot."""
+        hierarchy.arm(0x1000)
+        with pytest.raises(PrivilegeError):
+            hierarchy.token_config.set_exception_mask(
+                True, PrivilegeLevel.USER
+            )
+        with pytest.raises(RestException):
+            hierarchy.read(0x1000, 8)
+
+    def test_privileged_mask_suppresses_and_counts(self, hierarchy):
+        hierarchy.arm(0x1000)
+        hierarchy.token_config.set_exception_mask(
+            True, PrivilegeLevel.SUPERVISOR
+        )
+        data, _ = hierarchy.read(0x1000, 8)  # proceeds
+        assert data == b"\x00" * 8  # arm deferred: value not yet written
+        assert hierarchy.stats.suppressed_faults == 1
+        assert hierarchy.stats.token_faults == 0
+
+    def test_unmask_restores_detection(self, hierarchy):
+        hierarchy.arm(0x1000)
+        register = hierarchy.token_config
+        register.set_exception_mask(True, PrivilegeLevel.SUPERVISOR)
+        hierarchy.read(0x1000, 8)
+        register.set_exception_mask(False, PrivilegeLevel.SUPERVISOR)
+        with pytest.raises(RestException):
+            hierarchy.read(0x1000, 8)
+
+    def test_masked_store_suppressed(self, hierarchy):
+        hierarchy.arm(0x1000)
+        hierarchy.token_config.set_exception_mask(
+            True, PrivilegeLevel.MACHINE
+        )
+        hierarchy.write(0x1008, b"\xff" * 8)
+        assert hierarchy.stats.suppressed_faults == 1

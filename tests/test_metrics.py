@@ -1,0 +1,84 @@
+"""Tests for the paper's overhead aggregation (footnotes 5 and 6)."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.harness.metrics import (
+    geo_mean_overhead,
+    overhead_percent,
+    weighted_mean_overhead,
+)
+
+
+class TestOverheadPercent:
+    def test_basic(self):
+        assert overhead_percent(140, 100) == pytest.approx(40.0)
+        assert overhead_percent(100, 100) == pytest.approx(0.0)
+
+    def test_rejects_bad_baseline(self):
+        with pytest.raises(ValueError):
+            overhead_percent(100, 0)
+
+
+class TestWeightedMean:
+    def test_footnote5_reduction(self):
+        """The footnote's formula reduces to sum(r)/sum(p) - 1."""
+        runtimes = [120.0, 300.0, 50.0]
+        plains = [100.0, 250.0, 40.0]
+        expected = (sum(runtimes) / sum(plains) - 1) * 100
+        assert weighted_mean_overhead(runtimes, plains) == pytest.approx(
+            expected
+        )
+
+    def test_weighting_by_plain_runtime(self):
+        """A slow benchmark's overhead dominates the weighted mean."""
+        # benchmark A: plain 1000, 50% overhead; B: plain 10, 500%.
+        runtimes = [1500.0, 60.0]
+        plains = [1000.0, 10.0]
+        wtd = weighted_mean_overhead(runtimes, plains)
+        geo = geo_mean_overhead(runtimes, plains)
+        assert abs(wtd - 54.5) < 1.0  # near A's 50%, not B's 500%
+        assert geo > 150  # the geo mean is pulled by B
+
+    def test_identity(self):
+        assert weighted_mean_overhead([5, 7], [5, 7]) == pytest.approx(0.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            weighted_mean_overhead([1.0], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            weighted_mean_overhead([], [])
+        with pytest.raises(ValueError):
+            weighted_mean_overhead([1.0], [0.0])
+
+
+class TestGeoMean:
+    def test_footnote6(self):
+        runtimes = [200.0, 50.0]
+        plains = [100.0, 100.0]
+        # geomean(2.0, 0.5) = 1.0 -> 0% overhead
+        assert geo_mean_overhead(runtimes, plains) == pytest.approx(0.0)
+
+    def test_uniform_overhead(self):
+        assert geo_mean_overhead([110, 220], [100, 200]) == pytest.approx(
+            10.0
+        )
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=1.0, max_value=1e6),
+                st.floats(min_value=1.0, max_value=1e6),
+            ),
+            min_size=1,
+            max_size=20,
+        )
+    )
+    def test_geo_mean_bounded_by_extremes(self, pairs):
+        runtimes = [r for r, _ in pairs]
+        plains = [p for _, p in pairs]
+        ratios = [r / p for r, p in pairs]
+        geo = geo_mean_overhead(runtimes, plains) / 100 + 1
+        assert min(ratios) - 1e-9 <= geo <= max(ratios) + 1e-9

@@ -1,0 +1,97 @@
+"""Final targeted coverage: prefetcher behaviour, allocator geometry,
+spec factories, and detector accounting."""
+
+import pytest
+
+from repro.cache.hierarchy import MemoryHierarchy
+from repro.core import Token, TokenConfigRegister, TokenDetector
+from repro.core.modes import Mode
+from repro.harness.configs import DefenseSpec, figure7_specs, figure8_specs
+from repro.runtime import AsanAllocator, Machine, RestAllocator
+
+
+class TestInstructionPrefetcher:
+    def test_sequential_code_streams_after_first_miss(self):
+        h = MemoryHierarchy()
+        stalls = [h.fetch_line(0x400000 + 64 * i) for i in range(16)]
+        assert stalls[0] > 0  # cold
+        assert all(s == 0 for s in stalls[1:])  # next-line prefetch
+
+    def test_random_jumps_miss(self):
+        h = MemoryHierarchy()
+        stalls = [
+            h.fetch_line(0x400000 + 8192 * i) for i in range(8)
+        ]
+        assert all(s > 0 for s in stalls)
+
+    def test_prefetch_does_not_stall_fetch(self):
+        h = MemoryHierarchy()
+        h.fetch_line(0x400000)
+        before = h.l1i.stats.misses
+        assert h.fetch_line(0x400040) == 0  # hit on prefetched line
+        assert h.l1i.stats.misses == before
+
+
+class TestAllocatorGeometry:
+    def test_asan_redzone_monotonic_in_size(self):
+        alloc = AsanAllocator(Machine())
+        sizes = [16, 256, 4096, 65536, 10**6]
+        redzones = [alloc.redzone_size(s) for s in sizes]
+        assert redzones == sorted(redzones)
+        assert redzones[0] == alloc.min_redzone
+        assert redzones[-1] == alloc.max_redzone
+
+    def test_rest_redzone_tokens_monotonic(self):
+        alloc = RestAllocator(Machine())
+        sizes = [16, 1024, 16384, 10**6]
+        tokens = [alloc.redzone_tokens(s) for s in sizes]
+        assert tokens == sorted(tokens)
+        assert tokens[0] == 1 and tokens[-1] <= 8
+
+    def test_rest_reserved_geometry_accounts(self):
+        machine = Machine()
+        alloc = RestAllocator(machine)
+        ptr = alloc.malloc(100)
+        chunk = alloc._live[ptr]
+        width = machine.token_width
+        assert chunk.payload % width == 0
+        assert (chunk.total - alloc._payload_span(chunk)) % (2 * width) == 0
+
+
+class TestSpecFactories:
+    def test_figure7_modes_and_scopes(self):
+        by_name = {s.name: s for s in figure7_specs()}
+        assert by_name["Debug Full"].mode is Mode.DEBUG
+        assert by_name["Secure Heap"].protect_stack is False
+        assert by_name["PerfectHW Full"].perfect_hw is True
+        assert by_name["ASan"].defense == "asan"
+
+    def test_figure8_widths(self):
+        widths = {s.token_width for s in figure8_specs()}
+        assert widths == {16, 32, 64}
+        assert all(s.mode is Mode.SECURE for s in figure8_specs())
+
+    def test_plain_factory(self):
+        plain = DefenseSpec.plain()
+        assert plain.defense == "plain" and not plain.protect_stack
+
+
+class TestDetectorAccounting:
+    def test_narrow_token_line_image(self):
+        register = TokenConfigRegister(Token.random(16, seed=8))
+        detector = TokenDetector(register)
+        image = detector.token_line_image()
+        assert len(image) == 64
+        assert detector.scan_line(image) == 0b1111
+
+    def test_beat_accounting_scales_with_slots(self):
+        register = TokenConfigRegister(Token.random(16, seed=8))
+        detector = TokenDetector(register)
+        detector.scan_line(b"\x00" * 64)
+        # Four slots, each early-outs on its first beat.
+        assert detector.beat_compares == 4
+
+    def test_slots_per_line_by_width(self):
+        for width, slots in ((64, 1), (32, 2), (16, 4)):
+            register = TokenConfigRegister(Token.random(width, seed=8))
+            assert TokenDetector(register).slots_per_line == slots

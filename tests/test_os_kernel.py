@@ -1,0 +1,159 @@
+"""Tests for the system-level per-process token design (paper §IV-B)."""
+
+import pytest
+
+from repro.core import RestException
+from repro.core.exceptions import PrivilegeError
+from repro.os import Kernel, TokenSwitchPolicy
+from repro.os.kernel import TokenLeakError
+
+
+@pytest.fixture
+def kernel():
+    return Kernel()
+
+
+class TestContextSwitching:
+    def test_each_process_gets_unique_token(self, kernel):
+        a = kernel.spawn()
+        b = kernel.spawn()
+        assert a.token != b.token
+
+    def test_single_policy_shares_token(self):
+        kernel = Kernel(policy=TokenSwitchPolicy.SINGLE)
+        a = kernel.spawn()
+        b = kernel.spawn()
+        assert a.token == b.token
+
+    def test_switch_installs_token(self, kernel):
+        a = kernel.spawn()
+        b = kernel.spawn()
+        assert kernel.hierarchy.token_config.token_for_hardware() == b.token
+        kernel.switch_to(a)
+        assert kernel.hierarchy.token_config.token_for_hardware() == a.token
+
+    def test_tokens_survive_context_switches(self, kernel):
+        """A's armed locations protect again when A runs again —
+        without the kernel tracking any armed addresses."""
+        a = kernel.spawn()
+        kernel.hierarchy.arm(a.arena_base)
+        b = kernel.spawn()  # switches away; A's tokens materialise
+        kernel.hierarchy.write(b.arena_base, b"b-data!!")
+        kernel.switch_to(a)
+        with pytest.raises(RestException):
+            kernel.hierarchy.read(a.arena_base, 8)
+        kernel.hierarchy.disarm(a.arena_base)
+        kernel.hierarchy.read(a.arena_base, 8)
+
+    def test_foreign_tokens_invisible(self, kernel):
+        """B reading A's (materialised) token bytes does not fault —
+        different token value — and does not learn B's own token."""
+        a = kernel.spawn()
+        kernel.hierarchy.arm(a.arena_base)
+        b = kernel.spawn()
+        # B inspects A's arena (shared-memory scenario): the bytes are
+        # A's token, which under B's register value is just data.
+        data, _ = kernel.hierarchy.read(a.arena_base, 64)
+        assert data == a.token.value
+        assert data != b.token.value
+
+    def test_redundant_switch_is_noop(self, kernel):
+        a = kernel.spawn()
+        before = kernel.context_switches
+        kernel.switch_to(a)
+        assert kernel.context_switches == before
+
+    def test_switch_to_unknown_process(self, kernel):
+        from repro.os.kernel import Process
+        from repro.core.token import Token
+
+        ghost = Process(99, Token.random(64, seed=5), 0x1000, 0x1000)
+        with pytest.raises(KeyError):
+            kernel.switch_to(ghost)
+
+
+class TestFork:
+    def test_child_inherits_data(self, kernel):
+        parent = kernel.spawn()
+        kernel.hierarchy.write(parent.arena_base + 64, b"heirloom")
+        child = kernel.fork(parent)
+        kernel.switch_to(child)
+        data, _ = kernel.hierarchy.read(child.arena_base + 64, 8)
+        assert data == b"heirloom"
+
+    def test_child_tokens_rekeyed(self, kernel):
+        """Inherited redzones are re-keyed to the child's token, so the
+        child's copies are *protected*, not silently plain bytes."""
+        parent = kernel.spawn()
+        kernel.hierarchy.arm(parent.arena_base + 128)
+        child = kernel.fork(parent)
+        assert kernel.stats_last_fork_rekeyed == 1
+        kernel.switch_to(child)
+        with pytest.raises(RestException):
+            kernel.hierarchy.read(child.arena_base + 128, 8)
+
+    def test_parent_tokens_unaffected_by_fork(self, kernel):
+        parent = kernel.spawn()
+        kernel.hierarchy.arm(parent.arena_base)
+        kernel.fork(parent)
+        kernel.switch_to(parent)
+        with pytest.raises(RestException):
+            kernel.hierarchy.read(parent.arena_base, 8)
+
+    def test_child_has_distinct_token_and_parent_link(self, kernel):
+        parent = kernel.spawn()
+        child = kernel.fork(parent)
+        assert child.token != parent.token
+        assert child.parent_pid == parent.pid
+
+
+class TestIpc:
+    def test_plain_data_crosses(self, kernel):
+        a = kernel.spawn()
+        b = kernel.spawn()
+        kernel.switch_to(a)
+        kernel.hierarchy.write(a.arena_base, b"message!")
+        kernel.pipe_send(a, a.arena_base, b, b.arena_base, 8)
+        kernel.switch_to(b)
+        data, _ = kernel.hierarchy.read(b.arena_base, 8)
+        assert data == b"message!"
+
+    def test_kernel_copy_over_armed_region_faults(self, kernel):
+        """Confused-deputy: a syscall sweeping through the sender's
+        live token raises the privileged REST exception."""
+        a = kernel.spawn()
+        b = kernel.spawn()
+        kernel.switch_to(a)
+        kernel.hierarchy.arm(a.arena_base + 64)
+        with pytest.raises(RestException):
+            kernel.pipe_send(a, a.arena_base, b, b.arena_base, 128)
+
+    def test_token_value_bytes_leak_blocked(self, kernel):
+        """Token *bytes* that never pass through the fill detector (the
+        §V-B transient case: data acquires the token value while the
+        line is already in L1) raise no hardware exception — the
+        kernel's IPC scan is the backstop that keeps the value from
+        crossing the process boundary."""
+        a = kernel.spawn()
+        b = kernel.spawn()
+        kernel.switch_to(a)
+        # The payload happens to equal A's token value, written as
+        # ordinary data into an L1-resident line: no token bit is set.
+        kernel.hierarchy.write(a.arena_base, a.token.value)
+        assert not kernel.hierarchy.is_armed(a.arena_base)
+        with pytest.raises(TokenLeakError):
+            kernel.pipe_send(a, a.arena_base, b, b.arena_base, 64)
+        assert kernel.token_leaks_blocked == 1
+
+    def test_range_ownership_enforced(self, kernel):
+        a = kernel.spawn()
+        b = kernel.spawn()
+        with pytest.raises(PrivilegeError):
+            kernel.pipe_send(a, b.arena_base, b, b.arena_base, 8)
+        with pytest.raises(PrivilegeError):
+            kernel.pipe_send(a, a.arena_base, b, a.arena_base, 8)
+
+    def test_describe(self, kernel):
+        kernel.spawn()
+        text = kernel.describe()
+        assert "per-process" in text and "pid 1" in text

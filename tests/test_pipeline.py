@@ -1,0 +1,156 @@
+"""Tests for the out-of-order core pipeline."""
+
+import pytest
+
+from repro.cache import MemoryHierarchy
+from repro.core import Mode, RestException, Token, TokenConfigRegister
+from repro.cpu import CoreConfig, MicroOp, OpType, OutOfOrderCore
+from repro.cpu.isa import alu, arm_op, branch, disarm_op, load, store
+
+
+def make_core(mode=Mode.SECURE, config=None, seed=1):
+    reg = TokenConfigRegister(Token.random(64, seed=seed), mode=mode)
+    hierarchy = MemoryHierarchy(token_config=reg)
+    return OutOfOrderCore(hierarchy, config=config)
+
+
+class TestBasicExecution:
+    def test_empty_trace(self):
+        core = make_core()
+        stats = core.run([])
+        assert stats.committed == 0
+
+    def test_commits_all_ops(self):
+        core = make_core()
+        stats = core.run([alu() for _ in range(100)])
+        assert stats.committed == 100
+        assert stats.op_counts["alu"] == 100
+
+    def test_ipc_bounded_by_width(self):
+        core = make_core()
+        stats = core.run([alu() for _ in range(1000)])
+        assert 0 < stats.ipc <= core.config.commit_width
+
+    def test_independent_alus_superscalar(self):
+        """Independent ALU ops should commit at multiple per cycle."""
+        core = make_core()
+        stats = core.run([alu() for _ in range(2000)])
+        assert stats.ipc > 2.0
+
+    def test_dependency_chain_serialises(self):
+        """A chain of dependent ops cannot exceed IPC 1."""
+        core = make_core()
+        stats = core.run([alu(deps=(1,)) for _ in range(2000)])
+        assert stats.ipc <= 1.05
+
+    def test_loads_and_stores_execute(self):
+        core = make_core()
+        ops = [store(0x1000 + 8 * i) for i in range(10)]
+        ops += [load(0x1000 + 8 * i) for i in range(10)]
+        stats = core.run(ops)
+        assert stats.committed == 20
+        assert stats.op_counts["load"] == 10
+        assert stats.op_counts["store"] == 10
+
+    def test_in_order_config_slower(self):
+        trace = lambda: [alu() for _ in range(1000)]
+        ooo = make_core().run(trace())
+        ino = make_core(config=CoreConfig.in_order()).run(trace())
+        assert ino.cycles > ooo.cycles
+
+    def test_max_cycles_guard(self):
+        core = make_core()
+        with pytest.raises(RuntimeError):
+            core.run([alu() for _ in range(10000)], max_cycles=10)
+
+
+class TestMemoryBehaviour:
+    def test_cache_misses_cost_cycles(self):
+        # Loads striding through memory (cold misses) vs hitting one line.
+        cold = make_core()
+        cold_stats = cold.run([load(0x10000 + 64 * i) for i in range(200)])
+        warm = make_core()
+        warm.run([load(0x10000)])
+        warm_stats = warm.run([load(0x10000) for _ in range(200)])
+        assert cold_stats.cycles > warm_stats.cycles
+
+    def test_store_to_load_forwarding_counted(self):
+        core = make_core()
+        ops = []
+        for i in range(50):
+            ops.append(store(0x2000, 8))
+            ops.append(load(0x2000, 8))
+        stats = core.run(ops)
+        assert stats.lsq_forwards > 0
+
+    def test_branches_and_mispredicts(self):
+        core = make_core()
+        import random
+
+        rng = random.Random(1)
+        ops = [branch(rng.random() < 0.5, pc=0x400 + 4 * (i % 7)) for i in range(500)]
+        stats = core.run(ops)
+        assert stats.branch_mispredicts > 0
+        assert stats.op_counts["branch"] == 500
+
+
+class TestRestInPipeline:
+    def test_arm_disarm_commit(self):
+        core = make_core()
+        stats = core.run([arm_op(0x4000), disarm_op(0x4000)])
+        assert stats.committed == 2
+        assert core.hierarchy.stats.arms == 1
+        assert core.hierarchy.stats.disarms == 1
+
+    def test_load_of_armed_location_faults(self):
+        core = make_core()
+        with pytest.raises(RestException) as info:
+            core.run([arm_op(0x4000)] + [alu()] * 300 + [load(0x4000)])
+        assert info.value.cycle is not None
+        assert not info.value.precise  # secure mode: imprecise
+
+    def test_debug_mode_fault_is_precise(self):
+        core = make_core(mode=Mode.DEBUG)
+        with pytest.raises(RestException) as info:
+            core.run([arm_op(0x4000)] + [alu()] * 300 + [load(0x4000)])
+        assert info.value.precise
+
+    def test_load_near_inflight_arm_lsq_violation(self):
+        """A load issued right after an arm to the same line trips the
+        LSQ check before the cache even sees it."""
+        core = make_core()
+        with pytest.raises(RestException):
+            core.run([arm_op(0x4000), load(0x4008)])
+
+    def test_token_state_survives_pipeline(self):
+        core = make_core()
+        core.run([arm_op(0x5000)])
+        assert core.hierarchy.is_armed(0x5000)
+        core.run([disarm_op(0x5000)])
+        assert not core.hierarchy.is_armed(0x5000)
+
+
+class TestDebugModeCosts:
+    def _store_heavy_trace(self, n=600):
+        # Store-heavy with cold lines so writes take a while: the debug
+        # commit gate has something to wait for.
+        ops = []
+        for i in range(n):
+            ops.append(store(0x100000 + 64 * i, 8))
+            ops.append(alu())
+        return ops
+
+    def test_debug_mode_slower_on_stores(self):
+        secure = make_core(Mode.SECURE).run(self._store_heavy_trace())
+        debug = make_core(Mode.DEBUG).run(self._store_heavy_trace())
+        assert debug.cycles > secure.cycles
+
+    def test_debug_mode_rob_blocked_by_store_higher(self):
+        """Paper §VI-B: ROB blocked-by-store cycles ~an order of
+        magnitude higher in debug mode."""
+        secure = make_core(Mode.SECURE).run(self._store_heavy_trace())
+        debug = make_core(Mode.DEBUG).run(self._store_heavy_trace())
+        assert (
+            debug.rob_blocked_by_store_cycles
+            > 3 * max(1, secure.rob_blocked_by_store_cycles)
+        )

@@ -1,0 +1,90 @@
+"""Property-based tests of the pipeline's conservation invariants."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cache import MemoryHierarchy
+from repro.cpu import CoreConfig, OutOfOrderCore
+from repro.cpu.isa import MicroOp, OpType
+
+
+def build_trace(ops):
+    trace = []
+    for kind, payload in ops:
+        if kind == "alu":
+            trace.append(MicroOp(OpType.ALU, deps=(1,) if payload % 2 else ()))
+        elif kind == "load":
+            trace.append(
+                MicroOp(OpType.LOAD, address=0x10000 + (payload & ~7), size=8)
+            )
+        elif kind == "store":
+            trace.append(
+                MicroOp(OpType.STORE, address=0x10000 + (payload & ~7), size=8)
+            )
+        elif kind == "branch":
+            trace.append(
+                MicroOp(OpType.BRANCH, pc=0x400 + 4 * (payload % 16),
+                        taken=bool(payload % 3))
+            )
+    return trace
+
+
+op_stream = st.lists(
+    st.tuples(
+        st.sampled_from(["alu", "load", "store", "branch"]),
+        st.integers(min_value=0, max_value=4095),
+    ),
+    min_size=1,
+    max_size=120,
+)
+
+
+class TestConservation:
+    @given(op_stream)
+    @settings(max_examples=40, deadline=None)
+    def test_every_op_commits_exactly_once(self, ops):
+        trace = build_trace(ops)
+        stats = OutOfOrderCore(MemoryHierarchy()).run(trace)
+        assert stats.committed == len(trace)
+        assert stats.fetched == len(trace)
+        assert sum(stats.op_counts.values()) == len(trace)
+
+    @given(op_stream)
+    @settings(max_examples=25, deadline=None)
+    def test_deterministic_replay(self, ops):
+        cycles = []
+        for _ in range(2):
+            trace = build_trace(ops)
+            cycles.append(OutOfOrderCore(MemoryHierarchy()).run(trace).cycles)
+        assert cycles[0] == cycles[1]
+
+    @given(op_stream)
+    @settings(max_examples=25, deadline=None)
+    def test_cycles_bounded_below_by_width(self, ops):
+        trace = build_trace(ops)
+        core = OutOfOrderCore(MemoryHierarchy())
+        stats = core.run(trace)
+        assert stats.cycles >= len(trace) / core.config.commit_width
+
+    @given(op_stream)
+    @settings(max_examples=15, deadline=None)
+    def test_narrow_machine_never_faster(self, ops):
+        from dataclasses import replace
+
+        wide = OutOfOrderCore(MemoryHierarchy()).run(build_trace(ops)).cycles
+        # Same mispredict penalty: isolate the width/window difference.
+        narrow_config = replace(CoreConfig.in_order(), mispredict_penalty=12)
+        narrow = OutOfOrderCore(
+            MemoryHierarchy(), config=narrow_config
+        ).run(build_trace(ops)).cycles
+        assert narrow >= wide
+
+    @given(op_stream)
+    @settings(max_examples=15, deadline=None)
+    def test_queues_empty_at_end(self, ops):
+        core = OutOfOrderCore(MemoryHierarchy())
+        core.run(build_trace(ops))
+        assert core.rob.empty
+        assert len(core.iq) == 0
+        assert core.lsq.lq_occupancy == 0
+        assert core.lsq.sq_occupancy == 0

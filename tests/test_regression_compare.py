@@ -1,0 +1,75 @@
+"""Tests for the suite regression comparator."""
+
+import pytest
+
+from repro.harness.configs import DefenseSpec, SimulationConfig
+from repro.harness.experiment import run_suite
+from repro.harness.persistence import save_suite, suite_to_dict
+from repro.harness.regression import (
+    compare_suites,
+    format_comparison,
+    regressions,
+)
+from repro.workloads.spec import profile_by_name
+
+
+@pytest.fixture(scope="module")
+def saved_suites(tmp_path_factory):
+    root = tmp_path_factory.mktemp("suites")
+    profiles = [profile_by_name("sjeng")]
+    specs = [DefenseSpec.rest("Secure Full")]
+    a = run_suite(profiles, specs, SimulationConfig(scale=0.05, seed=1))
+    b = run_suite(profiles, specs, SimulationConfig(scale=0.05, seed=2))
+    path_a = save_suite(a, root / "a.json")
+    path_b = save_suite(b, root / "b.json")
+    return path_a, path_b
+
+
+class TestCompare:
+    def test_identical_suites_zero_change(self, saved_suites):
+        path_a, _ = saved_suites
+        deltas = compare_suites(path_a, path_a)
+        assert deltas
+        assert all(d.change == 0 for d in deltas)
+        assert regressions(deltas, tolerance_pp=0.5) == []
+
+    def test_different_seeds_produce_deltas(self, saved_suites):
+        path_a, path_b = saved_suites
+        deltas = compare_suites(path_a, path_b)
+        assert {d.spec for d in deltas} == {"Secure Full"}
+        report = format_comparison(deltas, tolerance_pp=0.0001)
+        assert "Secure Full" in report
+        assert "comparisons" in report
+
+    def test_synthetic_regression_flagged(self):
+        before = {
+            "results": {
+                "x": {
+                    "Plain": {"cycles": 1000},
+                    "Secure": {"cycles": 1020},
+                }
+            }
+        }
+        after = {
+            "results": {
+                "x": {
+                    "Plain": {"cycles": 1000},
+                    "Secure": {"cycles": 1100},
+                }
+            }
+        }
+        deltas = compare_suites(before, after)
+        assert deltas[0].change == pytest.approx(8.0)
+        assert regressions(deltas, tolerance_pp=2.0) == deltas
+        assert "!!" in format_comparison(deltas)
+
+    def test_disjoint_suites_rejected(self):
+        a = {"results": {"x": {"Plain": {"cycles": 1}, "S": {"cycles": 1}}}}
+        b = {"results": {"y": {"Plain": {"cycles": 1}, "S": {"cycles": 1}}}}
+        with pytest.raises(ValueError):
+            compare_suites(a, b)
+
+    def test_missing_baseline_rejected(self):
+        bad = {"results": {"x": {"Secure": {"cycles": 10}}}}
+        with pytest.raises(ValueError):
+            compare_suites(bad, bad)

@@ -1,0 +1,105 @@
+"""Tests for setjmp/longjmp vs REST stack protection (paper §V-C)."""
+
+import pytest
+
+from repro.core import RestException
+from repro.defenses import RestDefense
+from repro.runtime import Machine
+from repro.runtime.setjmp import FrameRegistry, JmpBuf, longjmp, setjmp
+
+
+def make_defense():
+    return RestDefense(Machine(), protect_stack=True)
+
+
+def enter_frames(defense, registry=None, count=3):
+    frames = []
+    for _ in range(count):
+        frame = defense.function_enter([64])
+        if registry is not None:
+            registry.register(frame)
+        frames.append(frame)
+    return frames
+
+
+class TestBaselineIncompatibility:
+    def test_longjmp_orphans_tokens(self):
+        """The paper's unsupported case: skipped frames leave their
+        redzones armed, so a fresh frame at the same addresses faults
+        on its own (legal) prologue/epilogue activity."""
+        defense = make_defense()
+        env = setjmp(defense)
+        frames = enter_frames(defense, count=3)
+        orphaned = frames[-1].buffers[0].left_redzone_address
+        skipped = longjmp(defense, env)
+        assert skipped == 3
+        assert defense.machine.hierarchy.is_armed(orphaned)
+        # Future stack use reuses those addresses: any frame whose
+        # locals land on a stale token faults spuriously.  (A frame
+        # with the *identical* layout happens to line up with the old
+        # redzones; any differently-shaped frame does not.)
+        with pytest.raises(RestException):
+            frame = defense.function_enter([512])
+            for offset in range(0, 512, 8):
+                defense.store(frame.buffers[0].address + offset, b"x" * 8)
+
+    def test_longjmp_to_returned_frame_rejected(self):
+        defense = make_defense()
+        frame = defense.function_enter([])
+        env = setjmp(defense)
+        defense.function_exit(frame)
+        with pytest.raises(RuntimeError):
+            longjmp(defense, env)
+
+
+class TestFrameRegistryMitigation:
+    def test_longjmp_with_registry_is_clean(self):
+        """The future-work mechanism: a frame registry lets longjmp
+        disarm exactly the skipped frames; execution continues."""
+        defense = make_defense()
+        registry = FrameRegistry()
+        env = setjmp(defense)
+        frames = enter_frames(defense, registry, count=3)
+        orphan_candidate = frames[-1].buffers[0].left_redzone_address
+        skipped = longjmp(defense, env, frame_registry=registry)
+        assert skipped == 3
+        assert not defense.machine.hierarchy.is_armed(orphan_candidate)
+        # Fresh frames over the same region behave normally.
+        frame = defense.function_enter([64])
+        for offset in range(0, 64, 8):
+            defense.store(frame.buffers[0].address + offset, b"y" * 8)
+        defense.function_exit(frame)
+
+    def test_registry_cost_is_two_disarms_per_buffer(self):
+        defense = make_defense()
+        registry = FrameRegistry()
+        env = setjmp(defense)
+        enter_frames(defense, registry, count=4)
+        longjmp(defense, env, frame_registry=registry)
+        assert registry.disarms_performed == 4 * 2  # 1 buffer/frame
+
+    def test_partial_unwind(self):
+        defense = make_defense()
+        registry = FrameRegistry()
+        outer = defense.function_enter([64])
+        registry.register(outer)
+        env = setjmp(defense)  # depth 1
+        enter_frames(defense, registry, count=2)
+        longjmp(defense, env, frame_registry=registry)
+        assert defense.stack.depth == 1
+        # The outer frame's protection is untouched.
+        assert defense.machine.hierarchy.is_armed(
+            outer.buffers[0].left_redzone_address
+        )
+        defense.function_exit(outer)
+
+    def test_heap_only_rest_unaffected_by_longjmp(self):
+        """Heap-only REST (no stack tokens) never had the problem."""
+        defense = RestDefense(Machine(), protect_stack=False)
+        env = setjmp(defense)
+        for _ in range(3):
+            defense.function_enter([64])
+        longjmp(defense, env)
+        frame = defense.function_enter([64])
+        defense.store(frame.buffers[0].address, b"fine....")
+        defense.function_exit(frame)

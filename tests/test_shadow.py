@@ -1,0 +1,76 @@
+"""Tests for ASan shadow memory."""
+
+import pytest
+
+from repro.runtime import ExecutionMode, Machine
+from repro.runtime.shadow import AsanViolation, ShadowMemory, ShadowState
+
+
+class TestPoisoning:
+    def test_poison_and_query(self):
+        shadow = ShadowMemory(Machine())
+        shadow.poison(0x1000, 32, ShadowState.HEAP_REDZONE)
+        assert shadow.is_poisoned(0x1000)
+        assert shadow.is_poisoned(0x101F)
+        assert not shadow.is_poisoned(0x1020)
+
+    def test_unpoison(self):
+        shadow = ShadowMemory(Machine())
+        shadow.poison(0x1000, 32, ShadowState.FREED)
+        shadow.unpoison(0x1000, 32)
+        assert not shadow.is_poisoned(0x1000, 32)
+
+    def test_state_of(self):
+        shadow = ShadowMemory(Machine())
+        shadow.poison(0x1000, 8, ShadowState.STACK_REDZONE)
+        assert shadow.state_of(0x1000) == int(ShadowState.STACK_REDZONE)
+        assert shadow.state_of(0x1008) == 0
+
+    def test_zero_size_poison_is_noop(self):
+        shadow = ShadowMemory(Machine())
+        shadow.poison(0x1000, 0, ShadowState.FREED)
+        assert not shadow.is_poisoned(0x1000)
+
+    def test_poison_writes_shadow_bytes_to_memory(self):
+        machine = Machine()
+        shadow = ShadowMemory(machine)
+        shadow.poison(0x1000, 8, ShadowState.HEAP_REDZONE)
+        shadow_addr = machine.layout.shadow_address(0x1000)
+        assert machine.load(shadow_addr, 1) == bytes(
+            [ShadowState.HEAP_REDZONE]
+        )
+
+
+class TestChecking:
+    def test_clean_access_passes(self):
+        shadow = ShadowMemory(Machine())
+        shadow.check_access(0x1000, 8)  # no raise
+
+    def test_poisoned_access_raises(self):
+        shadow = ShadowMemory(Machine())
+        shadow.poison(0x1000, 8, ShadowState.HEAP_REDZONE)
+        with pytest.raises(AsanViolation) as info:
+            shadow.check_access(0x1000, 8, "write")
+        assert info.value.access == "write"
+
+    def test_access_spanning_into_poison_raises(self):
+        shadow = ShadowMemory(Machine())
+        shadow.poison(0x1008, 8, ShadowState.HEAP_REDZONE)
+        with pytest.raises(AsanViolation):
+            shadow.check_access(0x1004, 8)
+
+    def test_trace_mode_emits_check_ops_without_raising(self):
+        machine = Machine(mode=ExecutionMode.TRACE)
+        shadow = ShadowMemory(machine)
+        shadow.poison(0x1000, 8, ShadowState.FREED)
+        machine.take_trace()
+        shadow.check_access(0x1000, 8)  # trace mode: no raise
+        trace = machine.take_trace()
+        # One granule -> shadow load + compare + branch.
+        assert len(trace) == 3
+
+    def test_check_counts(self):
+        shadow = ShadowMemory(Machine())
+        shadow.check_access(0x1000, 8)
+        shadow.check_access(0x2000, 16)  # two granules
+        assert shadow.check_ops == 3

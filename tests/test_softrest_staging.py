@@ -1,0 +1,103 @@
+"""Tests for the SoftREST ablation defense and the token staging buffer."""
+
+import pytest
+
+from repro.cache.hierarchy import HierarchyConfig, MemoryHierarchy
+from repro.core import RestException
+from repro.cpu import OpType
+from repro.defenses import SoftRestDefense
+from repro.runtime import ExecutionMode, Machine
+
+
+class TestSoftRest:
+    def test_trace_machine_flag_required(self):
+        machine = Machine(mode=ExecutionMode.TRACE)  # no software_rest
+        with pytest.raises(ValueError):
+            SoftRestDefense(machine)
+
+    def test_flags_mutually_exclusive(self):
+        with pytest.raises(ValueError):
+            Machine(
+                mode=ExecutionMode.TRACE,
+                perfect_hw=True,
+                software_rest=True,
+            )
+
+    def test_arm_lowers_to_full_width_stores(self):
+        machine = Machine(mode=ExecutionMode.TRACE, software_rest=True)
+        machine.arm(0x1000)
+        trace = machine.take_trace()
+        stores = [u for u in trace if u.op is OpType.STORE]
+        assert len(stores) == 8  # 64B token over an 8B bus
+        assert stores[0].address == 0x1000 and stores[-1].address == 0x1038
+
+    def test_disarm_lowers_to_verify_and_zero(self):
+        machine = Machine(mode=ExecutionMode.TRACE, software_rest=True)
+        machine.disarm(0x1000)
+        trace = machine.take_trace()
+        loads = sum(1 for u in trace if u.op is OpType.LOAD)
+        stores = sum(1 for u in trace if u.op is OpType.STORE)
+        assert loads == 8 and stores == 8
+
+    def test_access_check_shape(self):
+        machine = Machine(mode=ExecutionMode.TRACE, software_rest=True)
+        defense = SoftRestDefense(machine)
+        machine.take_trace()
+        defense.load(0x5008, 8)
+        trace = machine.take_trace()
+        # width/8 slot loads + compares + branch + the actual load.
+        loads = sum(1 for u in trace if u.op is OpType.LOAD)
+        assert loads == 8 + 1
+        assert any(u.op is OpType.BRANCH for u in trace)
+        assert defense.checks_emitted == 1
+
+    def test_functional_mode_protection_intact(self):
+        """Functionally the scheme is REST: the hierarchy still checks."""
+        defense = SoftRestDefense(Machine())
+        ptr = defense.malloc(64)
+        with pytest.raises(RestException):
+            defense.load(ptr + 64, 8)
+
+
+class TestTokenStagingBuffer:
+    def make(self, entries):
+        return MemoryHierarchy(
+            config=HierarchyConfig(token_staging_entries=entries)
+        )
+
+    def test_disabled_by_default(self):
+        h = MemoryHierarchy()
+        h.arm(0x1000)
+        assert h.stats.staged_token_ops == 0
+
+    def test_ops_absorbed_while_room(self):
+        h = self.make(8)
+        for i in range(4):
+            h.arm(0x1000 + 64 * i)
+        assert h.stats.staged_token_ops == 4
+        assert h.stats.staging_full_stalls == 0
+
+    def test_full_buffer_stalls(self):
+        h = self.make(2)
+        for i in range(6):
+            h.read(0x1000 + 64 * i, 8)  # warm the lines: arms will hit
+        latencies = [h.arm(0x1000 + 64 * i).latency for i in range(6)]
+        assert h.stats.staging_full_stalls == 4
+        assert latencies[-1] > latencies[0]
+
+    def test_data_accesses_drain(self):
+        h = self.make(2)
+        h.arm(0x1000)
+        h.arm(0x1040)
+        h.read(0x9000, 8)  # drains one entry
+        h.arm(0x1080)  # room again: no stall
+        assert h.stats.staging_full_stalls == 0
+
+    def test_semantics_unchanged(self):
+        """The buffer is timing-only: token state applies immediately."""
+        h = self.make(4)
+        h.arm(0x1000)
+        with pytest.raises(RestException):
+            h.read(0x1000, 8)
+        h.disarm(0x1000)
+        h.read(0x1000, 8)

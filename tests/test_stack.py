@@ -1,0 +1,72 @@
+"""Tests for the stack manager."""
+
+import pytest
+
+from repro.runtime import Machine
+from repro.runtime.stack import StackManager, StackOverflowError
+
+
+class TestFrames:
+    def test_push_pop_restores_sp(self):
+        stack = StackManager(Machine())
+        top = stack.stack_pointer
+        frame = stack.push_frame(256)
+        assert stack.stack_pointer < top
+        stack.pop_frame(frame)
+        assert stack.stack_pointer == top
+
+    def test_frames_grow_down(self):
+        stack = StackManager(Machine())
+        outer = stack.push_frame(128)
+        inner = stack.push_frame(128)
+        assert inner.base <= outer.top
+
+    def test_alignment(self):
+        stack = StackManager(Machine())
+        frame = stack.push_frame(100, align=16)
+        assert stack.stack_pointer % 16 == 0
+        assert frame.size >= 100
+
+    def test_lifo_discipline_enforced(self):
+        stack = StackManager(Machine())
+        outer = stack.push_frame(64)
+        stack.push_frame(64)
+        with pytest.raises(RuntimeError):
+            stack.pop_frame(outer)
+
+    def test_pop_empty_raises(self):
+        stack = StackManager(Machine())
+        with pytest.raises(RuntimeError):
+            stack.pop_frame()
+
+    def test_stack_exhaustion(self):
+        machine = Machine()
+        stack = StackManager(machine)
+        with pytest.raises(StackOverflowError):
+            for _ in range(10000):
+                stack.push_frame(1 << 16)
+
+    def test_max_depth_tracked(self):
+        stack = StackManager(Machine())
+        frames = [stack.push_frame(64) for _ in range(5)]
+        for frame in reversed(frames):
+            stack.pop_frame(frame)
+        assert stack.max_depth == 5
+        assert stack.depth == 0
+
+
+class TestCarve:
+    def test_carve_within_frame(self):
+        stack = StackManager(Machine())
+        frame = stack.push_frame(512)
+        a = stack.carve(frame, 64, align=64)
+        b = stack.carve(frame, 64, align=64)
+        assert a % 64 == 0 and b % 64 == 0
+        assert b + 64 <= a  # disjoint, downward
+        assert frame.top <= b
+
+    def test_carve_overflow_rejected(self):
+        stack = StackManager(Machine())
+        frame = stack.push_frame(128)
+        with pytest.raises(StackOverflowError):
+            stack.carve(frame, 4096)

@@ -1,0 +1,183 @@
+"""Unit and property tests for the REST token primitive (paper §V-B)."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core import (
+    PrivilegeError,
+    PrivilegeLevel,
+    Mode,
+    Token,
+    TokenConfigRegister,
+    brute_force_years,
+    false_positive_probability,
+    max_aligned_chunks,
+)
+from repro.core.token import TOKEN_CONFIG_STORE_WIDTH, TOKEN_WIDTHS
+
+
+class TestToken:
+    def test_default_width_is_cache_line(self):
+        token = Token.random(64, seed=1)
+        assert token.width == 64
+        assert token.width_bits == 512
+
+    @pytest.mark.parametrize("width", TOKEN_WIDTHS)
+    def test_supported_widths(self, width):
+        token = Token.random(width, seed=2)
+        assert token.width == width
+        assert len(token.value) == width
+
+    def test_rejects_unsupported_width(self):
+        with pytest.raises(ValueError):
+            Token(b"\x01" * 48)
+        with pytest.raises(ValueError):
+            Token.random(8, seed=3)
+
+    def test_seeded_generation_is_deterministic(self):
+        assert Token.random(64, seed=7) == Token.random(64, seed=7)
+        assert Token.random(64, seed=7) != Token.random(64, seed=8)
+
+    def test_unseeded_generation_uses_entropy(self):
+        assert Token.random(64) != Token.random(64)
+
+    def test_matches_exact_pattern_only(self):
+        token = Token.random(64, seed=4)
+        assert token.matches(token.value)
+        corrupted = bytearray(token.value)
+        corrupted[0] ^= 1
+        assert not token.matches(bytes(corrupted))
+        assert not token.matches(token.value[:32])
+
+    @pytest.mark.parametrize("width", TOKEN_WIDTHS)
+    def test_alignment(self, width):
+        token = Token.random(width, seed=5)
+        assert token.aligned(0)
+        assert token.aligned(width * 3)
+        assert not token.aligned(width * 3 + 1)
+
+    def test_chunks_reassemble_to_value(self):
+        token = Token.random(64, seed=6)
+        beats = token.width // 4
+        rebuilt = b"".join(token.chunk(i) for i in range(beats))
+        assert rebuilt == token.value
+
+    def test_hash_and_equality_over_bytes(self):
+        a = Token.random(32, seed=9)
+        b = Token(a.value)
+        assert a == b and hash(a) == hash(b)
+
+    @given(st.integers(min_value=0, max_value=2**64 - 1))
+    def test_aligned_iff_multiple_of_width(self, address):
+        token = Token.random(64, seed=10)
+        assert token.aligned(address) == (address % 64 == 0)
+
+
+class TestSecurityArithmetic:
+    def test_false_positive_bound_512(self):
+        # Paper: chance of a false positive is less than 2^-512.
+        p = false_positive_probability(512)
+        assert p == 2.0 ** -512
+        assert p < 1e-150  # vanishingly small, as the paper argues
+
+    def test_false_positive_bound_smaller_widths(self):
+        assert false_positive_probability(128) == 2.0 ** -128
+        assert false_positive_probability(128) > 0
+
+    def test_false_positive_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            false_positive_probability(0)
+
+    def test_max_aligned_chunks_footnote2(self):
+        # Footnote 2 quotes 2^48 chunks for a "64b address space"; the
+        # exact arithmetic for a full 64-bit space is 2^(64-6) = 2^58.
+        # The paper's figure corresponds to a 54-bit usable space; either
+        # way the count is astronomically below 2^512.
+        assert max_aligned_chunks(64, 64) == 2**58
+        assert max_aligned_chunks(54, 64) == 2**48
+
+    def test_max_aligned_chunks_other_widths(self):
+        assert max_aligned_chunks(64, 32) == 2**59
+        assert max_aligned_chunks(64, 16) == 2**60
+
+    def test_brute_force_years_footnote2(self):
+        # Footnote 2 cites ~10^145 "years" at 3 GHz; that figure matches
+        # the *seconds* for a full 2^512 sweep.  The honest expected-case
+        # years figure is ~7e136 — equally far beyond feasible.
+        years = brute_force_years(512, 3e9)
+        assert 1e135 < years < 1e140
+        seconds_full_sweep = years * 2 * 365.25 * 24 * 3600
+        assert 1e144 < seconds_full_sweep < 1e146
+
+    def test_brute_force_scales_with_width(self):
+        assert brute_force_years(128) < brute_force_years(256)
+
+
+class TestTokenConfigRegister:
+    def test_user_level_cannot_set_token(self):
+        reg = TokenConfigRegister()
+        with pytest.raises(PrivilegeError):
+            reg.set_token(Token.random(64, seed=1), PrivilegeLevel.USER)
+
+    def test_user_level_cannot_set_mode(self):
+        reg = TokenConfigRegister()
+        with pytest.raises(PrivilegeError):
+            reg.set_mode(Mode.DEBUG, PrivilegeLevel.USER)
+
+    def test_supervisor_can_rotate(self):
+        reg = TokenConfigRegister(Token.random(64, seed=1))
+        old = reg.token_for_hardware()
+        new = reg.rotate(PrivilegeLevel.SUPERVISOR, seed=99)
+        assert new != old
+        assert reg.token_for_hardware() == new
+
+    def test_mode_bit(self):
+        reg = TokenConfigRegister()
+        assert reg.mode is Mode.SECURE
+        reg.set_mode(Mode.DEBUG, PrivilegeLevel.MACHINE)
+        assert reg.mode is Mode.DEBUG
+        assert reg.mode.precise_exceptions
+        assert reg.mode.delayed_store_commit
+
+    def test_mmio_store_sequence_installs_atomically(self):
+        reg = TokenConfigRegister(Token.random(64, seed=1))
+        old = reg.token_for_hardware()
+        new_value = Token.random(64, seed=42).value
+        for offset in range(0, 64, TOKEN_CONFIG_STORE_WIDTH):
+            # Token only swaps once every byte has been written.
+            assert reg.token_for_hardware() == old
+            reg.mmio_store(
+                offset,
+                new_value[offset : offset + TOKEN_CONFIG_STORE_WIDTH],
+                PrivilegeLevel.SUPERVISOR,
+            )
+        assert reg.token_for_hardware().value == new_value
+
+    def test_mmio_store_requires_privilege(self):
+        reg = TokenConfigRegister()
+        with pytest.raises(PrivilegeError):
+            reg.mmio_store(0, b"\x00" * 8, PrivilegeLevel.USER)
+
+    def test_mmio_store_rejects_unaligned(self):
+        reg = TokenConfigRegister()
+        with pytest.raises(ValueError):
+            reg.mmio_store(3, b"\x00" * 8, PrivilegeLevel.SUPERVISOR)
+
+    def test_mmio_store_rejects_out_of_range(self):
+        reg = TokenConfigRegister()
+        with pytest.raises(ValueError):
+            reg.mmio_store(64, b"\x00" * 8, PrivilegeLevel.SUPERVISOR)
+
+
+class TestPrivilegeLevels:
+    def test_next_higher_chain(self):
+        assert PrivilegeLevel.USER.next_higher() is PrivilegeLevel.SUPERVISOR
+        assert (
+            PrivilegeLevel.SUPERVISOR.next_higher() is PrivilegeLevel.MACHINE
+        )
+
+    def test_fatal_at_top(self):
+        with pytest.raises(ValueError):
+            PrivilegeLevel.MACHINE.next_higher()

@@ -1,0 +1,41 @@
+"""Every shipped benchmark profile must validate against its model."""
+
+import pytest
+
+from repro.workloads import ALL_PROFILES
+from repro.workloads.validation import (
+    measure_trace,
+    validate_profile,
+)
+
+
+@pytest.mark.parametrize("profile", ALL_PROFILES, ids=lambda p: p.name)
+def test_profile_model_is_faithful(profile):
+    issues = validate_profile(profile, scale=0.25)
+    assert not issues, "; ".join(str(issue) for issue in issues)
+
+
+def test_measure_trace_rejects_empty():
+    from repro.workloads.generator import WorkloadStats
+
+    with pytest.raises(ValueError):
+        measure_trace([], WorkloadStats())
+
+
+def test_code_footprint_reflected_in_trace():
+    """Big-text benchmarks touch far more code lines than kernels."""
+    from repro.defenses import PlainDefense
+    from repro.runtime.machine import ExecutionMode, Machine
+    from repro.workloads import SyntheticWorkload, profile_by_name
+    from repro.workloads.validation import measure_trace
+
+    def code_lines(name):
+        machine = Machine(mode=ExecutionMode.TRACE)
+        defense = PlainDefense(machine)
+        workload = SyntheticWorkload(
+            profile_by_name(name), defense, scale=0.25
+        )
+        stats = workload.run()
+        return measure_trace(machine.take_trace(), stats).distinct_code_lines
+
+    assert code_lines("gcc") > 4 * code_lines("lbm")
