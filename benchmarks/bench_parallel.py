@@ -1,0 +1,52 @@
+"""Parallel-engine overhead: engine dispatch vs direct calls, and
+cache-hit latency.
+
+``pytest benchmarks/bench_parallel.py --benchmark-only -s``
+
+The interesting numbers on a multi-core host are the `--jobs N`
+speedups of `run_all` (see EXPERIMENTS.md); what this bench pins down
+is that the engine itself — unit construction, key hashing, cache
+probing, result merging — stays negligible next to one simulation
+cell, and that a warm cache turns a cell into a sub-millisecond read.
+"""
+
+import pytest
+
+from repro.harness.configs import DefenseSpec
+from repro.harness.parallel import ResultCache, execute_units
+from repro.harness.sweeps import sweep_units
+from repro.workloads.spec import profile_by_name
+
+PROFILES = [profile_by_name("sjeng")]
+SPECS = [DefenseSpec.rest("Secure Full")]
+
+
+def _units():
+    return sweep_units(PROFILES, SPECS, seeds=(1,), scale=0.05)
+
+
+@pytest.mark.benchmark(group="parallel-engine")
+def test_engine_cold_cell(benchmark, tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_SALT", "bench")
+
+    rounds = iter(range(1000))  # fresh cache dir per round: truly cold
+
+    def cold():
+        cache = ResultCache(tmp_path / f"cold-{next(rounds)}")
+        return execute_units(_units(), jobs=1, cache=cache)
+
+    results = benchmark.pedantic(cold, iterations=1, rounds=3)
+    assert all(result.ok for result in results.values())
+
+
+@pytest.mark.benchmark(group="parallel-engine")
+def test_engine_warm_cache_hit(benchmark, tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_SALT", "bench")
+    cache = ResultCache(tmp_path / "warm")
+    execute_units(_units(), jobs=1, cache=cache)
+
+    def warm():
+        return execute_units(_units(), jobs=1, cache=cache)
+
+    results = benchmark(warm)
+    assert all(result.cached for result in results.values())

@@ -3,8 +3,11 @@
 Commands
 --------
 
-``experiments [names...] [--scale S]``
-    Regenerate paper tables/figures (default: all of them).
+``experiments [names...] [--scale S] [--jobs N]``
+    Regenerate paper tables/figures (default: all of them), fanning
+    out over N worker processes.
+``sweep [--seeds a b c] [--jobs N] [--cache DIR]``
+    Multi-seed stability sweep of the Figure 7 configurations.
 ``attack <name|all> [--defense plain|asan|rest|rest-heap]``
     Run attack scenarios and print the outcome.
 ``demo``
@@ -32,16 +35,71 @@ EXPERIMENTS = (
 
 
 def _cmd_experiments(args: argparse.Namespace) -> int:
-    import importlib
+    from repro.harness.parallel import ResultCache, WorkUnit, execute_units
 
     names = args.names or list(EXPERIMENTS)
     for name in names:
         if name not in EXPERIMENTS:
             print(f"unknown experiment {name!r}; known: {', '.join(EXPERIMENTS)}")
             return 2
-        module = importlib.import_module(f"repro.experiments.{name}")
+    names = list(dict.fromkeys(names))  # work-unit ids must be unique
+    units = [
+        WorkUnit(
+            uid=name,
+            module=f"repro.experiments.{name}",
+            func="regenerate",
+            kwargs={"scale": args.scale, "seed": args.seed},
+            key_payload={
+                "experiment": name,
+                "scale": args.scale,
+                "seed": args.seed,
+            },
+        )
+        for name in names
+    ]
+    cache = ResultCache(args.cache) if args.cache else None
+    results = execute_units(units, jobs=args.jobs, cache=cache)
+    status = 0
+    for name in names:  # print in request order whatever finished first
+        result = results[name]
         print(f"\n{'=' * 72}\n{name}\n{'=' * 72}")
-        print(module.regenerate(scale=args.scale, seed=args.seed))
+        if result.ok:
+            print(result.value)
+        else:
+            print(f"FAILED: {result.error['type']}: {result.error['message']}")
+            status = 1
+    return status
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.harness.configs import figure7_specs
+    from repro.harness.parallel import ResultCache
+    from repro.harness.sweeps import seed_sweep
+    from repro.workloads.spec import ALL_PROFILES, profile_by_name
+
+    profiles = (
+        [profile_by_name(name) for name in args.benchmarks]
+        if args.benchmarks
+        else list(ALL_PROFILES)
+    )
+    cache = ResultCache(args.cache) if args.cache else None
+    try:
+        sweep = seed_sweep(
+            profiles,
+            figure7_specs(),
+            seeds=args.seeds,
+            scale=args.scale,
+            jobs=args.jobs,
+            cache=cache,
+        )
+    except (ValueError, RuntimeError) as error:
+        print(f"sweep failed: {error}")
+        return 2
+    print(f"{'config':16s} {'mean%':>8s} {'stdev':>7s} {'spread':>7s}  "
+          f"({len(args.seeds)} seeds, scale {args.scale})")
+    for name, result in sweep.items():
+        print(f"{name:16s} {result.mean:>8.2f} {result.stdev:>7.2f} "
+              f"{result.spread:>7.2f}")
     return 0
 
 
@@ -246,7 +304,23 @@ def main(argv=None) -> int:
     p_exp.add_argument("names", nargs="*", metavar="name")
     p_exp.add_argument("--scale", type=float, default=0.35)
     p_exp.add_argument("--seed", type=int, default=1234)
+    p_exp.add_argument("--jobs", "-j", type=int, default=1,
+                       help="worker processes (1 = in-process)")
+    p_exp.add_argument("--cache", default=None, metavar="DIR",
+                       help="reuse/populate a result cache directory")
     p_exp.set_defaults(handler=_cmd_experiments)
+
+    p_sweep = sub.add_parser(
+        "sweep", help="multi-seed stability sweep (Figure 7 configs)"
+    )
+    p_sweep.add_argument("--seeds", type=int, nargs="+",
+                         default=[1, 2, 3, 4, 5])
+    p_sweep.add_argument("--scale", type=float, default=0.1)
+    p_sweep.add_argument("--jobs", "-j", type=int, default=1)
+    p_sweep.add_argument("--cache", default=None, metavar="DIR")
+    p_sweep.add_argument("--benchmarks", nargs="*", metavar="name",
+                         help="subset of benchmarks (default: all)")
+    p_sweep.set_defaults(handler=_cmd_sweep)
 
     p_att = sub.add_parser("attack", help="run attack scenarios")
     p_att.add_argument("name", help="attack name or 'all'")

@@ -1,0 +1,25 @@
+"""Harness self-test experiment: deterministic output, injectable failure.
+
+Not a paper artifact — the leading underscore keeps it out of the
+``python -m repro experiments`` menu and the default ``run_all`` set.
+The parallel-engine tests add it to the sweep to exercise failure
+isolation and resume: setting ``REPRO_SELFTEST_BOOM=1`` makes
+``regenerate`` raise, which must surface as a structured manifest error
+while every other cell completes.  Environment variables propagate to
+worker processes under every multiprocessing start method, so the
+injection works identically in-process and fanned out.
+"""
+
+from __future__ import annotations
+
+import os
+
+
+class InjectedFailure(RuntimeError):
+    """Raised on demand to test per-unit failure isolation."""
+
+
+def regenerate(scale: float = 1.0, seed: int = 1234) -> str:
+    if os.environ.get("REPRO_SELFTEST_BOOM") == "1":
+        raise InjectedFailure("injected failure (REPRO_SELFTEST_BOOM=1)")
+    return f"selftest ok: scale={scale} seed={seed}"

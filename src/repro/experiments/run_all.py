@@ -1,17 +1,34 @@
 """Regenerate every experiment into an output directory.
 
-``python -m repro.experiments.run_all --outdir results --scale 0.5``
+``python -m repro.experiments.run_all --outdir results --scale 0.5 --jobs 4``
 writes one text file per table/figure (what EXPERIMENTS.md cites) plus
 a manifest recording the parameters used.
+
+Each experiment is an independent work unit fanned out over
+``--jobs`` worker processes (see :mod:`repro.harness.parallel`).
+Completed units land in a content-addressed cache under the output
+directory, so re-running the same sweep skips everything already
+computed; a unit that crashes is recorded as a structured error in the
+manifest while the rest of the sweep completes, and a re-run recomputes
+only the failed/missing cells.  Output is byte-identical regardless of
+job count (timing fields aside).
 """
 
 from __future__ import annotations
 
 import argparse
-import importlib
 import json
+import sys
 import time
 from pathlib import Path
+from typing import Dict, List, Optional
+
+from repro.harness.parallel import (
+    ResultCache,
+    WorkUnit,
+    execute_units,
+    failed_units,
+)
 
 #: experiment name -> scale override (None = use the requested scale).
 EXPERIMENT_SCALES = {
@@ -27,42 +44,136 @@ EXPERIMENT_SCALES = {
 }
 
 
-def run_all(outdir: str, scale: float = 0.5, seed: int = 1234) -> Path:
-    """Run every experiment; returns the output directory path."""
+def experiment_units(
+    scale: float, seed: int, scales: Optional[Dict] = None
+) -> List[WorkUnit]:
+    """One picklable work unit per experiment module."""
+    scales = EXPERIMENT_SCALES if scales is None else scales
+    units = []
+    for name, override in scales.items():
+        effective = override if override is not None else scale
+        units.append(
+            WorkUnit(
+                uid=name,
+                module=f"repro.experiments.{name}",
+                func="regenerate",
+                kwargs={"scale": effective, "seed": seed},
+                key_payload={
+                    "experiment": name,
+                    "scale": effective,
+                    "seed": seed,
+                },
+            )
+        )
+    return units
+
+
+def run_all(
+    outdir: str,
+    scale: float = 0.5,
+    seed: int = 1234,
+    jobs: int = 1,
+    cache_dir: Optional[str] = None,
+    use_cache: bool = True,
+    quiet: bool = False,
+) -> Path:
+    """Run every experiment; returns the output directory path.
+
+    Failures do not abort the sweep: the manifest records a structured
+    error per failed experiment (``status: "error"``) and every other
+    cell still completes and is written.  Callers that need an exit
+    code should inspect the manifest (see :func:`main`).
+    """
     out = Path(outdir)
     out.mkdir(parents=True, exist_ok=True)
+    cache = None
+    if use_cache:
+        cache = ResultCache(cache_dir if cache_dir is not None else out / "cache")
+    units = experiment_units(scale, seed)
+    progress = None if quiet else (lambda msg: print(f"  {msg}", flush=True))
+
+    wall0 = time.perf_counter()
+    results = execute_units(units, jobs=jobs, cache=cache, progress=progress)
+
     manifest = {
         "scale": scale,
         "seed": seed,
+        "jobs": jobs,
         "started": time.strftime("%Y-%m-%d %H:%M:%S"),
         "experiments": {},
     }
-    for name, override in EXPERIMENT_SCALES.items():
-        module = importlib.import_module(f"repro.experiments.{name}")
-        effective = override if override is not None else scale
-        start = time.time()
-        text = module.regenerate(scale=effective, seed=seed)
-        elapsed = time.time() - start
-        target = out / f"{name}.txt"
-        target.write_text(text + "\n")
-        manifest["experiments"][name] = {
-            "scale": effective,
-            "seconds": round(elapsed, 1),
-            "file": target.name,
+    for unit in units:  # unit order, not completion order: deterministic
+        result = results[unit.uid]
+        record = {
+            "scale": unit.kwargs["scale"],
+            "cached": result.cached,
+            "cpu_seconds": round(result.cpu_seconds, 3),
         }
-        print(f"  {name:12s} -> {target} ({elapsed:.1f}s)")
+        if result.ok:
+            target = out / f"{unit.uid}.txt"
+            target.write_text(result.value + "\n")
+            record["status"] = "ok"
+            record["file"] = target.name
+        else:
+            record["status"] = "error"
+            record["error"] = result.error
+        manifest["experiments"][unit.uid] = record
+    manifest["wall_seconds"] = round(time.perf_counter() - wall0, 3)
     (out / "manifest.json").write_text(json.dumps(manifest, indent=2))
+
+    failures = failed_units(results)
+    if not quiet:
+        done = sum(1 for r in results.values() if r.ok)
+        hits = sum(1 for r in results.values() if r.cached)
+        print(
+            f"  {done}/{len(units)} experiments ok ({hits} cached, "
+            f"{len(failures)} failed) in {manifest['wall_seconds']:.1f}s "
+            f"-> {out}"
+        )
+        for uid, error in sorted(failures.items()):
+            print(f"  FAILED {uid}: {error['type']}: {error['message']}")
     return out
 
 
-def main() -> None:
+def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--outdir", default="results")
     parser.add_argument("--scale", type=float, default=0.5)
     parser.add_argument("--seed", type=int, default=1234)
-    args = parser.parse_args()
-    run_all(args.outdir, scale=args.scale, seed=args.seed)
+    parser.add_argument(
+        "--jobs",
+        "-j",
+        type=int,
+        default=1,
+        help="worker processes (1 = run in-process)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="result cache location (default: <outdir>/cache)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="recompute everything; do not read or write the cache",
+    )
+    args = parser.parse_args(argv)
+    out = run_all(
+        args.outdir,
+        scale=args.scale,
+        seed=args.seed,
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
+        use_cache=not args.no_cache,
+    )
+    manifest = json.loads((out / "manifest.json").read_text())
+    failed = [
+        name
+        for name, record in manifest["experiments"].items()
+        if record["status"] != "ok"
+    ]
+    return 1 if failed else 0
 
 
 if __name__ == "__main__":
-    main()
+    sys.exit(main())

@@ -1,27 +1,53 @@
 """Experiment harness: configurations, runners, metrics, reporting."""
 
-from repro.harness.configs import DefenseSpec, SimulationConfig, table2_text
+from repro.harness.configs import (
+    DefenseSpec,
+    SimulationConfig,
+    config_payload,
+    table2_text,
+)
 from repro.harness.experiment import RunResult, run_benchmark, run_suite
 from repro.harness.metrics import (
     geo_mean_overhead,
     overhead_percent,
     weighted_mean_overhead,
 )
+from repro.harness.parallel import (
+    TIMING_FIELDS,
+    VOLATILE_FIELDS,
+    ResultCache,
+    UnitResult,
+    WorkUnit,
+    code_version_salt,
+    execute_units,
+    failed_units,
+    strip_volatile,
+)
 from repro.harness.reporting import bar_chart, format_table
 from repro.harness.sweeps import SweepResult, seed_sweep
 
 __all__ = [
+    "TIMING_FIELDS",
+    "VOLATILE_FIELDS",
+    "ResultCache",
     "SweepResult",
-    "seed_sweep",
+    "UnitResult",
+    "WorkUnit",
     "DefenseSpec",
     "RunResult",
     "SimulationConfig",
     "bar_chart",
+    "code_version_salt",
+    "config_payload",
+    "execute_units",
+    "failed_units",
     "format_table",
     "geo_mean_overhead",
     "overhead_percent",
     "run_benchmark",
     "run_suite",
+    "seed_sweep",
+    "strip_volatile",
     "table2_text",
     "weighted_mean_overhead",
 ]

@@ -7,12 +7,42 @@ couples it with the hardware configuration.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import enum
+from dataclasses import dataclass, field, fields, is_dataclass
 from typing import Optional
 
 from repro.cache.hierarchy import HierarchyConfig
 from repro.core.modes import Mode
 from repro.cpu.pipeline import CoreConfig
+
+
+def config_payload(obj) -> dict:
+    """JSON-safe fingerprint of a (nested) config dataclass.
+
+    Every field that influences a simulation result appears in the
+    output, so two configs with equal payloads are interchangeable for
+    result caching (see :mod:`repro.harness.parallel`).
+    """
+
+    def convert(value):
+        if is_dataclass(value) and not isinstance(value, type):
+            body = {
+                f.name: convert(getattr(value, f.name))
+                for f in fields(value)
+            }
+            body["__class__"] = type(value).__name__
+            return body
+        if isinstance(value, enum.Enum):
+            return value.value
+        if isinstance(value, (list, tuple)):
+            return [convert(item) for item in value]
+        if isinstance(value, dict):
+            return {str(key): convert(item) for key, item in value.items()}
+        return value
+
+    if not is_dataclass(obj):
+        raise TypeError(f"expected a config dataclass, got {type(obj)!r}")
+    return convert(obj)
 
 
 @dataclass(frozen=True)
@@ -30,6 +60,10 @@ class DefenseSpec:
     asan_stack: bool = True
     asan_checks: bool = True
     asan_intercepts: bool = True
+
+    def key_payload(self) -> dict:
+        """Cache-key fingerprint of this spec (see parallel engine)."""
+        return config_payload(self)
 
     @staticmethod
     def plain() -> "DefenseSpec":
@@ -99,6 +133,11 @@ class SimulationConfig:
     #: Allocator-churn compression for scaled-down runs (see
     #: SyntheticWorkload.__init__).
     alloc_intensity: float = 25.0
+
+    def key_payload(self) -> dict:
+        """Cache-key fingerprint of this config (core + hierarchy +
+        workload knobs — everything that steers a run)."""
+        return config_payload(self)
 
     @staticmethod
     def quick() -> "SimulationConfig":

@@ -1,0 +1,291 @@
+"""Parallel sweep engine: work units, result cache, failure isolation.
+
+Experiment sweeps (``run_all``, ``seed_sweep``) decompose into
+independent *work units* — picklable descriptions of one computation
+(an experiment regeneration, or one (benchmark, spec, seed) simulation
+cell).  :func:`execute_units` fans units out over ``multiprocessing``
+workers and merges results deterministically regardless of completion
+order: results are keyed by unit id, and callers iterate in their own
+unit order, so ``jobs=4`` output is byte-identical to ``jobs=1``.
+
+Three properties the engine guarantees:
+
+* **Caching.**  Every unit has a content-addressed key — a hash of its
+  full configuration payload plus a code-version salt — and completed
+  values are written to an on-disk :class:`ResultCache`.  Re-running a
+  sweep skips every cell whose key is already present; editing any
+  source file under ``repro`` changes the salt and invalidates the
+  cache wholesale (stale results silently poisoning a sweep is worse
+  than recomputing).
+* **Failure isolation.**  A unit that raises does not abort the sweep:
+  the worker catches the exception and returns a structured error
+  (type, message, traceback) that the caller records; all other units
+  complete.
+* **Resume.**  Because successful units are cached as they finish, a
+  crashed or partially-failed sweep re-run recomputes only the
+  missing/failed cells.
+
+Timing discipline: units report their own ``cpu_seconds`` (process CPU
+time, well-defined under parallelism) and ``wall_seconds``; sweep-level
+wall time is the caller's.  :func:`strip_volatile` removes exactly the
+fields that vary run-to-run so determinism comparisons and regression
+diffs can ignore them.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import importlib
+import json
+import multiprocessing
+import os
+import time
+import traceback
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
+
+from repro.harness.persistence import atomic_write_json
+
+#: Fields that record *when/how* a sweep ran rather than *what* it
+#: computed.  Byte-identical-output comparisons (tests, regression
+#: tooling) strip these; everything else in a manifest must be
+#: deterministic.
+TIMING_FIELDS = frozenset(
+    {"started", "finished", "seconds", "cpu_seconds", "wall_seconds"}
+)
+
+#: Timing fields plus run-circumstance fields (worker count, cache
+#: hits) that legitimately differ between equivalent runs.
+VOLATILE_FIELDS = TIMING_FIELDS | frozenset({"jobs", "cached", "hostname"})
+
+
+def strip_volatile(obj, fields: frozenset = VOLATILE_FIELDS):
+    """Recursively drop volatile fields from JSON-shaped data."""
+    if isinstance(obj, dict):
+        return {
+            key: strip_volatile(value, fields)
+            for key, value in obj.items()
+            if key not in fields
+        }
+    if isinstance(obj, list):
+        return [strip_volatile(value, fields) for value in obj]
+    return obj
+
+
+_SALT_MEMO: Optional[str] = None
+
+
+def code_version_salt() -> str:
+    """Digest of every source file in the ``repro`` package.
+
+    Folded into each cache key so that any code change invalidates all
+    cached results.  ``REPRO_CACHE_SALT`` overrides (tests, or callers
+    that version their cache some other way).
+    """
+    global _SALT_MEMO
+    override = os.environ.get("REPRO_CACHE_SALT")
+    if override is not None:
+        return override
+    if _SALT_MEMO is None:
+        import repro
+
+        root = Path(repro.__file__).resolve().parent
+        digest = hashlib.sha256()
+        for path in sorted(root.rglob("*.py")):
+            digest.update(str(path.relative_to(root)).encode())
+            digest.update(b"\0")
+            digest.update(path.read_bytes())
+        _SALT_MEMO = digest.hexdigest()[:16]
+    return _SALT_MEMO
+
+
+@dataclass(frozen=True)
+class WorkUnit:
+    """One independent computation of a sweep.
+
+    The target callable is named by module/function path (not held as
+    an object) so units pickle cheaply and identically across start
+    methods; ``kwargs`` must be picklable.  ``key_payload`` is the
+    JSON-safe identity of the computation — everything that influences
+    the result must appear in it, because it (plus the code salt) is
+    the cache key.
+    """
+
+    uid: str
+    module: str
+    func: str
+    kwargs: dict = field(default_factory=dict)
+    key_payload: dict = field(default_factory=dict)
+
+    def cache_key(self, salt: Optional[str] = None) -> str:
+        body = json.dumps(
+            {
+                "module": self.module,
+                "func": self.func,
+                "payload": self.key_payload,
+                "salt": salt if salt is not None else code_version_salt(),
+            },
+            sort_keys=True,
+        )
+        return hashlib.sha256(body.encode()).hexdigest()
+
+
+@dataclass
+class UnitResult:
+    """Outcome of one work unit (success, structured failure, or cache hit)."""
+
+    uid: str
+    ok: bool
+    value: object = None
+    error: Optional[dict] = None
+    cpu_seconds: float = 0.0
+    wall_seconds: float = 0.0
+    cached: bool = False
+
+
+class ResultCache:
+    """Content-addressed on-disk store of completed work-unit values.
+
+    Values must be JSON-serialisable (experiment text, metric dicts).
+    Writes are atomic (temp file + rename) so concurrent workers and
+    interrupted sweeps never leave a torn entry; a corrupt entry reads
+    as a miss.
+    """
+
+    def __init__(self, root) -> None:
+        self.root = Path(root)
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> Optional[dict]:
+        """Return the stored entry ``{"uid", "payload", "value"}`` or None."""
+        try:
+            entry = json.loads(self._path(key).read_text())
+        except (FileNotFoundError, json.JSONDecodeError, OSError):
+            self.misses += 1
+            return None
+        if not isinstance(entry, dict) or "value" not in entry:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return entry
+
+    def put(self, key: str, unit: WorkUnit, value) -> Path:
+        entry = {"uid": unit.uid, "payload": unit.key_payload, "value": value}
+        path = self._path(key)
+        atomic_write_json(path, entry)
+        self.stores += 1
+        return path
+
+
+def _execute_task(task) -> UnitResult:
+    """Worker entry: run one unit, never raise (failure isolation)."""
+    uid, module_name, func_name, kwargs = task
+    wall0 = time.perf_counter()
+    cpu0 = time.process_time()
+    try:
+        module = importlib.import_module(module_name)
+        func = getattr(module, func_name)
+        value = func(**kwargs)
+        return UnitResult(
+            uid=uid,
+            ok=True,
+            value=value,
+            cpu_seconds=time.process_time() - cpu0,
+            wall_seconds=time.perf_counter() - wall0,
+        )
+    except Exception as error:  # noqa: BLE001 — isolation is the point
+        return UnitResult(
+            uid=uid,
+            ok=False,
+            error={
+                "type": type(error).__name__,
+                "message": str(error),
+                "traceback": traceback.format_exc(),
+            },
+            cpu_seconds=time.process_time() - cpu0,
+            wall_seconds=time.perf_counter() - wall0,
+        )
+
+
+def _pool_context():
+    """Prefer fork (cheap, inherits in-process monkeypatches); fall back
+    to the platform default where fork is unavailable."""
+    methods = multiprocessing.get_all_start_methods()
+    if "fork" in methods:
+        return multiprocessing.get_context("fork")
+    return multiprocessing.get_context()
+
+
+def execute_units(
+    units: Iterable[WorkUnit],
+    jobs: int = 1,
+    cache: Optional[ResultCache] = None,
+    progress: Optional[Callable[[str], None]] = None,
+    salt: Optional[str] = None,
+) -> Dict[str, UnitResult]:
+    """Run every unit, in parallel when ``jobs > 1``; returns {uid: result}.
+
+    Cache hits are resolved up front and skip execution entirely.
+    Completion order never affects the result mapping — merge is by
+    unit id — and successful values are written back to the cache as
+    they arrive, which is what makes interrupted sweeps resumable.
+    """
+    ordered: List[WorkUnit] = list(units)
+    seen = set()
+    for unit in ordered:
+        if unit.uid in seen:
+            raise ValueError(f"duplicate work-unit id {unit.uid!r}")
+        seen.add(unit.uid)
+
+    results: Dict[str, UnitResult] = {}
+    pending: List[WorkUnit] = []
+    keys: Dict[str, str] = {}
+    for unit in ordered:
+        if cache is not None:
+            key = keys[unit.uid] = unit.cache_key(salt)
+            entry = cache.get(key)
+            if entry is not None:
+                results[unit.uid] = UnitResult(
+                    uid=unit.uid, ok=True, value=entry["value"], cached=True
+                )
+                if progress is not None:
+                    progress(f"{unit.uid} [cached]")
+                continue
+        pending.append(unit)
+
+    by_uid = {unit.uid: unit for unit in pending}
+
+    def absorb(result: UnitResult) -> None:
+        results[result.uid] = result
+        if result.ok and cache is not None:
+            unit = by_uid[result.uid]
+            cache.put(keys[unit.uid], unit, result.value)
+        if progress is not None:
+            status = "ok" if result.ok else f"FAILED: {result.error['type']}"
+            progress(f"{result.uid} [{status}]")
+
+    tasks = [(u.uid, u.module, u.func, u.kwargs) for u in pending]
+    if jobs <= 1 or len(tasks) <= 1:
+        for task in tasks:
+            absorb(_execute_task(task))
+    else:
+        context = _pool_context()
+        with context.Pool(processes=min(jobs, len(tasks))) as pool:
+            for result in pool.imap_unordered(_execute_task, tasks):
+                absorb(result)
+    return results
+
+
+def failed_units(results: Dict[str, UnitResult]) -> Dict[str, dict]:
+    """Map of uid -> structured error for every failed unit."""
+    return {
+        uid: result.error
+        for uid, result in results.items()
+        if not result.ok
+    }

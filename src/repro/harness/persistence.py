@@ -9,11 +9,34 @@ round-trips whole suites to disk.
 from __future__ import annotations
 
 import json
+import os
+import tempfile
 from dataclasses import asdict
 from pathlib import Path
 from typing import Dict, Union
 
 from repro.harness.experiment import RunResult
+
+
+def atomic_write_json(path: Union[str, Path], payload) -> Path:
+    """Write JSON via temp-file + rename so readers never see a torn
+    file (concurrent sweep workers share the result cache)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    handle, tmp_name = tempfile.mkstemp(
+        dir=path.parent, prefix=f".{path.name}.", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(handle, "w") as tmp:
+            tmp.write(json.dumps(payload, indent=2, sort_keys=True))
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+    return path
 
 
 def run_result_to_dict(result: RunResult) -> Dict:
@@ -80,13 +103,11 @@ def save_suite(
     metadata: Dict = None,
 ) -> Path:
     """Write a suite to JSON; returns the path written."""
-    path = Path(path)
     payload = {
         "metadata": metadata or {},
         "results": suite_to_dict(results),
     }
-    path.write_text(json.dumps(payload, indent=2, sort_keys=True))
-    return path
+    return atomic_write_json(path, payload)
 
 
 def load_suite(path: Union[str, Path]) -> Dict:

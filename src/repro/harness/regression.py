@@ -97,3 +97,25 @@ def format_comparison(
             f"({delta.change:+.2f} pp)"
         )
     return "\n".join(lines)
+
+
+def manifests_equal(
+    before: Union[str, Path, Dict], after: Union[str, Path, Dict]
+) -> bool:
+    """True when two ``run_all`` manifests describe the same sweep.
+
+    Timing and run-circumstance fields (wall/CPU seconds, job count,
+    cache hits — see :data:`repro.harness.parallel.VOLATILE_FIELDS`)
+    are ignored: a serial run, a parallel run, and a cache-warm re-run
+    of the same configuration must all compare equal.
+    """
+    import json
+
+    from repro.harness.parallel import strip_volatile
+
+    def load(source) -> Dict:
+        if isinstance(source, dict):
+            return source
+        return json.loads(Path(source).read_text())
+
+    return strip_volatile(load(before)) == strip_volatile(load(after))

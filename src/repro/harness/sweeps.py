@@ -5,18 +5,26 @@ built on synthetic workloads should show that its conclusions do not
 hinge on one lucky seed.  :func:`seed_sweep` reruns a configuration
 set across seeds and reports mean and spread of each weighted-mean
 overhead.
+
+Sweeps decompose into one work unit per (benchmark, spec, seed) cell —
+exactly the granularity of the parallel engine's result cache — so
+``seed_sweep(..., jobs=N)`` fans the grid out over worker processes
+and ``cache=ResultCache(...)`` makes repeated sweeps incremental.
+Samples are merged in seed order regardless of completion order, so
+the statistics are identical for every job count.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.harness.configs import DefenseSpec, SimulationConfig
-from repro.harness.experiment import run_suite
+from repro.harness.experiment import run_benchmark
 from repro.harness.metrics import weighted_mean_overhead
-from repro.workloads.spec import BenchmarkProfile
+from repro.harness.parallel import ResultCache, WorkUnit, execute_units
+from repro.workloads.spec import BenchmarkProfile, profile_by_name
 
 
 @dataclass
@@ -44,22 +52,106 @@ class SweepResult:
         return max(self.samples) - min(self.samples)
 
 
+def run_cell(
+    profile: str,
+    spec: DefenseSpec,
+    scale: float,
+    seed: int,
+) -> Dict[str, float]:
+    """Picklable work unit: one (benchmark, spec, seed) simulation.
+
+    Returns only JSON-safe scalars (what the sweep statistics and the
+    result cache need), not the full RunResult.
+    """
+    config = SimulationConfig(scale=scale, seed=seed)
+    result = run_benchmark(profile_by_name(profile), spec, config)
+    return {
+        "runtime": result.runtime,
+        "cycles": result.cycles,
+        "instructions": result.instructions,
+    }
+
+
+def sweep_units(
+    profiles: Sequence[BenchmarkProfile],
+    specs: Sequence[DefenseSpec],
+    seeds: Sequence[int],
+    scale: float,
+) -> List[WorkUnit]:
+    """One work unit per (benchmark, spec, seed) cell, Plain included."""
+    all_specs = [DefenseSpec.plain()] + [
+        spec for spec in specs if spec.defense != "plain"
+    ]
+    units = []
+    for seed in seeds:
+        config = SimulationConfig(scale=scale, seed=seed)
+        for spec in all_specs:
+            for profile in profiles:
+                units.append(
+                    WorkUnit(
+                        uid=f"{profile.name}/{spec.name}/{seed}",
+                        module=__name__,
+                        func="run_cell",
+                        kwargs={
+                            "profile": profile.name,
+                            "spec": spec,
+                            "scale": scale,
+                            "seed": seed,
+                        },
+                        key_payload={
+                            "profile": profile.name,
+                            "spec": spec.key_payload(),
+                            "config": config.key_payload(),
+                        },
+                    )
+                )
+    return units
+
+
 def seed_sweep(
     profiles: Sequence[BenchmarkProfile],
     specs: Sequence[DefenseSpec],
     seeds: Sequence[int],
     scale: float = 0.2,
+    jobs: int = 1,
+    cache: Optional[ResultCache] = None,
+    progress=None,
 ) -> Dict[str, SweepResult]:
-    """Run the suite once per seed; returns overhead stats per spec."""
+    """Run the suite once per seed; returns overhead stats per spec.
+
+    With ``jobs > 1`` the (benchmark × spec × seed) grid is executed by
+    the parallel engine; with a ``cache``, repeated sweeps recompute
+    only cells not already on disk.  A failed cell aborts the sweep
+    with the worker's structured error (sweep statistics over partial
+    grids would be silently wrong).
+    """
     if not seeds:
         raise ValueError("need at least one seed")
+    if len(set(seeds)) != len(seeds):
+        raise ValueError("seeds must be unique (duplicate cells would "
+                         "collapse to one cached work unit)")
+    units = sweep_units(profiles, specs, seeds, scale)
+    results = execute_units(units, jobs=jobs, cache=cache, progress=progress)
+    failures = {
+        uid: result.error
+        for uid, result in results.items()
+        if not result.ok
+    }
+    if failures:
+        uid, error = next(iter(sorted(failures.items())))
+        raise RuntimeError(
+            f"{len(failures)} sweep cell(s) failed; first: {uid}: "
+            f"{error['type']}: {error['message']}"
+        )
+
+    def runtime(profile: BenchmarkProfile, spec_name: str, seed: int) -> float:
+        return results[f"{profile.name}/{spec_name}/{seed}"].value["runtime"]
+
     samples: Dict[str, List[float]] = {spec.name: [] for spec in specs}
-    for seed in seeds:
-        config = SimulationConfig(scale=scale, seed=seed)
-        results = run_suite(profiles, specs, config)
-        plains = [results[b]["Plain"].runtime for b in results]
+    for seed in seeds:  # seed order, not completion order: deterministic
+        plains = [runtime(p, "Plain", seed) for p in profiles]
         for spec in specs:
-            runtimes = [results[b][spec.name].runtime for b in results]
+            runtimes = [runtime(p, spec.name, seed) for p in profiles]
             samples[spec.name].append(
                 weighted_mean_overhead(runtimes, plains)
             )

@@ -1,0 +1,98 @@
+"""Property-based tests for SweepResult statistics and seed_sweep
+contracts: the invariants every sweep report relies on, driven by
+Hypothesis over random sample sets."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.harness.configs import DefenseSpec
+from repro.harness.sweeps import SweepResult, seed_sweep
+from repro.workloads.spec import profile_by_name
+
+#: Overhead percentages span roughly -50 .. +500 in practice; test a
+#: wider, still finite-and-sane magnitude range.
+overheads = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+sample_lists = st.lists(overheads, min_size=1, max_size=40)
+
+
+class TestSweepResultInvariants:
+    @given(samples=sample_lists)
+    @settings(max_examples=200, deadline=None)
+    def test_statistics_invariants(self, samples):
+        result = SweepResult(spec_name="x", samples=samples)
+        assert result.stdev >= 0.0
+        assert min(samples) - 1e-9 <= result.mean <= max(samples) + 1e-9
+        assert result.spread == max(samples) - min(samples)
+        assert result.spread >= 0.0
+
+    @given(value=overheads)
+    def test_single_sample_degenerates(self, value):
+        result = SweepResult(spec_name="x", samples=[value])
+        assert result.stdev == 0.0
+        assert result.spread == 0.0
+        assert result.mean == value
+
+    @given(value=overheads, count=st.integers(min_value=2, max_value=20))
+    def test_constant_samples_zero_stdev_and_spread(self, value, count):
+        result = SweepResult(spec_name="x", samples=[value] * count)
+        assert result.stdev == pytest.approx(0.0, abs=1e-6)
+        assert result.spread == 0.0
+        assert result.mean == pytest.approx(value)
+
+    def test_stdev_matches_textbook_formula(self):
+        rng = random.Random(7)
+        samples = [rng.gauss(0, 5) for _ in range(25)]
+        result = SweepResult(spec_name="x", samples=samples)
+        mu = sum(samples) / len(samples)
+        expected = math.sqrt(
+            sum((x - mu) ** 2 for x in samples) / (len(samples) - 1)
+        )
+        assert math.isclose(result.stdev, expected)
+
+    @given(
+        samples=st.lists(
+            st.floats(min_value=-100, max_value=100), min_size=2, max_size=15
+        ),
+        shift=st.floats(min_value=-1e3, max_value=1e3),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_translation_invariance_of_spread_and_stdev(self, samples, shift):
+        base = SweepResult(spec_name="x", samples=samples)
+        moved = SweepResult(
+            spec_name="x", samples=[x + shift for x in samples]
+        )
+        assert moved.spread == pytest.approx(base.spread, abs=1e-6)
+        assert moved.stdev == pytest.approx(base.stdev, abs=1e-6)
+        assert moved.mean == pytest.approx(base.mean + shift, abs=1e-6)
+
+
+class TestSeedSweepContracts:
+    def test_empty_seeds_raises_value_error(self):
+        with pytest.raises(ValueError):
+            seed_sweep(
+                [profile_by_name("sjeng")],
+                [DefenseSpec.rest("Secure Full")],
+                seeds=(),
+            )
+
+    def test_duplicate_seeds_raise_value_error(self):
+        with pytest.raises(ValueError, match="unique"):
+            seed_sweep(
+                [profile_by_name("sjeng")],
+                [DefenseSpec.rest("Secure Full")],
+                seeds=(1, 1),
+            )
+
+    def test_sample_count_matches_seed_count(self):
+        sweep = seed_sweep(
+            [profile_by_name("sjeng")],
+            [DefenseSpec.rest("Secure Full")],
+            seeds=(1, 2, 3),
+            scale=0.05,
+        )
+        assert len(sweep["Secure Full"].samples) == 3
