@@ -10,6 +10,9 @@ Commands
     Multi-seed stability sweep of the Figure 7 configurations.
 ``attack <name|all> [--defense plain|asan|rest|rest-heap]``
     Run attack scenarios and print the outcome.
+``bench [--quick] [--out FILE] [--baseline FILE]``
+    Measure simulator trace-replay throughput per defense mode and
+    optionally gate against a committed baseline (CI smoke job).
 ``demo``
     The quickstart walkthrough.
 ``config``
@@ -20,6 +23,34 @@ from __future__ import annotations
 
 import argparse
 import sys
+
+
+def _positive_int(text: str) -> int:
+    """argparse type for flags that only make sense strictly positive.
+
+    Rejecting ``--jobs 0`` here (instead of silently running serial)
+    gives the standard argparse usage error and a non-zero exit.
+    """
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"{text!r} is not an integer")
+    if value <= 0:
+        raise argparse.ArgumentTypeError(
+            f"must be a positive integer, got {value}"
+        )
+    return value
+
+
+def _cache_dir(text: str) -> str:
+    """argparse type for cache-directory flags: reject plain files."""
+    from pathlib import Path
+
+    if Path(text).is_file():
+        raise argparse.ArgumentTypeError(
+            f"{text!r} is a file, not a cache directory"
+        )
+    return text
 
 EXPERIMENTS = (
     "table1",
@@ -293,6 +324,46 @@ def _cmd_config(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.harness.bench import compare_to_baseline, run_bench
+
+    scale = 0.25 if args.quick else args.scale
+    repeats = 3 if args.quick else args.repeats
+    manifest = run_bench(
+        benchmark=args.benchmark,
+        scale=scale,
+        seed=args.seed,
+        repeats=repeats,
+        progress=print,
+    )
+    if args.out:
+        Path(args.out).write_text(
+            json.dumps(manifest, indent=1, sort_keys=True) + "\n"
+        )
+        print(f"wrote {args.out}")
+    if args.baseline:
+        try:
+            baseline = json.loads(Path(args.baseline).read_text())
+        except (OSError, json.JSONDecodeError) as error:
+            print(f"cannot read baseline {args.baseline}: {error}")
+            return 2
+        problems = compare_to_baseline(
+            baseline, manifest, max_regression=args.max_regression
+        )
+        if problems:
+            for problem in problems:
+                print(f"BENCH REGRESSION: {problem}")
+            return 1
+        print(
+            f"all modes within {args.max_regression:.0%} of baseline "
+            f"{args.baseline}"
+        )
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -304,9 +375,10 @@ def main(argv=None) -> int:
     p_exp.add_argument("names", nargs="*", metavar="name")
     p_exp.add_argument("--scale", type=float, default=0.35)
     p_exp.add_argument("--seed", type=int, default=1234)
-    p_exp.add_argument("--jobs", "-j", type=int, default=1,
+    p_exp.add_argument("--jobs", "-j", type=_positive_int, default=1,
                        help="worker processes (1 = in-process)")
-    p_exp.add_argument("--cache", default=None, metavar="DIR",
+    p_exp.add_argument("--cache", type=_cache_dir, default=None,
+                       metavar="DIR",
                        help="reuse/populate a result cache directory")
     p_exp.set_defaults(handler=_cmd_experiments)
 
@@ -316,8 +388,9 @@ def main(argv=None) -> int:
     p_sweep.add_argument("--seeds", type=int, nargs="+",
                          default=[1, 2, 3, 4, 5])
     p_sweep.add_argument("--scale", type=float, default=0.1)
-    p_sweep.add_argument("--jobs", "-j", type=int, default=1)
-    p_sweep.add_argument("--cache", default=None, metavar="DIR")
+    p_sweep.add_argument("--jobs", "-j", type=_positive_int, default=1)
+    p_sweep.add_argument("--cache", type=_cache_dir, default=None,
+                         metavar="DIR")
     p_sweep.add_argument("--benchmarks", nargs="*", metavar="name",
                          help="subset of benchmarks (default: all)")
     p_sweep.set_defaults(handler=_cmd_sweep)
@@ -374,6 +447,24 @@ def main(argv=None) -> int:
     p_cmp.add_argument("--tolerance", type=float, default=2.0,
                        help="flag overhead moves beyond this (pp)")
     p_cmp.set_defaults(handler=_cmd_compare)
+
+    p_bench = sub.add_parser(
+        "bench", help="measure simulator trace-replay throughput"
+    )
+    p_bench.add_argument("--quick", action="store_true",
+                         help="CI smoke settings (scale 0.25, 3 repeats)")
+    p_bench.add_argument("--benchmark", default="xalancbmk")
+    p_bench.add_argument("--scale", type=float, default=0.5)
+    p_bench.add_argument("--seed", type=int, default=1234)
+    p_bench.add_argument("--repeats", type=_positive_int, default=5)
+    p_bench.add_argument("--out", default=None, metavar="FILE",
+                         help="write the manifest JSON here")
+    p_bench.add_argument("--baseline", default=None, metavar="FILE",
+                         help="compare against a committed bench manifest")
+    p_bench.add_argument("--max-regression", type=float, default=0.30,
+                         help="allowed throughput drop vs baseline "
+                              "(fraction, default 0.30)")
+    p_bench.set_defaults(handler=_cmd_bench)
 
     p_cfg = sub.add_parser("config", help="print Table II configuration")
     p_cfg.set_defaults(handler=_cmd_config)

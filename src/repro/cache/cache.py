@@ -72,27 +72,65 @@ class Cache:
         self.write_buffer = WriteBuffer(config.write_buffer_entries)
         self.stats = CacheStats()
         self._tick = 0
+        # Precomputed geometry: Table II sizes are powers of two, so the
+        # per-access index/tag split reduces to shift/mask; the divmod
+        # path remains for odd geometries.  ``-1`` marks "not a power of
+        # two" for the shift/mask fields.
+        line_size = config.line_size
+        num_sets = config.num_sets
+        self._line_size = line_size
+        self._num_sets = num_sets
+        self._line_shift = (
+            line_size.bit_length() - 1
+            if line_size & (line_size - 1) == 0
+            else -1
+        )
+        self._set_mask = (
+            num_sets - 1 if num_sets & (num_sets - 1) == 0 else -1
+        )
+        self._set_shift = num_sets.bit_length() - 1
+        # Per-set tag -> CacheLine map, replacing the linear way scan.
+        # Entries can go stale when external code resets a line in place
+        # (coherence surrender, writeback_all), so a map hit must be
+        # confirmed against the line's own valid/tag state.
+        self._tag_maps = [dict() for _ in range(num_sets)]
 
     # -- geometry helpers ------------------------------------------------
 
     def line_address(self, address: int) -> int:
-        return address - (address % self.config.line_size)
+        if self._line_shift >= 0:
+            return (address >> self._line_shift) << self._line_shift
+        return address - (address % self._line_size)
 
     def _index_tag(self, address: int) -> Tuple[int, int]:
-        line = address // self.config.line_size
-        return line % self.config.num_sets, line // self.config.num_sets
+        if self._line_shift >= 0:
+            line = address >> self._line_shift
+        else:
+            line = address // self._line_size
+        if self._set_mask >= 0:
+            return line & self._set_mask, line >> self._set_shift
+        return line % self._num_sets, line // self._num_sets
 
     # -- lookup / install ------------------------------------------------
 
     def lookup(self, address: int, touch: bool = True) -> Optional[CacheLine]:
         """Find the line containing ``address``; None on miss."""
-        index, tag = self._index_tag(address)
-        for line in self._sets[index]:
-            if line.valid and line.tag == tag:
-                if touch:
-                    self._tick += 1
-                    line.lru_tick = self._tick
-                return line
+        if self._line_shift >= 0:
+            line_no = address >> self._line_shift
+        else:
+            line_no = address // self._line_size
+        if self._set_mask >= 0:
+            index = line_no & self._set_mask
+            tag = line_no >> self._set_shift
+        else:
+            index = line_no % self._num_sets
+            tag = line_no // self._num_sets
+        line = self._tag_maps[index].get(tag)
+        if line is not None and line.valid and line.tag == tag:
+            if touch:
+                self._tick += 1
+                line.lru_tick = self._tick
+            return line
         return None
 
     def install(self, address: int, token_bits: int = 0) -> Tuple[CacheLine, Optional[CacheLine]]:
@@ -104,7 +142,19 @@ class Cache:
         """
         index, tag = self._index_tag(address)
         ways = self._sets[index]
-        victim_way = min(ways, key=lambda l: (l.valid, l.lru_tick))
+        # First invalid way, else LRU-minimum valid way.  (Invalid lines
+        # always carry lru_tick == 0, so way order breaks ties exactly
+        # like the old min() over (valid, lru_tick) tuples.)
+        victim_way = None
+        best_tick = None
+        for way in ways:
+            if not way.valid:
+                victim_way = way
+                break
+            if best_tick is None or way.lru_tick < best_tick:
+                best_tick = way.lru_tick
+                victim_way = way
+        tag_map = self._tag_maps[index]
         evicted: Optional[CacheLine] = None
         if victim_way.valid:
             evicted = CacheLine(
@@ -119,12 +169,15 @@ class Cache:
                 self.stats.dirty_evictions += 1
             if victim_way.token_bits:
                 self.stats.token_evictions += 1
+            if tag_map.get(victim_way.tag) is victim_way:
+                del tag_map[victim_way.tag]
         victim_way.tag = tag
         victim_way.valid = True
         victim_way.dirty = False
         victim_way.token_bits = token_bits
         self._tick += 1
         victim_way.lru_tick = self._tick
+        tag_map[tag] = victim_way
         if token_bits:
             self.stats.token_fills += 1
         return victim_way, evicted
@@ -138,12 +191,18 @@ class Cache:
     def invalidate(self, address: int) -> None:
         line = self.lookup(address, touch=False)
         if line is not None:
+            index, tag = self._index_tag(address)
+            tag_map = self._tag_maps[index]
+            if tag_map.get(tag) is line:
+                del tag_map[tag]
             line.reset()
 
     def flush(self) -> None:
         for ways in self._sets:
             for line in ways:
                 line.reset()
+        for tag_map in self._tag_maps:
+            tag_map.clear()
         self.mshrs.reset()
         self.write_buffer.reset()
 

@@ -81,6 +81,14 @@ class HierarchyConfig:
     #: REST lines that acks arm/disarm writes immediately, cutting the
     #: debug-mode commit wait for token operations.  0 disables it.
     token_staging_entries: int = 0
+    #: When True, a dirty/token line evicted by an L1 fill contends for
+    #: the L1 write buffer like any other outgoing write: a full buffer
+    #: stalls the *fill* until a slot drains, instead of letting the
+    #: victim's writeback leave for free.  Off by default because the
+    #: committed experiment goldens (results/*) pin the legacy timing in
+    #: which evictions bypass the buffer; flip it (and regenerate the
+    #: goldens) at the next baseline refresh.
+    eviction_port_stalls: bool = False
 
 
 @dataclass
@@ -153,19 +161,26 @@ class MemoryHierarchy:
         return self.config.l1d.line_size
 
     def _slot_mask(self, address: int, size: int) -> int:
-        mask = 0
-        for slot in self.detector.slots_touched(address, size):
-            mask |= 1 << slot
-        return mask
+        # Contiguous bit run covering slots [first, last]; equivalent to
+        # OR-ing ``1 << slot`` over detector.slots_touched(address, size)
+        # without materialising the slot list.
+        width = self.detector.token.width
+        offset = address % self.config.l1d.line_size
+        first = offset // width
+        last = (offset + size - 1) // width
+        return (1 << (last + 1)) - (1 << first)
 
     def _split_lines(self, address: int, size: int):
-        """Yield (addr, size) pieces that each stay within one line."""
+        """(addr, size) pieces that each stay within one line."""
+        line_size = self.config.l1d.line_size
+        pieces = []
         while size > 0:
-            line_base = self.l1d.line_address(address)
-            take = min(size, line_base + self.line_size - address)
-            yield address, take
+            line_base = address - (address % line_size)
+            take = min(size, line_base + line_size - address)
+            pieces.append((address, take))
             address += take
             size -= take
+        return pieces
 
     # -- fill / evict paths -------------------------------------------------
 
@@ -175,11 +190,14 @@ class MemoryHierarchy:
         result.l1_hit = False
         self.l1d.stats.misses += 1
         if self.l1d.mshrs.allocate(line_base) is None:
-            # Structural stall: charge a cycle and retry (always succeeds
-            # at this level of modelling; we only account the stall).
+            # Structural stall: charge a cycle for the blocking miss to
+            # complete, then retry.  Only the register that blocked us
+            # is retired — the old wholesale ``reset()`` here discarded
+            # every other outstanding miss and let the retry allocation
+            # recount entries the file had already accounted for.
             self.l1d.stats.mshr_stall_cycles += 1
             result.latency += 1
-            self.l1d.mshrs.reset()
+            self.l1d.mshrs.retire_blocking(line_base)
             self.l1d.mshrs.allocate(line_base)
         result.latency += self.config.l2.hit_latency
         l2_line = self.l2.lookup(line_base)
@@ -201,12 +219,25 @@ class MemoryHierarchy:
             self.stats.tokens_filled_from_memory += 1
         line, victim = self.l1d.install(line_base, token_bits=token_bits)
         if victim is not None:
-            self._handle_l1_eviction(line_base, victim)
+            result.latency += self._handle_l1_eviction(line_base, victim)
         self.l1d.mshrs.release(line_base)
         return line
 
-    def _handle_l1_eviction(self, probe_address: int, victim) -> None:
-        """Table I eviction: fill token value into the outgoing packet."""
+    def _handle_l1_eviction(self, probe_address: int, victim) -> int:
+        """Table I eviction: fill token value into the outgoing packet.
+
+        Returns the stall cycles the eviction costs the triggering fill
+        (non-zero only with ``eviction_port_stalls`` and a contended
+        write buffer).
+        """
+        stall = 0
+        if self.config.eviction_port_stalls and (
+            victim.dirty or victim.token_bits
+        ):
+            # The victim's writeback leaves through the same L1 write
+            # buffer stores drain through; a full buffer stalls the
+            # fill until a slot opens, it does not drop the writeback.
+            stall = self.l1d.write_buffer.insert()
         victim_base = self.l1d.victim_address(probe_address, victim)
         if victim.token_bits:
             token = self.detector.token
@@ -226,6 +257,7 @@ class MemoryHierarchy:
                         self.l2.victim_address(victim_base, l2_victim)
                     )
                 self.l2.lookup(victim_base).dirty = True
+        return stall
 
     def _account_line_to_memory(self, line_base: int) -> None:
         """An L2 line drains to DRAM; count token lines crossing over."""
@@ -245,45 +277,78 @@ class MemoryHierarchy:
     ) -> Tuple[bytes, AccessResult]:
         """A regular load.  Raises RestException on token access."""
         result = AccessResult(latency=self.config.l1d.hit_latency)
-        self._drain_staging()
+        if self._staging:
+            del self._staging[0]
+        # Single-line fast path: the overwhelming majority of accesses
+        # stay within one line, so skip the split loop and byte joins.
+        line_size = self.config.l1d.line_size
+        if 0 < size <= line_size - address % line_size:
+            self._checked_access(address, size, result, privilege, cycle)
+            return self.backing.read(address, size), result
         out = bytearray()
         for piece_addr, piece_size in self._split_lines(address, size):
-            line = self.l1d.lookup(piece_addr)
-            if line is None:
-                line = self._fetch_into_l1(piece_addr, result)
-                if self.mode is Mode.DEBUG:
-                    # Precise exceptions: no critical-word-first, the
-                    # load waits for the whole line.
-                    result.latency += self.config.debug_no_cwf_extra_cycles
-                    if line.token_bits:
-                        # Word partially matched; load held in the MSHR.
-                        self.l1d.mshrs.token_holds += 1
-                        result.latency += self.config.debug_token_hold_cycles
-            else:
-                self.l1d.stats.hits += 1
-            mask = self._slot_mask(piece_addr, piece_size)
-            if line.has_token(mask):
-                result.token_bit_seen = True
-                if self.token_config.exceptions_masked:
-                    # Privileged software (e.g. mid-rotation) masked
-                    # REST exceptions; the access proceeds (§V-B: user
-                    # level can never set this bit).
-                    self.stats.suppressed_faults += 1
-                else:
-                    self.stats.token_faults += 1
-                    kind = (
-                        RestFaultKind.SYSCALL_TOUCHED_TOKEN
-                        if privilege > PrivilegeLevel.USER
-                        else RestFaultKind.LOAD_TOUCHED_TOKEN
-                    )
-                    raise RestException(
-                        piece_addr,
-                        kind,
-                        precise=self.mode.precise_exceptions,
-                        cycle=cycle,
-                    )
+            self._checked_access(
+                piece_addr, piece_size, result, privilege, cycle
+            )
             out += self.backing.read(piece_addr, piece_size)
         return bytes(out), result
+
+    def _checked_access(
+        self,
+        piece_addr: int,
+        piece_size: int,
+        result: AccessResult,
+        privilege: PrivilegeLevel,
+        cycle: Optional[int],
+        is_store: bool = False,
+    ) -> None:
+        """Token-checked L1-D access of one within-line piece.
+
+        Shared body of :meth:`read` and :meth:`write`: fetch on miss
+        (with the debug-mode no-critical-word-first penalty for loads),
+        then raise per Table I if the access touches an armed slot.
+        """
+        l1d = self.l1d
+        line = l1d.lookup(piece_addr)
+        if line is None:
+            line = self._fetch_into_l1(piece_addr, result)
+            if not is_store and self.mode is Mode.DEBUG:
+                # Precise exceptions: no critical-word-first, the
+                # load waits for the whole line.
+                result.latency += self.config.debug_no_cwf_extra_cycles
+                if line.token_bits:
+                    # Word partially matched; load held in the MSHR.
+                    l1d.mshrs.token_holds += 1
+                    result.latency += self.config.debug_token_hold_cycles
+        else:
+            l1d.stats.hits += 1
+        # Compute the slot mask only when the line carries token bits at
+        # all (almost never), not on every access.
+        if line.token_bits and line.token_bits & self._slot_mask(
+            piece_addr, piece_size
+        ):
+            result.token_bit_seen = True
+            if self.token_config.exceptions_masked:
+                # Privileged software (e.g. mid-rotation) masked
+                # REST exceptions; the access proceeds (§V-B: user
+                # level can never set this bit).
+                self.stats.suppressed_faults += 1
+            else:
+                self.stats.token_faults += 1
+                if privilege > PrivilegeLevel.USER:
+                    kind = RestFaultKind.SYSCALL_TOUCHED_TOKEN
+                elif is_store:
+                    kind = RestFaultKind.STORE_TOUCHED_TOKEN
+                else:
+                    kind = RestFaultKind.LOAD_TOUCHED_TOKEN
+                raise RestException(
+                    piece_addr,
+                    kind,
+                    precise=self.mode.precise_exceptions,
+                    cycle=cycle,
+                )
+        if is_store:
+            line.dirty = True
 
     def write(
         self,
@@ -294,33 +359,23 @@ class MemoryHierarchy:
     ) -> AccessResult:
         """A regular store (write-allocate).  Raises on token access."""
         result = AccessResult(latency=self.config.l1d.hit_latency)
-        self._drain_staging()
+        if self._staging:
+            del self._staging[0]
+        size = len(data)
+        line_size = self.config.l1d.line_size
+        if 0 < size <= line_size - address % line_size:
+            self._checked_access(
+                address, size, result, privilege, cycle, is_store=True
+            )
+            self.backing.write(address, data)
+            result.latency += self.l1d.write_buffer.insert()
+            return result
         offset = 0
-        for piece_addr, piece_size in self._split_lines(address, len(data)):
-            line = self.l1d.lookup(piece_addr)
-            if line is None:
-                line = self._fetch_into_l1(piece_addr, result)
-            else:
-                self.l1d.stats.hits += 1
-            mask = self._slot_mask(piece_addr, piece_size)
-            if line.has_token(mask):
-                result.token_bit_seen = True
-                if self.token_config.exceptions_masked:
-                    self.stats.suppressed_faults += 1
-                else:
-                    self.stats.token_faults += 1
-                    kind = (
-                        RestFaultKind.SYSCALL_TOUCHED_TOKEN
-                        if privilege > PrivilegeLevel.USER
-                        else RestFaultKind.STORE_TOUCHED_TOKEN
-                    )
-                    raise RestException(
-                        piece_addr,
-                        kind,
-                        precise=self.mode.precise_exceptions,
-                        cycle=cycle,
-                    )
-            line.dirty = True
+        for piece_addr, piece_size in self._split_lines(address, size):
+            self._checked_access(
+                piece_addr, piece_size, result, privilege, cycle,
+                is_store=True,
+            )
             self.backing.write(piece_addr, data[offset : offset + piece_size])
             result.latency += self.l1d.write_buffer.insert()
             offset += piece_size
@@ -472,6 +527,9 @@ class MemoryHierarchy:
                                 base + slot * token.width, token.value
                             )
                 line.reset()
+        # Lines were reset in place; drop the now-stale lookup entries.
+        for tag_map in self.l1d._tag_maps:
+            tag_map.clear()
         self.l2.flush()
 
     def reset_stats(self) -> None:

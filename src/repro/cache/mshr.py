@@ -76,5 +76,18 @@ class MshrFile:
     def release(self, line_address: int) -> None:
         self._active.pop(line_address, None)
 
+    def retire_blocking(self, line_address: int) -> None:
+        """Free whatever blocked an allocation for ``line_address``.
+
+        If a register for the line exists (merge-capacity exhaustion),
+        its fill is modelled as completing now and the register is
+        released; otherwise the file itself was full and the oldest
+        outstanding register retires.  Exactly one register is freed —
+        the other in-flight misses keep their state, and their original
+        allocations stay counted once.
+        """
+        if self._active.pop(line_address, None) is None and self._active:
+            self._active.pop(next(iter(self._active)))
+
     def reset(self) -> None:
         self._active.clear()

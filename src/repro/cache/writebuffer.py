@@ -29,7 +29,9 @@ class WriteBuffer:
 
     def insert(self) -> int:
         """Insert one write; returns stall cycles charged (0 if room)."""
-        self._drain()
+        # _drain() inlined: this runs once per store-like access.
+        occupancy = self._occupancy - self.drain_per_access
+        self._occupancy = occupancy if occupancy > 0.0 else 0.0
         self.inserts += 1
         if self._occupancy >= self.entries:
             self.full_stalls += 1

@@ -46,6 +46,12 @@ class TokenDetector:
         self.fills_checked = 0
         self.beat_compares = 0
         self.matches_found = 0
+        # Memoized per-beat token slices, keyed on token identity so a
+        # rotation invalidates them (see scan_line).
+        self._chunk_token: Token = None
+        self._chunks: List[bytes] = []
+        self._slots_cached = 0
+        self._width_cached = 0
 
     @property
     def line_size(self) -> int:
@@ -75,21 +81,40 @@ class TokenDetector:
                 f"got {len(data)}B"
             )
         self.fills_checked += 1
-        token = self.token
-        width = token.width
+        token = self._config.token_for_hardware()
+        if token is not self._chunk_token:
+            width = token.width
+            beat_bytes = self.BEAT_BYTES
+            self._chunks = [
+                token.chunk(beat, beat_bytes)
+                for beat in range(width // beat_bytes)
+            ]
+            self._chunk_token = token
+            self._width_cached = width
+            self._slots_cached = self._line_size // width
+        chunks = self._chunks
+        width = self._width_cached
+        beat_bytes = self.BEAT_BYTES
         bitmap = 0
-        for slot in range(self.slots_per_line):
-            base = slot * width
+        beats = 0
+        matches = 0
+        base = 0
+        for slot in range(self._slots_cached):
+            lo = base
             matched = True
-            for beat in range(width // self.BEAT_BYTES):
-                self.beat_compares += 1
-                lo = base + beat * self.BEAT_BYTES
-                if data[lo : lo + self.BEAT_BYTES] != token.chunk(beat):
+            for chunk in chunks:
+                beats += 1
+                if data[lo : lo + beat_bytes] != chunk:
                     matched = False
                     break
+                lo += beat_bytes
             if matched:
                 bitmap |= 1 << slot
-                self.matches_found += 1
+                matches += 1
+            base += width
+        self.beat_compares += beats
+        if matches:
+            self.matches_found += matches
         return bitmap
 
     def slot_of(self, address: int) -> int:

@@ -15,7 +15,14 @@ from typing import Optional, Tuple
 
 
 class OpType(enum.Enum):
-    """Dynamic micro-op categories with their execute latencies."""
+    """Dynamic micro-op categories with their execute latencies.
+
+    ``is_memory`` / ``is_store_like`` / ``is_control`` / ``base_latency``
+    are plain per-member attributes (assigned below, not properties):
+    the pipeline reads them several times per micro-op, and an attribute
+    load is several times cheaper than a property call doing a frozenset
+    membership test.
+    """
 
     ALU = "alu"
     MUL = "mul"
@@ -29,24 +36,6 @@ class OpType(enum.Enum):
     ARM = "arm"
     DISARM = "disarm"
     NOP = "nop"
-
-    @property
-    def is_memory(self) -> bool:
-        return self in _MEMORY_OPS
-
-    @property
-    def is_store_like(self) -> bool:
-        """Ops that occupy a store-queue entry (stores, arm, disarm)."""
-        return self in _STORE_LIKE
-
-    @property
-    def is_control(self) -> bool:
-        return self in _CONTROL
-
-    @property
-    def base_latency(self) -> int:
-        """Execute latency excluding memory time."""
-        return _LATENCY[self]
 
 
 _MEMORY_OPS = frozenset(
@@ -68,6 +57,13 @@ _LATENCY = {
     OpType.DISARM: 1,
     OpType.NOP: 1,
 }
+
+for _op in OpType:
+    _op.is_memory = _op in _MEMORY_OPS
+    _op.is_store_like = _op in _STORE_LIKE
+    _op.is_control = _op in _CONTROL
+    _op.base_latency = _LATENCY[_op]
+del _op
 
 
 class MicroOp:

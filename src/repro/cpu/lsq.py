@@ -57,6 +57,10 @@ class LoadStoreQueue:
         self.line_size = line_size
         self._lq: Deque[int] = deque()  # just seq numbers; loads hold no data
         self._sq: Deque[SqEntry] = deque()
+        #: Non-drained ARM entries in the SQ.  Lets check_store skip its
+        #: CAM scan entirely when no arm is in flight (always, for
+        #: defenses that never arm).
+        self._arms_live = 0
         self.forwards = 0
         self.forward_blocked = 0
         self.lq_full_cycles = 0
@@ -112,6 +116,8 @@ class LoadStoreQueue:
                 )
         entry = SqEntry(seq, kind, address, size)
         self._sq.append(entry)
+        if kind is SqEntryKind.ARM:
+            self._arms_live += 1
         return entry
 
     # -- the Figure 5 matching logic ---------------------------------------
@@ -139,11 +145,13 @@ class LoadStoreQueue:
         # remainder match.  Age matters: the *youngest* older entry
         # overlapping the load decides the outcome — an intervening
         # disarm makes a load after an arm legal again.
+        # (_overlaps is inlined: this scan runs for every load issued.)
         youngest: Optional[SqEntry] = None
+        end = address + size
         for entry in self._sq:
             if entry.seq >= seq or entry.drained:
                 continue
-            if self._overlaps(entry, address, size):
+            if address < entry.address + entry.size and entry.address < end:
                 youngest = entry
         if youngest is None:
             return None
@@ -168,11 +176,16 @@ class LoadStoreQueue:
 
     def check_store(self, seq: int, address: int, size: int) -> None:
         """Table I: raise if the SQ holds an older arm for this location."""
+        if not self._arms_live:
+            # No in-flight arm can match; the gate cannot fire.  The
+            # exception below is the scan's only observable effect.
+            return
         youngest: Optional[SqEntry] = None
+        end = address + size
         for entry in self._sq:
             if entry.seq >= seq or entry.drained:
                 continue
-            if self._overlaps(entry, address, size):
+            if address < entry.address + entry.size and entry.address < end:
                 youngest = entry
         if youngest is not None and youngest.kind is SqEntryKind.ARM:
             self.rest_violations += 1
@@ -196,6 +209,8 @@ class LoadStoreQueue:
     def retire_store_like(self, seq: int) -> None:
         for entry in self._sq:
             if entry.seq == seq:
+                if not entry.drained and entry.kind is SqEntryKind.ARM:
+                    self._arms_live -= 1
                 entry.drained = True
                 break
         while self._sq and self._sq[0].drained:
@@ -204,6 +219,7 @@ class LoadStoreQueue:
     def flush(self) -> None:
         self._lq.clear()
         self._sq.clear()
+        self._arms_live = 0
 
     def reset_stats(self) -> None:
         self.forwards = 0

@@ -24,15 +24,15 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Deque, Dict, Iterable, Optional
+from typing import Deque, Iterable, List, Optional
 
 from repro.cache.hierarchy import MemoryHierarchy
 from repro.core.modes import Mode
 from repro.cpu.bpred import BranchPredictor
-from repro.cpu.iq import IssueQueue
+from repro.cpu.iq import IqSlot, IssueQueue
 from repro.cpu.isa import MicroOp, OpType
 from repro.cpu.lsq import LoadStoreQueue, SqEntryKind
-from repro.cpu.rob import ReorderBuffer
+from repro.cpu.rob import ReorderBuffer, RobEntry
 from repro.cpu.stats import CoreStats
 
 _ZEROS = bytes(64)
@@ -114,61 +114,123 @@ class OutOfOrderCore:
 
         REST exceptions raised at execute propagate to the caller with
         the faulting cycle stamped on them; the stats object reflects
-        progress up to the fault.
+        progress up to the fault.  Uses the event-driven fast-forward
+        (see :meth:`run_stepwise`) — the stats are identical to a
+        cycle-by-cycle run, only wall-clock time differs.
         """
-        for _ in self.run_stepwise(uops, max_cycles=max_cycles):
+        for _ in self.run_stepwise(
+            uops, max_cycles=max_cycles, fast_forward=True
+        ):
             pass
         return self.stats
 
     def run_stepwise(
-        self, uops: Iterable[MicroOp], max_cycles: Optional[int] = None
+        self,
+        uops: Iterable[MicroOp],
+        max_cycles: Optional[int] = None,
+        fast_forward: bool = False,
     ):
         """Generator variant of :meth:`run`: yields after every cycle.
 
         Lets an SMP executor interleave several cores cycle-by-cycle
         over a coherent memory system (see :mod:`repro.cpu.smp`).
+
+        With ``fast_forward=True`` the loop skips cycles in which no
+        stage can make progress (nothing commits, issues, dispatches, or
+        fetches), jumping directly to the earliest cycle at which a
+        completion/write/fetch-stall timer fires and bulk-charging the
+        per-cycle stall counters for the skipped span.  All stats are
+        byte-identical to the cycle-by-cycle walk; only the *yield*
+        cadence changes (skipped cycles are not yielded), which is why
+        it is opt-in and off for SMP interleaving.
         """
         config = self.config
         stats = self.stats
         rob = self.rob
         iq = self.iq
         lsq = self.lsq
+        hierarchy = self.hierarchy
         mode_debug = self.mode is Mode.DEBUG
 
+        # The per-cycle loop dominates simulation wall-clock, so the
+        # structure sizes, queue internals, and bound methods used every
+        # cycle are hoisted into locals here (a local load is several
+        # times cheaper than attribute traversal in CPython).
+        commit_width = config.commit_width
+        issue_width = config.issue_width
+        dispatch_width = config.dispatch_width
+        fetch_width = config.fetch_width
+        fetch_buffer_entries = config.fetch_buffer_entries
+        mispredict_penalty = config.mispredict_penalty
+        serialize_rest = config.serialize_rest_ops
+        rob_capacity = rob.capacity
+        iq_capacity = iq.capacity
+        lq_cap = lsq.lq_entries
+        sq_cap = lsq.sq_entries
+        rob_entries = rob._entries
+        lq = lsq._lq
+        sq = lsq._sq
+        op_counts = stats.op_counts
+        op_counts_get = op_counts.get
+        fetch_line_fn = hierarchy.fetch_line
+        predict_and_update = self.bpred.predict_and_update
+        token_width = hierarchy.detector.token.width
+        execute = self._execute
+        retire_load = lsq.retire_load
+        retire_store_like = lsq.retire_store_like
+        dispatch_store_like = lsq.dispatch_store_like
+        ot_load = OpType.LOAD
+        ot_store = OpType.STORE
+        ot_arm = OpType.ARM
+        ot_disarm = OpType.DISARM
+
         trace = iter(uops)
+        trace_next = trace.__next__
         fetch_buffer: Deque[MicroOp] = deque()
+        fb_append = fetch_buffer.append
+        fb_popleft = fetch_buffer.popleft
         trace_done = False
         fetch_stall_until = 0
         seq = 0
         cycle = self._cycle
         start_cycle = cycle
-        #: seq -> cycle its result is available (never pruned in-run).
-        completion: Dict[int, int] = {}
+        #: seq -> cycle its result is available; -1 while in flight.
+        #: Dense list indexed by seq (seqs are assigned contiguously at
+        #: dispatch), replacing the dict of the original implementation.
+        completion: List[int] = []
+        completion_append = completion.append
         #: program-order queue of unexecuted memory ops.
         mem_order: Deque[int] = deque()
+        mem_append = mem_order.append
+        mem_popleft = mem_order.popleft
         #: serialize_rest_ops ablation: arm/disarm ops still in flight.
         rest_in_flight = 0
         #: instruction-fetch line tracking for the L1-I.
         last_fetch_line = -1
-        line_mask = ~(self.hierarchy.line_size - 1)
+        line_mask = ~(hierarchy.line_size - 1)
+        cycle_limit = (
+            start_cycle + max_cycles if max_cycles is not None else None
+        )
 
         try:
-            while not trace_done or fetch_buffer or not rob.empty:
+            while not trace_done or fetch_buffer or rob_entries:
                 cycle += 1
                 self._cycle = cycle
-                if max_cycles is not None and cycle - start_cycle > max_cycles:
+                if cycle_limit is not None and cycle > cycle_limit:
                     raise RuntimeError("simulation exceeded max_cycles")
 
                 # ---- commit (in order, up to commit width) ----
                 committed_now = 0
-                while committed_now < config.commit_width:
-                    head = rob.head()
-                    if head is None:
-                        break
-                    head_seq = head.uop.seq
-                    done_cycle = completion.get(head_seq)
-                    blocked = done_cycle is None or done_cycle > cycle
-                    if not blocked and mode_debug and head.uop.op.is_store_like:
+                head_store_blocked = False
+                while committed_now < commit_width and rob_entries:
+                    head = rob_entries[0]
+                    head_uop = head.uop
+                    head_seq = head_uop.seq
+                    op_type = head_uop.op
+                    store_like = op_type.is_store_like
+                    done_cycle = completion[head_seq]
+                    blocked = done_cycle < 0 or done_cycle > cycle
+                    if not blocked and mode_debug and store_like:
                         # Debug mode: the cache write starts when the
                         # store retires; hold the head until it is done.
                         if head.write_done_cycle < 0:
@@ -177,173 +239,285 @@ class OutOfOrderCore:
                             )
                         blocked = head.write_done_cycle > cycle
                     if blocked:
-                        if head.uop.op.is_store_like:
+                        if store_like:
+                            head_store_blocked = True
                             rob.blocked_by_store_cycles += 1
                             stats.rob_blocked_by_store_cycles += 1
                         break
-                    rob.pop_head()
-                    op_type = head.uop.op
-                    if op_type is OpType.LOAD:
-                        lsq.retire_load(head_seq)
-                    elif op_type.is_store_like:
-                        lsq.retire_store_like(head_seq)
-                        if (
-                            config.serialize_rest_ops
-                            and op_type is not OpType.STORE
-                        ):
+                    rob_entries.popleft()
+                    if op_type is ot_load:
+                        retire_load(head_seq)
+                    elif store_like:
+                        retire_store_like(head_seq)
+                        if serialize_rest and op_type is not ot_store:
                             rest_in_flight -= 1
-                    stats.committed += 1
-                    stats.count_op(op_type.value)
+                    # ``_value_`` is the plain instance attribute behind
+                    # the (slow) ``Enum.value`` descriptor.
+                    key = op_type._value_
+                    op_counts[key] = op_counts_get(key, 0) + 1
                     committed_now += 1
+                if committed_now:
+                    stats.committed += committed_now
 
                 # ---- issue (up to issue width, oldest-first select) ----
-                if iq._slots:
+                iq_slots = iq._slots
+                issued = 0
+                if iq_slots:
                     mem_head = mem_order[0] if mem_order else -1
-                    issued = 0
-                    remaining = []
-                    for slot in iq._slots:
-                        if issued >= config.issue_width:
-                            remaining.append(slot)
-                            continue
+                    # ``remaining`` is built lazily: on cycles where
+                    # nothing issues (the common case under a long-latency
+                    # miss) the slot list is left untouched instead of
+                    # being rebuilt element by element.
+                    remaining = None
+                    n = len(iq_slots)
+                    i = 0
+                    while i < n:
+                        if issued >= issue_width:
+                            break
+                        slot = iq_slots[i]
                         uop = slot.entry.uop
                         ready = True
                         for distance in uop.deps:
                             producer_seq = uop.seq - distance
                             if producer_seq >= 0:
-                                done = completion.get(producer_seq)
-                                if done is None or done > cycle:
+                                done = completion[producer_seq]
+                                if done < 0 or done > cycle:
                                     ready = False
                                     break
-                        if not ready:
-                            remaining.append(slot)
-                            continue
-                        if uop.op.is_memory and uop.seq != mem_head:
-                            remaining.append(slot)
-                            continue
-                        self._execute(uop, slot.entry, cycle, completion, lsq)
-                        if uop.op.is_memory:
-                            mem_order.popleft()
+                        if ready and not uop.op.is_memory:
+                            # Non-memory fast path: _execute would only
+                            # write the base-latency completion.
+                            if remaining is None:
+                                remaining = iq_slots[:i]
+                            completion[uop.seq] = (
+                                cycle + uop.op.base_latency
+                            )
+                            issued += 1
+                        elif ready and uop.seq == mem_head:
+                            if remaining is None:
+                                remaining = iq_slots[:i]
+                            execute(uop, slot.entry, cycle, completion, lsq)
+                            mem_popleft()
                             mem_head = mem_order[0] if mem_order else -1
-                        issued += 1
-                    iq._slots = remaining
+                            issued += 1
+                        elif remaining is not None:
+                            remaining.append(slot)
+                        i += 1
+                    if remaining is not None:
+                        if i < n:
+                            remaining.extend(iq_slots[i:])
+                        iq._slots = remaining
+                        iq_slots = remaining
 
                 # ---- dispatch (fetch buffer -> ROB/IQ/LSQ) ----
                 dispatched = 0
                 blocked_reason = None
-                while dispatched < config.dispatch_width and fetch_buffer:
+                while dispatched < dispatch_width and fetch_buffer:
                     uop = fetch_buffer[0]
-                    if config.serialize_rest_ops and rest_in_flight:
+                    if serialize_rest and rest_in_flight:
                         break  # machine drains before anything follows
-                    if rob.full:
+                    if len(rob_entries) >= rob_capacity:
                         blocked_reason = "rob"
                         break
-                    if iq.full:
+                    if len(iq_slots) >= iq_capacity:
                         blocked_reason = "iq"
                         break
                     op_type = uop.op
-                    if config.serialize_rest_ops and op_type in (
-                        OpType.ARM,
-                        OpType.DISARM,
+                    if serialize_rest and (
+                        op_type is ot_arm or op_type is ot_disarm
                     ):
                         # Rejected design (paper §III-B): an arm/disarm
                         # must be the only in-flight instruction.
-                        if not rob.empty:
+                        if rob_entries:
                             break
-                        fetch_buffer.popleft()
+                        fb_popleft()
                         uop.seq = seq
+                        completion_append(-1)
                         seq += 1
                         entry = rob.push(uop)
                         iq.push(entry, cycle)
-                        lsq.dispatch_store_like(
+                        dispatch_store_like(
                             uop.seq,
                             _SQ_KIND[op_type],
                             uop.address,
-                            self.hierarchy.detector.token.width,
+                            token_width,
                         )
-                        mem_order.append(uop.seq)
+                        mem_append(uop.seq)
                         rest_in_flight += 1
                         dispatched += 1
                         break  # nothing may follow it this cycle
-                    if op_type is OpType.LOAD and lsq.lq_full:
-                        blocked_reason = "lq"
-                        break
-                    if op_type.is_store_like and lsq.sq_full:
-                        blocked_reason = "sq"
-                        break
-                    fetch_buffer.popleft()
+                    if op_type is ot_load:
+                        if len(lq) >= lq_cap:
+                            blocked_reason = "lq"
+                            break
+                        store_like = False
+                    else:
+                        store_like = op_type.is_store_like
+                        if store_like and len(sq) >= sq_cap:
+                            blocked_reason = "sq"
+                            break
+                    fb_popleft()
                     uop.seq = seq
+                    completion_append(-1)
                     seq += 1
-                    entry = rob.push(uop)
-                    iq.push(entry, cycle)
-                    if op_type is OpType.LOAD:
-                        lsq.dispatch_load(uop.seq)
-                        mem_order.append(uop.seq)
-                    elif op_type.is_store_like:
-                        if op_type is OpType.STORE:
+                    # Inlined rob.push / iq.push (capacity pre-checked
+                    # above); max-occupancy bookkeeping preserved.
+                    entry = RobEntry(uop)
+                    rob_entries.append(entry)
+                    if len(rob_entries) > rob.max_occupancy:
+                        rob.max_occupancy = len(rob_entries)
+                    iq_slots.append(IqSlot(entry, cycle))
+                    if len(iq_slots) > iq.max_occupancy:
+                        iq.max_occupancy = len(iq_slots)
+                    if op_type is ot_load:
+                        lq.append(uop.seq)
+                        mem_append(uop.seq)
+                    elif store_like:
+                        if op_type is ot_store:
                             entry_size = uop.size or 8
                         else:
                             # Arm/disarm cover a whole token slot.
-                            entry_size = self.hierarchy.detector.token.width
-                        lsq.dispatch_store_like(
+                            entry_size = token_width
+                        dispatch_store_like(
                             uop.seq,
                             _SQ_KIND[op_type],
                             uop.address,
                             entry_size,
                         )
-                        mem_order.append(uop.seq)
+                        mem_append(uop.seq)
                     dispatched += 1
-                if blocked_reason == "rob":
-                    rob.full_cycles += 1
-                    stats.rob_full_cycles += 1
-                elif blocked_reason == "iq":
-                    iq.full_cycles += 1
-                    stats.iq_full_cycles += 1
-                elif blocked_reason == "lq":
-                    lsq.lq_full_cycles += 1
-                    stats.lq_full_cycles += 1
-                elif blocked_reason == "sq":
-                    lsq.sq_full_cycles += 1
-                    stats.sq_full_cycles += 1
+                if blocked_reason is not None:
+                    if blocked_reason == "rob":
+                        rob.full_cycles += 1
+                        stats.rob_full_cycles += 1
+                    elif blocked_reason == "iq":
+                        iq.full_cycles += 1
+                        stats.iq_full_cycles += 1
+                    elif blocked_reason == "lq":
+                        lsq.lq_full_cycles += 1
+                        stats.lq_full_cycles += 1
+                    else:
+                        lsq.sq_full_cycles += 1
+                        stats.sq_full_cycles += 1
 
                 # ---- fetch (trace -> fetch buffer) ----
+                fetch_attempted = False
                 if cycle >= fetch_stall_until and not trace_done:
                     fetched = 0
+                    fb_len = len(fetch_buffer)
                     while (
-                        fetched < config.fetch_width
-                        and len(fetch_buffer) < config.fetch_buffer_entries
+                        fetched < fetch_width
+                        and fb_len < fetch_buffer_entries
                     ):
+                        fetch_attempted = True
                         try:
-                            uop = next(trace)
+                            uop = trace_next()
                         except StopIteration:
                             trace_done = True
                             break
                         fetch_line = uop.pc & line_mask
                         if fetch_line != last_fetch_line:
                             last_fetch_line = fetch_line
-                            stall = self.hierarchy.fetch_line(uop.pc)
+                            stall = fetch_line_fn(uop.pc)
                             if stall:
                                 stats.icache_stall_cycles += stall
                                 fetch_stall_until = cycle + stall
-                                fetch_buffer.append(uop)
+                                fb_append(uop)
                                 fetched += 1
-                                stats.fetched += 1
                                 break
-                        fetch_buffer.append(uop)
+                        fb_append(uop)
                         fetched += 1
-                        stats.fetched += 1
-                        if uop.op.is_control and uop.taken is not None:
-                            correct = self.bpred.predict_and_update(
-                                uop.pc, uop.taken
-                            )
-                            if not correct:
+                        fb_len += 1
+                        uop_op = uop.op
+                        if uop_op.is_control and uop.taken is not None:
+                            if not predict_and_update(uop.pc, uop.taken):
                                 stats.branch_mispredicts += 1
                                 stats.mispredict_stall_cycles += (
-                                    config.mispredict_penalty
+                                    mispredict_penalty
                                 )
                                 fetch_stall_until = (
-                                    cycle + config.mispredict_penalty
+                                    cycle + mispredict_penalty
                                 )
                                 break
+                    if fetched:
+                        stats.fetched += fetched
+
+                # ---- event-driven fast-forward ----
+                if fast_forward and not (
+                    committed_now or issued or dispatched or fetch_attempted
+                ):
+                    # No stage made progress, so the machine state is
+                    # frozen except for timers keyed on ``cycle``: every
+                    # intervening cycle would repeat this one exactly.
+                    # Jump to the earliest cycle a timer fires, charging
+                    # the skipped span to the same stall counters this
+                    # cycle charged.  The hierarchy holds no cycle-
+                    # decaying state (DRAM row/MSHR/write-buffer effects
+                    # are modelled at access time), so these timers are
+                    # the only wake-up sources.
+                    target = None
+                    if rob_entries:
+                        head = rob_entries[0]
+                        done_cycle = completion[head.uop.seq]
+                        if done_cycle > cycle:
+                            target = done_cycle
+                        elif done_cycle >= 0:
+                            # Executed but held by the debug-mode write
+                            # gate (the only other way commit blocks).
+                            if head.write_done_cycle > cycle:
+                                target = head.write_done_cycle
+                    if iq_slots:
+                        mem_head = mem_order[0] if mem_order else -1
+                        for slot in iq_slots:
+                            uop = slot.entry.uop
+                            if uop.op.is_memory and uop.seq != mem_head:
+                                continue  # gate is static while frozen
+                            ready_at = 0
+                            for distance in uop.deps:
+                                producer_seq = uop.seq - distance
+                                if producer_seq >= 0:
+                                    done = completion[producer_seq]
+                                    if done < 0:
+                                        ready_at = -1
+                                        break
+                                    if done > ready_at:
+                                        ready_at = done
+                            if ready_at > cycle and (
+                                target is None or ready_at < target
+                            ):
+                                target = ready_at
+                    if (
+                        not trace_done
+                        and fetch_stall_until > cycle
+                        and len(fetch_buffer) < fetch_buffer_entries
+                        and (target is None or fetch_stall_until < target)
+                    ):
+                        target = fetch_stall_until
+                    if target is not None and target > cycle + 1:
+                        if (
+                            cycle_limit is not None
+                            and target > cycle_limit + 1
+                        ):
+                            target = cycle_limit + 1
+                        skipped = target - cycle - 1
+                        if skipped > 0:
+                            if head_store_blocked:
+                                rob.blocked_by_store_cycles += skipped
+                                stats.rob_blocked_by_store_cycles += skipped
+                            if blocked_reason is not None:
+                                if blocked_reason == "rob":
+                                    rob.full_cycles += skipped
+                                    stats.rob_full_cycles += skipped
+                                elif blocked_reason == "iq":
+                                    iq.full_cycles += skipped
+                                    stats.iq_full_cycles += skipped
+                                elif blocked_reason == "lq":
+                                    lsq.lq_full_cycles += skipped
+                                    stats.lq_full_cycles += skipped
+                                else:
+                                    lsq.sq_full_cycles += skipped
+                                    stats.sq_full_cycles += skipped
+                            cycle = target - 1
 
                 yield cycle
         finally:
@@ -355,7 +529,7 @@ class OutOfOrderCore:
         uop: MicroOp,
         entry,
         cycle: int,
-        completion: Dict[int, int],
+        completion: List[int],
         lsq: LoadStoreQueue,
     ) -> None:
         """Execute one op; memory ops touch the hierarchy here."""

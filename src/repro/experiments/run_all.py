@@ -135,6 +135,26 @@ def run_all(
     return out
 
 
+def _positive_int(text: str) -> int:
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"{text!r} is not an integer")
+    if value <= 0:
+        raise argparse.ArgumentTypeError(
+            f"must be a positive integer, got {value}"
+        )
+    return value
+
+
+def _cache_dir(text: str) -> str:
+    if Path(text).is_file():
+        raise argparse.ArgumentTypeError(
+            f"{text!r} is a file, not a cache directory"
+        )
+    return text
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--outdir", default="results")
@@ -143,12 +163,13 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--jobs",
         "-j",
-        type=int,
+        type=_positive_int,
         default=1,
         help="worker processes (1 = run in-process)",
     )
     parser.add_argument(
         "--cache-dir",
+        type=_cache_dir,
         default=None,
         help="result cache location (default: <outdir>/cache)",
     )

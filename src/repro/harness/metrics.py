@@ -23,6 +23,10 @@ def overhead_percent(runtime: float, baseline: float) -> float:
     """Single-benchmark overhead in percent."""
     if baseline <= 0:
         raise ValueError("baseline runtime must be positive")
+    if runtime <= 0:
+        # A zero/negative cycle count is always an upstream bug; a
+        # silent -100% overhead would poison every aggregate above it.
+        raise ValueError("runtime must be positive")
     return (runtime / baseline - 1.0) * 100.0
 
 

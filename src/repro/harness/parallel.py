@@ -155,6 +155,10 @@ class ResultCache:
 
     def __init__(self, root) -> None:
         self.root = Path(root)
+        if self.root.is_file():
+            raise ValueError(
+                f"cache root {self.root} is a file, not a directory"
+            )
         self.hits = 0
         self.misses = 0
         self.stores = 0

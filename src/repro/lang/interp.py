@@ -123,69 +123,97 @@ class Interpreter:
             self._exec(statement, frame)
 
     def _exec(self, statement: Statement, frame: _Frame) -> None:
-        self._tick()
-        if isinstance(statement, Assign):
-            frame.env[statement.name] = self._eval(statement.value, frame)
-        elif isinstance(statement, Store):
-            base = self._eval(statement.base, frame)
-            index = self._eval(statement.index, frame)
-            value = self._eval(statement.value, frame)
-            self.defense.store(
-                base + index * CELL,
-                (value & (2**64 - 1)).to_bytes(CELL, "little"),
-            )
-        elif isinstance(statement, Free):
-            self.defense.free(self._eval(statement.pointer, frame))
-        elif isinstance(statement, MemcpyStmt):
-            self.defense.memcpy(
-                self._eval(statement.dst, frame),
-                self._eval(statement.src, frame),
-                self._eval(statement.length, frame),
-            )
-        elif isinstance(statement, If):
-            if self._eval(statement.condition, frame):
-                self._exec_block(statement.then_body, frame)
-            else:
-                self._exec_block(statement.else_body, frame)
-        elif isinstance(statement, While):
-            while self._eval(statement.condition, frame):
-                self._exec_block(statement.body, frame)
-        elif isinstance(statement, For):
-            value = self._eval(statement.start, frame)
-            end = self._eval(statement.end, frame)
-            while value < end:
-                frame.env[statement.var] = value
-                self._exec_block(statement.body, frame)
-                value += 1
-        elif isinstance(statement, ExprStatement):
-            self._eval(statement.expr, frame)
-        elif isinstance(statement, Return):
-            raise _ReturnSignal(self._eval(statement.value, frame))
-        else:
+        # _tick() is inlined here and in _eval: these two methods are
+        # the trace-generation hot path and run once per AST node step.
+        self._steps += 1
+        if self._steps > MAX_STEPS:
+            raise MiniCError("program exceeded the step budget")
+        # Memoized decode: one dict lookup on the node's concrete type
+        # replaces the isinstance chain (AST node classes are final).
+        handler = _EXEC_DISPATCH.get(statement.__class__)
+        if handler is None:
             raise MiniCError(f"unknown statement {statement!r}")
+        handler(self, statement, frame)
+
+    def _exec_assign(self, statement: Assign, frame: _Frame) -> None:
+        frame.env[statement.name] = self._eval(statement.value, frame)
+
+    def _exec_store(self, statement: Store, frame: _Frame) -> None:
+        base = self._eval(statement.base, frame)
+        index = self._eval(statement.index, frame)
+        value = self._eval(statement.value, frame)
+        self.defense.store(
+            base + index * CELL,
+            (value & (2**64 - 1)).to_bytes(CELL, "little"),
+        )
+
+    def _exec_free(self, statement: Free, frame: _Frame) -> None:
+        self.defense.free(self._eval(statement.pointer, frame))
+
+    def _exec_memcpy(self, statement: MemcpyStmt, frame: _Frame) -> None:
+        self.defense.memcpy(
+            self._eval(statement.dst, frame),
+            self._eval(statement.src, frame),
+            self._eval(statement.length, frame),
+        )
+
+    def _exec_if(self, statement: If, frame: _Frame) -> None:
+        if self._eval(statement.condition, frame):
+            self._exec_block(statement.then_body, frame)
+        else:
+            self._exec_block(statement.else_body, frame)
+
+    def _exec_while(self, statement: While, frame: _Frame) -> None:
+        while self._eval(statement.condition, frame):
+            self._exec_block(statement.body, frame)
+
+    def _exec_for(self, statement: For, frame: _Frame) -> None:
+        value = self._eval(statement.start, frame)
+        end = self._eval(statement.end, frame)
+        while value < end:
+            frame.env[statement.var] = value
+            self._exec_block(statement.body, frame)
+            value += 1
+
+    def _exec_expr_statement(self, statement: ExprStatement, frame: _Frame) -> None:
+        self._eval(statement.expr, frame)
+
+    def _exec_return(self, statement: Return, frame: _Frame) -> None:
+        raise _ReturnSignal(self._eval(statement.value, frame))
 
     # -- expressions ------------------------------------------------------------
 
     def _eval(self, expr: Expr, frame: _Frame) -> int:
-        self._tick()
-        if isinstance(expr, Const):
+        self._steps += 1
+        if self._steps > MAX_STEPS:
+            raise MiniCError("program exceeded the step budget")
+        kind = expr.__class__
+        if kind is Const:
             return expr.value
-        if isinstance(expr, Var):
-            if expr.name in frame.env:
-                return frame.env[expr.name]
-            if expr.name in frame.arrays:
-                return frame.arrays[expr.name]  # array decays to pointer
-            raise MiniCError(f"undefined name {expr.name!r}")
-        if isinstance(expr, BinOp):
-            return self._binop(expr, frame)
-        if isinstance(expr, Load):
+        if kind is Var:
+            env = frame.env
+            name = expr.name
+            if name in env:
+                return env[name]
+            arrays = frame.arrays
+            if name in arrays:
+                return arrays[name]  # array decays to pointer
+            raise MiniCError(f"undefined name {name!r}")
+        if kind is BinOp:
+            left = self._eval(expr.left, frame)
+            right = self._eval(expr.right, frame)
+            try:
+                return _BINOPS[expr.op](left, right)
+            except KeyError:
+                raise MiniCError(f"unknown operator {expr.op!r}") from None
+        if kind is Load:
             base = self._eval(expr.base, frame)
             index = self._eval(expr.index, frame)
             raw = self.defense.load(base + index * CELL, CELL)
             return int.from_bytes(raw, "little")
-        if isinstance(expr, Malloc):
+        if kind is Malloc:
             return self.defense.malloc(self._eval(expr.size, frame))
-        if isinstance(expr, Call):
+        if kind is Call:
             args = [self._eval(argument, frame) for argument in expr.args]
             return self.call_function(expr.name, args)
         raise MiniCError(f"unknown expression {expr!r}")
@@ -193,21 +221,8 @@ class Interpreter:
     def _binop(self, expr: BinOp, frame: _Frame) -> int:
         left = self._eval(expr.left, frame)
         right = self._eval(expr.right, frame)
-        operations = {
-            "+": lambda: left + right,
-            "-": lambda: left - right,
-            "*": lambda: left * right,
-            "//": lambda: left // right,
-            "%": lambda: left % right,
-            "<": lambda: int(left < right),
-            "<=": lambda: int(left <= right),
-            ">": lambda: int(left > right),
-            ">=": lambda: int(left >= right),
-            "==": lambda: int(left == right),
-            "!=": lambda: int(left != right),
-        }
         try:
-            return operations[expr.op]()
+            return _BINOPS[expr.op](left, right)
         except KeyError:
             raise MiniCError(f"unknown operator {expr.op!r}") from None
 
@@ -215,3 +230,33 @@ class Interpreter:
         self._steps += 1
         if self._steps > MAX_STEPS:
             raise MiniCError("program exceeded the step budget")
+
+
+#: Shared operator table (the old implementation rebuilt a dict of
+#: closures on every BinOp evaluation).
+_BINOPS = {
+    "+": lambda left, right: left + right,
+    "-": lambda left, right: left - right,
+    "*": lambda left, right: left * right,
+    "//": lambda left, right: left // right,
+    "%": lambda left, right: left % right,
+    "<": lambda left, right: int(left < right),
+    "<=": lambda left, right: int(left <= right),
+    ">": lambda left, right: int(left > right),
+    ">=": lambda left, right: int(left >= right),
+    "==": lambda left, right: int(left == right),
+    "!=": lambda left, right: int(left != right),
+}
+
+#: Statement type -> bound handler (memoized decode table).
+_EXEC_DISPATCH = {
+    Assign: Interpreter._exec_assign,
+    Store: Interpreter._exec_store,
+    Free: Interpreter._exec_free,
+    MemcpyStmt: Interpreter._exec_memcpy,
+    If: Interpreter._exec_if,
+    While: Interpreter._exec_while,
+    For: Interpreter._exec_for,
+    ExprStatement: Interpreter._exec_expr_statement,
+    Return: Interpreter._exec_return,
+}

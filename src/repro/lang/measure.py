@@ -36,7 +36,22 @@ class ProgramMeasurement:
     faulted: Optional[str] = None
 
     def overhead_vs(self, baseline: "ProgramMeasurement") -> float:
-        """Overhead in percent relative to another measurement."""
+        """Overhead in percent relative to another measurement.
+
+        Raises ``ValueError`` rather than ``ZeroDivisionError`` when the
+        baseline recorded no cycles (e.g. it faulted before replay), so
+        callers get a diagnosis instead of an arithmetic traceback.
+        """
+        if baseline.cycles <= 0:
+            raise ValueError(
+                f"baseline {baseline.spec_name!r} has no cycles "
+                f"({baseline.cycles}); cannot compute overhead"
+                + (
+                    f" (baseline faulted: {baseline.faulted})"
+                    if baseline.faulted
+                    else ""
+                )
+            )
         return (self.cycles / baseline.cycles - 1.0) * 100.0
 
 

@@ -44,12 +44,20 @@ class BackingStore:
         """Read ``size`` bytes starting at ``address``."""
         self._check(address, size)
         self.bytes_read += size
+        page_size = self._page_size
+        page, offset = divmod(address, page_size)
+        # Single-page fast path (cache-line and smaller accesses).
+        if offset + size <= page_size:
+            stored = self._pages.get(page)
+            if stored is None:
+                return bytes(size)
+            return bytes(stored[offset : offset + size])
         out = bytearray()
         remaining = size
         addr = address
         while remaining:
-            page, offset = divmod(addr, self._page_size)
-            take = min(remaining, self._page_size - offset)
+            page, offset = divmod(addr, page_size)
+            take = min(remaining, page_size - offset)
             stored = self._pages.get(page)
             if stored is None:
                 out += b"\x00" * take
@@ -61,16 +69,26 @@ class BackingStore:
 
     def write(self, address: int, data: bytes) -> None:
         """Write ``data`` starting at ``address``."""
-        self._check(address, len(data))
-        self.bytes_written += len(data)
+        size = len(data)
+        self._check(address, size)
+        self.bytes_written += size
+        page_size = self._page_size
+        page, offset = divmod(address, page_size)
+        if offset + size <= page_size:
+            stored = self._pages.get(page)
+            if stored is None:
+                stored = bytearray(page_size)
+                self._pages[page] = stored
+            stored[offset : offset + size] = data
+            return
         addr = address
         view = memoryview(data)
         while view:
-            page, offset = divmod(addr, self._page_size)
-            take = min(len(view), self._page_size - offset)
+            page, offset = divmod(addr, page_size)
+            take = min(len(view), page_size - offset)
             stored = self._pages.get(page)
             if stored is None:
-                stored = bytearray(self._page_size)
+                stored = bytearray(page_size)
                 self._pages[page] = stored
             stored[offset : offset + take] = view[:take]
             addr += take

@@ -66,25 +66,35 @@ class DramModel:
     def __post_init__(self) -> None:
         self._open_rows: Dict[int, int] = {}
         self.stats = DramStats()
+        # The config's latency properties recompute the ns->cycles
+        # conversion on every read; cache them once (the config is
+        # frozen, so they cannot change under us).
+        self._row_hit_cycles = self.config.row_hit_cycles
+        self._row_miss_cycles = self.config.row_miss_cycles
+        self._row_size = self.config.row_size
+        self._banks = self.config.banks
 
     def _bank_and_row(self, address: int) -> tuple:
-        row = address // self.config.row_size
-        bank = row % self.config.banks
+        row = address // self._row_size
+        bank = row % self._banks
         return bank, row
 
     def access(self, address: int, is_write: bool) -> int:
         """Charge one line-sized access; returns latency in core cycles."""
-        bank, row = self._bank_and_row(address)
+        row = address // self._row_size
+        bank = row % self._banks
+        stats = self.stats
         if is_write:
-            self.stats.writes += 1
+            stats.writes += 1
         else:
-            self.stats.reads += 1
-        if self._open_rows.get(bank) == row:
-            self.stats.row_hits += 1
-            return self.config.row_hit_cycles
-        self.stats.row_misses += 1
-        self._open_rows[bank] = row
-        return self.config.row_miss_cycles
+            stats.reads += 1
+        open_rows = self._open_rows
+        if open_rows.get(bank) == row:
+            stats.row_hits += 1
+            return self._row_hit_cycles
+        stats.row_misses += 1
+        open_rows[bank] = row
+        return self._row_miss_cycles
 
     def reset_stats(self) -> None:
         self.stats = DramStats()

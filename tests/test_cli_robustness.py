@@ -113,3 +113,81 @@ class TestParserCorners:
 
     def test_empty_function_body(self):
         assert self._run("int main() { }") == 0
+
+
+class TestArgumentValidation:
+    """--jobs and --cache validation across the CLI entry points."""
+
+    def _expect_usage_exit(self, argv):
+        from repro.__main__ import main
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(argv)
+        assert excinfo.value.code == 2
+
+    def test_experiments_rejects_zero_jobs(self):
+        self._expect_usage_exit(["experiments", "--jobs", "0", "table1"])
+
+    def test_experiments_rejects_negative_jobs(self):
+        self._expect_usage_exit(["experiments", "--jobs", "-4", "table1"])
+
+    def test_experiments_rejects_non_integer_jobs(self):
+        self._expect_usage_exit(["experiments", "--jobs", "two", "table1"])
+
+    def test_sweep_rejects_zero_jobs(self):
+        self._expect_usage_exit(["sweep", "--jobs", "0"])
+
+    def test_sweep_rejects_negative_jobs(self):
+        self._expect_usage_exit(["sweep", "--jobs", "-1"])
+
+    def test_experiments_rejects_file_as_cache(self, tmp_path):
+        not_a_dir = tmp_path / "cache.json"
+        not_a_dir.write_text("{}")
+        self._expect_usage_exit(
+            ["experiments", "--cache", str(not_a_dir), "table1"]
+        )
+
+    def test_sweep_rejects_file_as_cache(self, tmp_path):
+        not_a_dir = tmp_path / "cache.json"
+        not_a_dir.write_text("{}")
+        self._expect_usage_exit(["sweep", "--cache", str(not_a_dir)])
+
+    def test_run_all_rejects_zero_jobs(self):
+        from repro.experiments.run_all import main as run_all_main
+
+        with pytest.raises(SystemExit) as excinfo:
+            run_all_main(["--jobs", "0"])
+        assert excinfo.value.code == 2
+
+    def test_run_all_rejects_file_as_cache_dir(self, tmp_path):
+        from repro.experiments.run_all import main as run_all_main
+
+        not_a_dir = tmp_path / "cache.json"
+        not_a_dir.write_text("{}")
+        with pytest.raises(SystemExit) as excinfo:
+            run_all_main(["--cache-dir", str(not_a_dir)])
+        assert excinfo.value.code == 2
+
+    def test_result_cache_rejects_file_root(self, tmp_path):
+        from repro.harness.parallel import ResultCache
+
+        not_a_dir = tmp_path / "cache.json"
+        not_a_dir.write_text("{}")
+        with pytest.raises(ValueError, match="file, not a directory"):
+            ResultCache(not_a_dir)
+
+    def test_bench_rejects_zero_repeats(self):
+        self._expect_usage_exit(["bench", "--repeats", "0"])
+
+    def test_bench_rejects_unreadable_baseline(self, tmp_path):
+        code, out = run_cli(
+            [
+                "bench",
+                "--benchmark", "xalancbmk",
+                "--scale", "0.02",
+                "--repeats", "1",
+                "--baseline", str(tmp_path / "missing.json"),
+            ]
+        )
+        assert code == 2
+        assert "cannot read baseline" in out

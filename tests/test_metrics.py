@@ -82,3 +82,64 @@ class TestGeoMean:
         ratios = [r / p for r, p in pairs]
         geo = geo_mean_overhead(runtimes, plains) / 100 + 1
         assert min(ratios) - 1e-9 <= geo <= max(ratios) + 1e-9
+
+
+class TestDegenerateInputs:
+    """Regression tests: degenerate inputs raise instead of poisoning
+    aggregates (zero baselines, zero/negative runtimes)."""
+
+    def test_overhead_percent_rejects_negative_baseline(self):
+        with pytest.raises(ValueError):
+            overhead_percent(100, -5)
+
+    def test_overhead_percent_rejects_zero_runtime(self):
+        with pytest.raises(ValueError, match="runtime must be positive"):
+            overhead_percent(0, 100)
+
+    def test_overhead_percent_rejects_negative_runtime(self):
+        with pytest.raises(ValueError, match="runtime must be positive"):
+            overhead_percent(-40, 100)
+
+    def test_geo_mean_rejects_zero_baseline(self):
+        with pytest.raises(ValueError):
+            geo_mean_overhead([100.0], [0.0])
+
+    def test_geo_mean_rejects_negative_runtime(self):
+        with pytest.raises(ValueError):
+            geo_mean_overhead([-100.0], [100.0])
+
+    def test_geo_mean_rejects_empty(self):
+        with pytest.raises(ValueError):
+            geo_mean_overhead([], [])
+
+
+class TestProgramMeasurementOverhead:
+    def _measurement(self, cycles, faulted=None):
+        from repro.lang.measure import ProgramMeasurement
+
+        return ProgramMeasurement(
+            spec_name="Plain",
+            cycles=cycles,
+            instructions=10,
+            arms=0,
+            disarms=0,
+            faulted=faulted,
+        )
+
+    def test_overhead_vs_normal(self):
+        slow = self._measurement(150)
+        fast = self._measurement(100)
+        assert slow.overhead_vs(fast) == pytest.approx(50.0)
+
+    def test_zero_cycle_baseline_raises_value_error(self):
+        """Used to raise a bare ZeroDivisionError."""
+        measurement = self._measurement(150)
+        baseline = self._measurement(0)
+        with pytest.raises(ValueError, match="no cycles"):
+            measurement.overhead_vs(baseline)
+
+    def test_faulted_baseline_is_diagnosed(self):
+        measurement = self._measurement(150)
+        baseline = self._measurement(0, faulted="RestException")
+        with pytest.raises(ValueError, match="faulted: RestException"):
+            measurement.overhead_vs(baseline)
