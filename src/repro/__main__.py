@@ -13,6 +13,14 @@ Commands
 ``bench [--quick] [--out FILE] [--baseline FILE]``
     Measure simulator trace-replay throughput per defense mode and
     optionally gate against a committed baseline (CI smoke job).
+``run --outdir DIR [--trace-out] [--o3] [--sample-interval N]``
+    Observed run: simulate each defense mode with the interval sampler
+    (and optionally the event tracer / O3PipeView export) attached,
+    writing a self-describing artifact directory.
+``report DIR [--out FILE] [--html]``
+    Render the observability dashboard (stall waterfalls, sparklines,
+    event summaries) for a ``repro run`` directory or a ``run_all``
+    sweep directory.
 ``demo``
     The quickstart walkthrough.
 ``config``
@@ -214,6 +222,23 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         print(f"  distinct data lines: {len(data_lines):,} "
               f"({len(data_lines) * 64 / 1024:.0f} KiB touched)")
         print(f"  distinct code lines: {len(code_lines):,}")
+        if not args.no_replay:
+            # A static trace has no cycles; replay it (secure mode, the
+            # same fixed token as the replay action) to attribute them.
+            from repro.cache.hierarchy import MemoryHierarchy
+            from repro.core.modes import Mode
+            from repro.core.token import Token, TokenConfigRegister
+            from repro.cpu.pipeline import OutOfOrderCore
+            from repro.obs.stalls import format_stall_line
+
+            register = TokenConfigRegister(
+                Token.random(64, seed=7), mode=Mode.SECURE
+            )
+            core = OutOfOrderCore(MemoryHierarchy(token_config=register))
+            stats = core.run(trace)
+            print(f"  replay (secure): {stats.cycles:,} cycles, "
+                  f"IPC {stats.ipc:.2f}")
+            print(f"  {format_stall_line(stats)}")
         return 0
 
     # replay
@@ -234,6 +259,9 @@ def _cmd_trace(args: argparse.Namespace) -> int:
           f"cycles (IPC {stats.ipc:.2f}); "
           f"arms={core.hierarchy.stats.arms} "
           f"disarms={core.hierarchy.stats.disarms}")
+    from repro.obs.stalls import format_stall_line
+
+    print(format_stall_line(stats))
     return 0
 
 
@@ -364,6 +392,38 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.obs.runner import run_observed
+    from repro.obs.sampler import DEFAULT_INTERVAL
+
+    modes = args.modes if args.modes else None
+    summary = run_observed(
+        args.outdir,
+        benchmark=args.benchmark,
+        modes=modes,
+        scale=args.scale,
+        seed=args.seed,
+        interval=args.sample_interval or DEFAULT_INTERVAL,
+        ring_capacity=args.ring,
+        events=args.trace_out,
+        o3=args.o3,
+        progress=print,
+    )
+    print(f"wrote {len(summary['modes'])} mode(s) to {args.outdir}")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.obs.report import write_report
+
+    text = write_report(args.dir, out=args.out, html=args.html)
+    if args.out:
+        print(f"wrote {args.out}")
+    else:
+        print(text)
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -419,6 +479,9 @@ def main(argv=None) -> int:
     p_trace.add_argument("--scale", type=float, default=0.1)
     p_trace.add_argument("--debug", action="store_true",
                          help="replay in debug (precise) mode")
+    p_trace.add_argument("--no-replay", action="store_true",
+                         help="stats: skip the cycle-level replay "
+                              "(and its stall breakdown)")
     p_trace.set_defaults(handler=_cmd_trace)
 
     p_demo = sub.add_parser("demo", help="30-second walkthrough")
@@ -465,6 +528,37 @@ def main(argv=None) -> int:
                          help="allowed throughput drop vs baseline "
                               "(fraction, default 0.30)")
     p_bench.set_defaults(handler=_cmd_bench)
+
+    p_run = sub.add_parser(
+        "run", help="observed run: sampler/tracer attached per mode"
+    )
+    p_run.add_argument("--outdir", required=True, metavar="DIR")
+    p_run.add_argument("--benchmark", default="xalancbmk")
+    p_run.add_argument("--scale", type=float, default=0.2)
+    p_run.add_argument("--seed", type=int, default=1234)
+    p_run.add_argument("--modes", nargs="*", metavar="mode",
+                       help="defense modes (default: plain asan "
+                            "rest-secure rest-debug)")
+    p_run.add_argument("--sample-interval", type=_positive_int,
+                       default=None, metavar="N",
+                       help="cycles per time-series sample")
+    p_run.add_argument("--ring", type=_positive_int, default=1 << 16,
+                       help="event ring-buffer capacity")
+    p_run.add_argument("--trace-out", action="store_true",
+                       help="export structured events as JSONL")
+    p_run.add_argument("--o3", action="store_true",
+                       help="export a gem5 O3PipeView trace per mode")
+    p_run.set_defaults(handler=_cmd_run)
+
+    p_rep = sub.add_parser(
+        "report", help="render the observability dashboard"
+    )
+    p_rep.add_argument("dir", help="repro run outdir or run_all sweep dir")
+    p_rep.add_argument("--out", default=None, metavar="FILE",
+                       help="write here instead of stdout")
+    p_rep.add_argument("--html", action="store_true",
+                       help="render self-contained HTML (requires --out)")
+    p_rep.set_defaults(handler=_cmd_report)
 
     p_cfg = sub.add_parser("config", help="print Table II configuration")
     p_cfg.set_defaults(handler=_cmd_config)

@@ -15,6 +15,7 @@ from typing import Optional, Tuple
 from repro.cache.line import CacheLine
 from repro.cache.mshr import MshrFile
 from repro.cache.writebuffer import WriteBuffer
+from repro.obs.tracer import NULL_TRACER
 
 
 @dataclass(frozen=True)
@@ -71,6 +72,8 @@ class Cache:
         self.mshrs = MshrFile(config.mshr_registers, config.mshr_entries)
         self.write_buffer = WriteBuffer(config.write_buffer_entries)
         self.stats = CacheStats()
+        #: Observability hook; only the (rare) eviction path emits.
+        self.tracer = NULL_TRACER
         self._tick = 0
         # Precomputed geometry: Table II sizes are powers of two, so the
         # per-access index/tag split reduces to shift/mask; the divmod
@@ -169,6 +172,15 @@ class Cache:
                 self.stats.dirty_evictions += 1
             if victim_way.token_bits:
                 self.stats.token_evictions += 1
+            if self.tracer.enabled:
+                self.tracer.emit(
+                    "evict",
+                    self.tracer.now,
+                    cache=self.config.name,
+                    tag=victim_way.tag,
+                    dirty=victim_way.dirty,
+                    tokens=victim_way.token_bits,
+                )
             if tag_map.get(victim_way.tag) is victim_way:
                 del tag_map[victim_way.tag]
         victim_way.tag = tag

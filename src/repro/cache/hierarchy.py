@@ -35,6 +35,7 @@ from typing import Optional, Tuple
 
 from repro.cache.cache import Cache, CacheConfig
 from repro.core.detector import TokenDetector
+from repro.obs.tracer import NULL_TRACER
 from repro.core.exceptions import (
     InvalidRestInstructionError,
     RestException,
@@ -145,6 +146,9 @@ class MemoryHierarchy:
             self.token_config, line_size=self.config.l1d.line_size
         )
         self.stats = HierarchyStats()
+        #: Observability hook; event sites below are all per-miss or
+        #: per-writeback, guarded on ``tracer.enabled``.
+        self.tracer = NULL_TRACER
         #: §VIII token staging buffer: a small FIFO that acks token
         #: writes immediately and drains in the background.  Timing
         #: model only — token state is applied immediately.
@@ -189,6 +193,9 @@ class MemoryHierarchy:
         line_base = self.l1d.line_address(address)
         result.l1_hit = False
         self.l1d.stats.misses += 1
+        tracer = self.tracer
+        if tracer.enabled:
+            tracer.emit("l1d_miss", tracer.now, address=line_base)
         if self.l1d.mshrs.allocate(line_base) is None:
             # Structural stall: charge a cycle for the blocking miss to
             # complete, then retry.  Only the register that blocked us
@@ -197,6 +204,8 @@ class MemoryHierarchy:
             # recount entries the file had already accounted for.
             self.l1d.stats.mshr_stall_cycles += 1
             result.latency += 1
+            if tracer.enabled:
+                tracer.emit("mshr_stall", tracer.now, address=line_base)
             self.l1d.mshrs.retire_blocking(line_base)
             self.l1d.mshrs.allocate(line_base)
         result.latency += self.config.l2.hit_latency
@@ -218,6 +227,16 @@ class MemoryHierarchy:
         if token_bits and result.went_to_memory:
             self.stats.tokens_filled_from_memory += 1
         line, victim = self.l1d.install(line_base, token_bits=token_bits)
+        if tracer.enabled:
+            tracer.emit(
+                "l1d_fill",
+                tracer.now,
+                address=line_base,
+                l2_hit=result.l2_hit,
+                memory=result.went_to_memory,
+                tokens=token_bits,
+                latency=result.latency,
+            )
         if victim is not None:
             result.latency += self._handle_l1_eviction(line_base, victim)
         self.l1d.mshrs.release(line_base)
@@ -239,6 +258,16 @@ class MemoryHierarchy:
             # fill until a slot opens, it does not drop the writeback.
             stall = self.l1d.write_buffer.insert()
         victim_base = self.l1d.victim_address(probe_address, victim)
+        tracer = self.tracer
+        if tracer.enabled:
+            tracer.emit(
+                "l1d_writeback",
+                tracer.now,
+                address=victim_base,
+                dirty=victim.dirty,
+                tokens=victim.token_bits,
+                wb_stall=stall,
+            )
         if victim.token_bits:
             token = self.detector.token
             for slot in range(self.detector.slots_per_line):
@@ -263,8 +292,17 @@ class MemoryHierarchy:
         """An L2 line drains to DRAM; count token lines crossing over."""
         self.dram.access(line_base, is_write=True)
         data = self.backing.read(line_base, self.line_size)
-        if self.detector.scan_line(data):
+        tokened = bool(self.detector.scan_line(data))
+        if tokened:
             self.stats.tokens_written_to_memory += 1
+        tracer = self.tracer
+        if tracer.enabled:
+            tracer.emit(
+                "l2_writeback",
+                tracer.now,
+                address=line_base,
+                tokened=tokened,
+            )
 
     # -- public operations --------------------------------------------------
 
@@ -368,7 +406,16 @@ class MemoryHierarchy:
                 address, size, result, privilege, cycle, is_store=True
             )
             self.backing.write(address, data)
-            result.latency += self.l1d.write_buffer.insert()
+            wb_stall = self.l1d.write_buffer.insert()
+            if wb_stall:
+                result.latency += wb_stall
+                if self.tracer.enabled:
+                    self.tracer.emit(
+                        "wb_stall",
+                        self.tracer.now,
+                        address=address,
+                        cycles=wb_stall,
+                    )
             return result
         offset = 0
         for piece_addr, piece_size in self._split_lines(address, size):
@@ -377,7 +424,16 @@ class MemoryHierarchy:
                 is_store=True,
             )
             self.backing.write(piece_addr, data[offset : offset + piece_size])
-            result.latency += self.l1d.write_buffer.insert()
+            wb_stall = self.l1d.write_buffer.insert()
+            if wb_stall:
+                result.latency += wb_stall
+                if self.tracer.enabled:
+                    self.tracer.emit(
+                        "wb_stall",
+                        self.tracer.now,
+                        address=piece_addr,
+                        cycles=wb_stall,
+                    )
             offset += piece_size
         return result
 

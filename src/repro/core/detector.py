@@ -23,6 +23,7 @@ from __future__ import annotations
 from typing import List
 
 from repro.core.token import Token, TokenConfigRegister
+from repro.obs.tracer import NULL_TRACER
 
 
 class TokenDetector:
@@ -46,6 +47,8 @@ class TokenDetector:
         self.fills_checked = 0
         self.beat_compares = 0
         self.matches_found = 0
+        #: Observability hook; emits one ``token_scan`` per checked fill.
+        self.tracer = NULL_TRACER
         # Memoized per-beat token slices, keyed on token identity so a
         # rotation invalidates them (see scan_line).
         self._chunk_token: Token = None
@@ -115,6 +118,14 @@ class TokenDetector:
         self.beat_compares += beats
         if matches:
             self.matches_found += matches
+        if self.tracer.enabled:
+            self.tracer.emit(
+                "token_scan",
+                self.tracer.now,
+                hit=bool(bitmap),
+                bits=bitmap,
+                beats=beats,
+            )
         return bitmap
 
     def slot_of(self, address: int) -> int:

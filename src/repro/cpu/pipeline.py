@@ -34,6 +34,7 @@ from repro.cpu.isa import MicroOp, OpType
 from repro.cpu.lsq import LoadStoreQueue, SqEntryKind
 from repro.cpu.rob import ReorderBuffer, RobEntry
 from repro.cpu.stats import CoreStats
+from repro.obs.tracer import NULL_TRACER
 
 _ZEROS = bytes(64)
 
@@ -101,6 +102,9 @@ class OutOfOrderCore:
         )
         self.bpred = BranchPredictor()
         self.stats = CoreStats()
+        #: Observability hook (see :mod:`repro.obs.tracer`); the null
+        #: tracer costs one hoisted-bool test per emit site.
+        self.tracer = NULL_TRACER
         self._cycle = 0
 
     @property
@@ -183,6 +187,9 @@ class OutOfOrderCore:
         ot_store = OpType.STORE
         ot_arm = OpType.ARM
         ot_disarm = OpType.DISARM
+        tracer = self.tracer
+        trace_on = tracer.enabled
+        emit = tracer.emit
 
         trace = iter(uops)
         trace_next = trace.__next__
@@ -216,6 +223,10 @@ class OutOfOrderCore:
             while not trace_done or fetch_buffer or rob_entries:
                 cycle += 1
                 self._cycle = cycle
+                if trace_on:
+                    # Cycle stamp for components without a cycle arg of
+                    # their own (cache installs, detector scans).
+                    tracer.now = cycle
                 if cycle_limit is not None and cycle > cycle_limit:
                     raise RuntimeError("simulation exceeded max_cycles")
 
@@ -256,8 +267,22 @@ class OutOfOrderCore:
                     key = op_type._value_
                     op_counts[key] = op_counts_get(key, 0) + 1
                     committed_now += 1
+                    if trace_on:
+                        emit(
+                            "commit",
+                            cycle,
+                            seq=head_seq,
+                            pc=head_uop.pc,
+                            op=key,
+                            store_done=(
+                                head.write_done_cycle
+                                if head.write_done_cycle > 0
+                                else 0
+                            ),
+                        )
                 if committed_now:
                     stats.committed += committed_now
+                    stats.commit_active_cycles += 1
 
                 # ---- issue (up to issue width, oldest-first select) ----
                 iq_slots = iq._slots
@@ -293,6 +318,13 @@ class OutOfOrderCore:
                                 cycle + uop.op.base_latency
                             )
                             issued += 1
+                            if trace_on:
+                                emit("issue", cycle, seq=uop.seq)
+                                emit(
+                                    "complete",
+                                    completion[uop.seq],
+                                    seq=uop.seq,
+                                )
                         elif ready and uop.seq == mem_head:
                             if remaining is None:
                                 remaining = iq_slots[:i]
@@ -300,6 +332,13 @@ class OutOfOrderCore:
                             mem_popleft()
                             mem_head = mem_order[0] if mem_order else -1
                             issued += 1
+                            if trace_on:
+                                emit("issue", cycle, seq=uop.seq)
+                                emit(
+                                    "complete",
+                                    completion[uop.seq],
+                                    seq=uop.seq,
+                                )
                         elif remaining is not None:
                             remaining.append(slot)
                         i += 1
@@ -345,6 +384,14 @@ class OutOfOrderCore:
                         mem_append(uop.seq)
                         rest_in_flight += 1
                         dispatched += 1
+                        if trace_on:
+                            emit(
+                                "dispatch",
+                                cycle,
+                                seq=uop.seq,
+                                pc=uop.pc,
+                                op=op_type._value_,
+                            )
                         break  # nothing may follow it this cycle
                     if op_type is ot_load:
                         if len(lq) >= lq_cap:
@@ -369,6 +416,14 @@ class OutOfOrderCore:
                     iq_slots.append(IqSlot(entry, cycle))
                     if len(iq_slots) > iq.max_occupancy:
                         iq.max_occupancy = len(iq_slots)
+                    if trace_on:
+                        emit(
+                            "dispatch",
+                            cycle,
+                            seq=uop.seq,
+                            pc=uop.pc,
+                            op=op_type._value_,
+                        )
                     if op_type is ot_load:
                         lq.append(uop.seq)
                         mem_append(uop.seq)
@@ -424,10 +479,25 @@ class OutOfOrderCore:
                                 fetch_stall_until = cycle + stall
                                 fb_append(uop)
                                 fetched += 1
+                                if trace_on:
+                                    emit(
+                                        "fetch",
+                                        cycle,
+                                        pc=uop.pc,
+                                        op=uop.op._value_,
+                                        icache_stall=stall,
+                                    )
                                 break
                         fb_append(uop)
                         fetched += 1
                         fb_len += 1
+                        if trace_on:
+                            emit(
+                                "fetch",
+                                cycle,
+                                pc=uop.pc,
+                                op=uop.op._value_,
+                            )
                         uop_op = uop.op
                         if uop_op.is_control and uop.taken is not None:
                             if not predict_and_update(uop.pc, uop.taken):
@@ -438,6 +508,13 @@ class OutOfOrderCore:
                                 fetch_stall_until = (
                                     cycle + mispredict_penalty
                                 )
+                                if trace_on:
+                                    emit(
+                                        "squash",
+                                        cycle,
+                                        pc=uop.pc,
+                                        penalty=mispredict_penalty,
+                                    )
                                 break
                     if fetched:
                         stats.fetched += fetched
@@ -535,6 +612,7 @@ class OutOfOrderCore:
         """Execute one op; memory ops touch the hierarchy here."""
         op_type = uop.op
         hierarchy = self.hierarchy
+        stats = self.stats
         try:
             if op_type is OpType.LOAD:
                 forwarded = lsq.search_for_load(
@@ -547,12 +625,16 @@ class OutOfOrderCore:
                         uop.address, uop.size or 8, cycle=cycle
                     )
                     latency = result.latency
+                    if result.went_to_memory:
+                        stats.dram_stall_cycles += latency
                 completion[uop.seq] = cycle + max(1, latency)
             elif op_type is OpType.STORE:
                 lsq.check_store(uop.seq, uop.address, uop.size or 8)
-                hierarchy.write(
+                result = hierarchy.write(
                     uop.address, _ZEROS[: uop.size or 8], cycle=cycle
                 )
+                if result.went_to_memory:
+                    stats.dram_stall_cycles += result.latency
                 completion[uop.seq] = cycle + 1
                 # The execute-time access brought the line into L1
                 # (write-allocate), so the retirement-time write that
@@ -560,7 +642,9 @@ class OutOfOrderCore:
                 # round trip costs two traversals of the hit path.
                 entry.write_latency = 2 * hierarchy.config.l1d.hit_latency
             elif op_type is OpType.ARM:
-                hierarchy.arm(uop.address, cycle=cycle)
+                result = hierarchy.arm(uop.address, cycle=cycle)
+                if result.went_to_memory:
+                    stats.dram_stall_cycles += result.latency
                 completion[uop.seq] = cycle + 1
                 if hierarchy.config.token_staging_entries:
                     # §VIII extension: the dedicated REST-line staging
@@ -573,7 +657,9 @@ class OutOfOrderCore:
                         1 + hierarchy.config.l1d.hit_latency
                     )
             elif op_type is OpType.DISARM:
-                hierarchy.disarm(uop.address, cycle=cycle)
+                result = hierarchy.disarm(uop.address, cycle=cycle)
+                if result.went_to_memory:
+                    stats.dram_stall_cycles += result.latency
                 completion[uop.seq] = cycle + 1
                 if hierarchy.config.token_staging_entries:
                     entry.write_latency = 1

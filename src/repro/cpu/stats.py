@@ -19,6 +19,10 @@ class CoreStats:
     cycles: int = 0
     committed: int = 0
     fetched: int = 0
+    #: Cycles in which at least one instruction committed — the
+    #: "usefully retiring" cycles the top-down stall decomposition
+    #: attributes to its ``base`` bucket.
+    commit_active_cycles: int = 0
     op_counts: Dict[str, int] = field(default_factory=dict)
     rob_blocked_by_store_cycles: int = 0
     rob_full_cycles: int = 0
@@ -29,6 +33,10 @@ class CoreStats:
     mispredict_stall_cycles: int = 0
     lsq_forwards: int = 0
     icache_stall_cycles: int = 0
+    #: Summed latency of data-side accesses (loads/stores/arm/disarm)
+    #: that missed all the way to memory — the DRAM exposure the
+    #: top-down stall decomposition charges its ``dram`` bucket from.
+    dram_stall_cycles: int = 0
 
     @property
     def ipc(self) -> float:
@@ -46,6 +54,7 @@ class CoreStats:
         self.cycles += other.cycles
         self.committed += other.committed
         self.fetched += other.fetched
+        self.commit_active_cycles += other.commit_active_cycles
         self.rob_blocked_by_store_cycles += other.rob_blocked_by_store_cycles
         self.rob_full_cycles += other.rob_full_cycles
         self.iq_full_cycles += other.iq_full_cycles
@@ -55,5 +64,6 @@ class CoreStats:
         self.mispredict_stall_cycles += other.mispredict_stall_cycles
         self.lsq_forwards += other.lsq_forwards
         self.icache_stall_cycles += other.icache_stall_cycles
+        self.dram_stall_cycles += other.dram_stall_cycles
         for name, count in other.op_counts.items():
             self.op_counts[name] = self.op_counts.get(name, 0) + count

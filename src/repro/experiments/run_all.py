@@ -41,6 +41,15 @@ EXPERIMENT_SCALES = {
     "intext": None,
     "memoverhead": 0.35,
     "security": None,
+    #: Observability artifact: per-defense top-down stall decomposition
+    #: (written as ``stalls.json``; rendered by ``repro report``).
+    "stalls": None,
+}
+
+#: Units that live outside ``repro.experiments`` and/or write something
+#: other than a ``.txt`` file: name -> (module, output filename).
+_SPECIAL_UNITS = {
+    "stalls": ("repro.obs.stalls", "stalls.json"),
 }
 
 
@@ -52,10 +61,13 @@ def experiment_units(
     units = []
     for name, override in scales.items():
         effective = override if override is not None else scale
+        module, _ = _SPECIAL_UNITS.get(
+            name, (f"repro.experiments.{name}", None)
+        )
         units.append(
             WorkUnit(
                 uid=name,
-                module=f"repro.experiments.{name}",
+                module=module,
                 func="regenerate",
                 kwargs={"scale": effective, "seed": seed},
                 key_payload={
@@ -110,7 +122,8 @@ def run_all(
             "cpu_seconds": round(result.cpu_seconds, 3),
         }
         if result.ok:
-            target = out / f"{unit.uid}.txt"
+            _, special_name = _SPECIAL_UNITS.get(unit.uid, (None, None))
+            target = out / (special_name or f"{unit.uid}.txt")
             target.write_text(result.value + "\n")
             record["status"] = "ok"
             record["file"] = target.name

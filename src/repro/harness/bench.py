@@ -51,7 +51,13 @@ BENCH_VOLATILE_FIELDS = VOLATILE_FIELDS | frozenset(
 BENCH_MODES = ("plain", "asan", "rest-secure", "rest-debug")
 
 
-def _bench_specs():
+def bench_specs():
+    """The standard defense-mode specs, keyed by the CLI mode names.
+
+    Shared by the bench, the observed runs (``repro run``) and the
+    stall-decomposition sweep artifact, so every tool agrees on what
+    "rest-debug" etc. mean.
+    """
     from repro.core.modes import Mode
     from repro.harness.configs import DefenseSpec
 
@@ -61,6 +67,10 @@ def _bench_specs():
         "rest-secure": DefenseSpec.rest("Secure Full", mode=Mode.SECURE),
         "rest-debug": DefenseSpec.rest("Debug Full", mode=Mode.DEBUG),
     }
+
+
+#: Backwards-compatible private alias.
+_bench_specs = bench_specs
 
 
 def run_bench(
@@ -87,7 +97,7 @@ def run_bench(
 
     if repeats <= 0:
         raise ValueError("repeats must be positive")
-    specs = _bench_specs()
+    specs = bench_specs()
     mode_names = list(modes) if modes else list(BENCH_MODES)
     for name in mode_names:
         if name not in specs:
@@ -144,6 +154,8 @@ def run_bench(
             "cycles_per_sec": int(stats.cycles / best),
         }
         if progress is not None:
+            from repro.obs.stalls import format_stall_line
+
             entry = manifest["modes"][name]
             progress(
                 f"{name:12s} {entry['uops']:>8,} uops in "
@@ -151,6 +163,7 @@ def run_bench(
                 f"({entry['uops_per_sec']:>9,} uops/s, "
                 f"{entry['cycles_per_sec']:>9,} cycles/s)"
             )
+            progress(f"{'':12s} {format_stall_line(stats)}")
     return manifest
 
 

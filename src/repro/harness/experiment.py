@@ -60,6 +60,17 @@ class RunResult:
         crossings = getattr(self.hierarchy_stats, "tokens_at_memory_interface", 0)
         return crossings / (self.instructions / 1000.0)
 
+    @property
+    def stall_buckets(self):
+        """Top-down stall decomposition of this run's cycles.
+
+        The bucket values sum exactly to ``cycles`` (see
+        :mod:`repro.obs.stalls`).
+        """
+        from repro.obs.stalls import stall_buckets
+
+        return stall_buckets(self.core_stats)
+
 
 def build_defense(machine: Machine, spec: DefenseSpec) -> Defense:
     """Instantiate the defense a spec describes, bound to a machine."""

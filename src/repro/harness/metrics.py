@@ -16,7 +16,7 @@ geometric means when runtimes differ widely).
 from __future__ import annotations
 
 import math
-from typing import Sequence
+from typing import Dict, Sequence
 
 
 def overhead_percent(runtime: float, baseline: float) -> float:
@@ -48,6 +48,28 @@ def geo_mean_overhead(
         for runtime, baseline in zip(runtimes, baselines)
     )
     return (math.exp(log_sum / len(runtimes)) - 1.0) * 100.0
+
+
+def cpi_stall_breakdown(stats) -> Dict[str, float]:
+    """Per-bucket CPI contributions from the top-down stall accounting.
+
+    ``stats`` is a :class:`repro.cpu.stats.CoreStats` (or any object
+    with its counter attributes).  Each bucket's cycles are divided by
+    the committed-op count, so the values sum to the run's total CPI
+    (up to rounding) and two defense modes can be compared bucket by
+    bucket — "where did the extra CPI go" is exactly the question the
+    paper's Section VI-B analysis answers.
+    """
+    from repro.obs.stalls import stall_buckets
+
+    committed = stats.committed
+    buckets = stall_buckets(stats)
+    if not committed:
+        return {name: 0.0 for name in buckets}
+    return {
+        name: round(value / committed, 6)
+        for name, value in buckets.items()
+    }
 
 
 def _validate(runtimes: Sequence[float], baselines: Sequence[float]) -> None:

@@ -8,9 +8,93 @@ anyone used to that workflow can diff two configurations directly
 
 from __future__ import annotations
 
+import dataclasses
 from typing import List, Tuple
 
+from repro.cpu.stats import CoreStats
 from repro.harness.experiment import RunResult
+
+#: Every :class:`CoreStats` counter field and the stats row it renders
+#: as.  ``None`` marks fields surfaced through another row family
+#: (``sim.*`` / ``commit.op.*``) rather than a ``core.*`` row; a field
+#: missing from this map still gets a generated ``core.<field>`` row,
+#: so newly added counters can never silently vanish from the dump
+#: (enforced by a reflection test).
+_CORE_COUNTER_ROWS = {
+    "cycles": None,  # sim.cycles
+    "committed": None,  # sim.insts
+    "op_counts": None,  # commit.op.*
+    "fetched": ("core.fetch.uops", "Micro-ops fetched"),
+    "commit_active_cycles": (
+        "core.commit.active_cycles",
+        "Cycles in which at least one op committed",
+    ),
+    "rob_blocked_by_store_cycles": (
+        "core.rob.blocked_by_store",
+        "Cycles the ROB head was a non-committable store-like op",
+    ),
+    "rob_full_cycles": (
+        "core.rob.full_cycles",
+        "Dispatch cycles lost to a full ROB",
+    ),
+    "iq_full_cycles": (
+        "core.iq.full_cycles",
+        "Dispatch cycles lost to a full IQ",
+    ),
+    "lq_full_cycles": (
+        "core.lsq.lq_full_cycles",
+        "Dispatch cycles lost to a full load queue",
+    ),
+    "sq_full_cycles": (
+        "core.lsq.sq_full_cycles",
+        "Dispatch cycles lost to a full store queue",
+    ),
+    "branch_mispredicts": (
+        "core.bpred.mispredicts",
+        "Branch mispredictions",
+    ),
+    "mispredict_stall_cycles": (
+        "core.bpred.mispredict_stall_cycles",
+        "Fetch cycles lost to mispredict redirects",
+    ),
+    "lsq_forwards": ("core.lsq.forwards", "Store-to-load forwards"),
+    "icache_stall_cycles": (
+        "core.fetch.icache_stall_cycles",
+        "Fetch cycles stalled on L1-I misses",
+    ),
+    "dram_stall_cycles": (
+        "core.mem.dram_stall_cycles",
+        "Summed latency of data accesses that reached DRAM",
+    ),
+}
+
+
+def _core_rows(core: CoreStats) -> List[Tuple[str, object, str]]:
+    """One row per CoreStats counter, via dataclass reflection."""
+    rows: List[Tuple[str, object, str]] = []
+    for field in dataclasses.fields(CoreStats):
+        mapping = _CORE_COUNTER_ROWS.get(
+            field.name, (f"core.{field.name}", "CoreStats counter")
+        )
+        if mapping is None:
+            continue
+        name, description = mapping
+        rows.append((name, getattr(core, field.name), description))
+    return rows
+
+
+def _stall_rows(core: CoreStats) -> List[Tuple[str, object, str]]:
+    """Top-down stall decomposition rows (sum exactly to sim.cycles)."""
+    from repro.obs.stalls import BUCKET_LABELS, stall_buckets
+
+    return [
+        (
+            f"stall.{bucket}",
+            value,
+            f"Top-down cycles attributed to {BUCKET_LABELS[bucket]}",
+        )
+        for bucket, value in stall_buckets(core).items()
+    ]
 
 
 def _rows(result: RunResult) -> List[Tuple[str, object, str]]:
@@ -26,21 +110,15 @@ def _rows(result: RunResult) -> List[Tuple[str, object, str]]:
             round(result.instruction_expansion, 4),
             "Dynamic instruction inflation vs application ops",
         ),
-        ("core.rob.blocked_by_store", core.rob_blocked_by_store_cycles,
-         "Cycles the ROB head was a non-committable store-like op"),
-        ("core.rob.full_cycles", core.rob_full_cycles,
-         "Dispatch cycles lost to a full ROB"),
-        ("core.iq.full_cycles", core.iq_full_cycles,
-         "Dispatch cycles lost to a full IQ"),
-        ("core.lsq.forwards", core.lsq_forwards,
-         "Store-to-load forwards"),
-        ("core.bpred.mispredicts", core.branch_mispredicts,
-         "Branch mispredictions"),
-        ("core.fetch.icache_stall_cycles", core.icache_stall_cycles,
-         "Fetch cycles stalled on L1-I misses"),
+    ]
+    rows.extend(_core_rows(core))
+    rows.extend(_stall_rows(core))
+    rows += [
         ("l1d.miss_rate", round(result.l1d_miss_rate, 4),
          "L1-D miss rate"),
         ("l2.miss_rate", round(result.l2_miss_rate, 4), "L2 miss rate"),
+    ]
+    rows += [
         ("rest.arms", getattr(hier, "arms", 0), "arm instructions"),
         ("rest.disarms", getattr(hier, "disarms", 0),
          "disarm instructions"),

@@ -1,0 +1,60 @@
+"""Cycle-attributed observability: tracing, stall accounting, sampling.
+
+Submodules:
+
+* :mod:`repro.obs.tracer` — structured event tracer (null-object
+  default, ring-buffered recorder, JSONL export)
+* :mod:`repro.obs.stalls` — top-down CPI stall bucket decomposition
+* :mod:`repro.obs.sampler` — per-interval time-series sampling
+* :mod:`repro.obs.o3` — gem5 O3PipeView pipeline trace export
+* :mod:`repro.obs.runner` — observed runs (``repro run``)
+* :mod:`repro.obs.report` — text/HTML dashboards (``repro report``)
+
+Attributes resolve lazily (PEP 562): the simulator hot paths import
+``repro.obs.tracer`` directly while this package is being touched from
+inside ``repro.cache``/``repro.cpu`` module initialisation, so eagerly
+importing the stall/report layers here (which import the harness, which
+imports the cpu package) would create an import cycle.
+"""
+
+from __future__ import annotations
+
+_EXPORTS = {
+    "Tracer": "repro.obs.tracer",
+    "NULL_TRACER": "repro.obs.tracer",
+    "RingTracer": "repro.obs.tracer",
+    "attach_tracer": "repro.obs.tracer",
+    "attach_hierarchy_tracer": "repro.obs.tracer",
+    "write_jsonl": "repro.obs.tracer",
+    "read_jsonl": "repro.obs.tracer",
+    "STALL_BUCKETS": "repro.obs.stalls",
+    "BUCKET_LABELS": "repro.obs.stalls",
+    "stall_buckets": "repro.obs.stalls",
+    "format_stall_line": "repro.obs.stalls",
+    "verify_buckets": "repro.obs.stalls",
+    "DEFAULT_INTERVAL": "repro.obs.sampler",
+    "run_sampled": "repro.obs.sampler",
+    "series": "repro.obs.sampler",
+    "o3_records": "repro.obs.o3",
+    "export_o3_pipeview": "repro.obs.o3",
+    "validate_o3_trace": "repro.obs.o3",
+    "run_observed": "repro.obs.runner",
+    "render_text": "repro.obs.report",
+    "render_html": "repro.obs.report",
+    "write_report": "repro.obs.report",
+}
+
+__all__ = sorted(_EXPORTS)
+
+
+def __getattr__(name):
+    module_name = _EXPORTS.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(module_name), name)
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_EXPORTS))

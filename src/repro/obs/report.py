@@ -1,0 +1,309 @@
+"""Render an observability report from a run or sweep directory.
+
+``python -m repro report <dir>`` lands here.  Two directory shapes are
+understood:
+
+* an **observed-run directory** written by ``repro run``
+  (:mod:`repro.obs.runner`): ``run.json`` plus per-mode samples /
+  events / stats artifacts — rendered with stall waterfalls, interval
+  sparklines, and event summaries;
+* a **sweep directory** written by ``run_all`` /
+  ``repro.experiments.run_all``: ``manifest.json`` plus the
+  ``stalls.json`` artifact its stalls work unit produces — rendered
+  with the per-defense stall waterfall and the sweep summary.
+
+Both render to plain text (terminal friendly) or a self-contained HTML
+file (inline CSS, no external assets) for artifact upload from CI.
+"""
+
+from __future__ import annotations
+
+import html as _html
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from repro.obs.sampler import series
+from repro.obs.stalls import BUCKET_LABELS, STALL_BUCKETS
+from repro.obs.tracer import read_jsonl
+
+#: Sparkline glyphs, lowest to highest.
+_SPARK = "▁▂▃▄▅▆▇█"
+_BAR_WIDTH = 36
+
+
+def sparkline(values: List[float], width: int = 60) -> str:
+    """Unicode sparkline of a series, downsampled to ``width`` points."""
+    if not values:
+        return ""
+    if len(values) > width:
+        # Bucket-mean downsample keeps spikes visible enough for a
+        # report; the JSONL keeps full resolution for real analysis.
+        chunk = len(values) / width
+        values = [
+            sum(values[int(i * chunk) : max(int((i + 1) * chunk), int(i * chunk) + 1)])
+            / max(1, len(values[int(i * chunk) : max(int((i + 1) * chunk), int(i * chunk) + 1)]))
+            for i in range(width)
+        ]
+    low = min(values)
+    high = max(values)
+    span = high - low
+    if span <= 0:
+        return _SPARK[0] * len(values)
+    steps = len(_SPARK) - 1
+    return "".join(
+        _SPARK[int((value - low) / span * steps + 0.5)] for value in values
+    )
+
+
+def _bar(fraction: float, width: int = _BAR_WIDTH) -> str:
+    filled = int(round(fraction * width))
+    return "█" * filled + "·" * (width - filled)
+
+
+def load_report_source(path: Union[str, Path]) -> Dict:
+    """Classify a directory and load the data a report needs.
+
+    Returns ``{"kind": "run"|"sweep", "dir": Path, ...}``; raises
+    ``ValueError`` when the directory contains neither a ``run.json``
+    nor a ``manifest.json``/``stalls.json`` pair.
+    """
+    root = Path(path)
+    run_json = root / "run.json"
+    if run_json.is_file():
+        return {
+            "kind": "run",
+            "dir": root,
+            "run": json.loads(run_json.read_text()),
+        }
+    stalls_json = root / "stalls.json"
+    manifest_json = root / "manifest.json"
+    if stalls_json.is_file():
+        source = {
+            "kind": "sweep",
+            "dir": root,
+            "stalls": json.loads(stalls_json.read_text()),
+        }
+        if manifest_json.is_file():
+            source["manifest"] = json.loads(manifest_json.read_text())
+        return source
+    raise ValueError(
+        f"{root} is neither an observed-run directory (run.json) nor a "
+        "sweep directory (stalls.json from run_all)"
+    )
+
+
+def _waterfall_lines(mode_name: str, entry: Dict) -> List[str]:
+    cycles = entry.get("cycles", 0) or 1
+    buckets = entry.get("buckets", {})
+    lines = [
+        f"{mode_name} — {entry.get('defense', mode_name)}: "
+        f"{entry.get('cycles', 0):,} cycles, CPI {entry.get('cpi', 0.0)}"
+    ]
+    for name in STALL_BUCKETS:
+        value = buckets.get(name, 0)
+        fraction = value / cycles
+        lines.append(
+            f"  {BUCKET_LABELS[name]:>10s} {_bar(fraction)} "
+            f"{100.0 * fraction:5.1f}%  ({value:,})"
+        )
+    return lines
+
+
+def _sample_section(root: Path, entry: Dict) -> List[str]:
+    samples_file = entry.get("samples_file")
+    if not samples_file or not (root / samples_file).is_file():
+        return []
+    samples = read_jsonl(root / samples_file)
+    if not samples:
+        return []
+    lines = []
+    for field, label in (
+        ("ipc", "IPC"),
+        ("rob", "ROB occupancy"),
+        ("l1d_miss_rate", "L1-D miss rate"),
+        ("token_ops", "token ops"),
+    ):
+        values = series(samples, field)
+        if any(values):
+            lines.append(f"  {label:>14s} {sparkline(values)}")
+    last = samples[-1]
+    lines.append(
+        f"  {len(samples)} samples to cycle {last['cycle']:,} "
+        f"(see {samples_file})"
+    )
+    return lines
+
+
+def _event_section(entry: Dict) -> List[str]:
+    counts = entry.get("event_counts")
+    if not counts:
+        return []
+    total = entry.get("events_emitted", sum(counts.values()))
+    dropped = entry.get("events_dropped", 0)
+    top = sorted(counts.items(), key=lambda item: -item[1])[:8]
+    summary = ", ".join(f"{kind} {count:,}" for kind, count in top)
+    lines = [f"  events: {total:,} emitted ({dropped:,} beyond ring)"]
+    lines.append(f"  top kinds: {summary}")
+    return lines
+
+
+def render_text(path: Union[str, Path]) -> str:
+    """Render the report for a run or sweep directory as plain text."""
+    source = load_report_source(path)
+    root = source["dir"]
+    out: List[str] = []
+    if source["kind"] == "run":
+        run = source["run"]
+        out.append(
+            f"REST observability report — {run['benchmark']} "
+            f"(scale {run['scale']}, seed {run['seed']}, "
+            f"interval {run['interval']} cycles)"
+        )
+        out.append("=" * 72)
+        for mode_name, entry in run["modes"].items():
+            out.append("")
+            out.extend(_waterfall_lines(mode_name, entry))
+            out.extend(_sample_section(root, entry))
+            out.extend(_event_section(entry))
+    else:
+        stalls = source["stalls"]
+        out.append(
+            f"REST sweep stall report — {stalls['benchmark']} "
+            f"(scale {stalls['scale']}, seed {stalls['seed']})"
+        )
+        out.append("=" * 72)
+        for mode_name, entry in stalls["modes"].items():
+            out.append("")
+            out.extend(_waterfall_lines(mode_name, entry))
+        manifest = source.get("manifest")
+        if manifest:
+            out.append("")
+            out.append("sweep experiments:")
+            for name, record in manifest.get("experiments", {}).items():
+                status = record.get("status", "?")
+                cached = " (cached)" if record.get("cached") else ""
+                out.append(f"  {name:12s} {status}{cached}")
+    out.append("")
+    return "\n".join(out)
+
+
+# -- HTML ----------------------------------------------------------------
+
+_BUCKET_COLORS = {
+    "base": "#7a9e7e",
+    "rob_store_blocked": "#c0504d",
+    "iq_full": "#d78f4d",
+    "lsq_full": "#d7c04d",
+    "icache": "#6b8fc0",
+    "mispredict": "#9b6bc0",
+    "dram": "#5d5d7a",
+    "other": "#a0a0a0",
+}
+
+_HTML_HEAD = """<!DOCTYPE html>
+<html><head><meta charset="utf-8"><title>{title}</title><style>
+body {{ font: 14px/1.5 -apple-system, "Segoe UI", sans-serif;
+       margin: 2rem auto; max-width: 60rem; color: #222; }}
+h1 {{ font-size: 1.3rem; }} h2 {{ font-size: 1.05rem; margin-top: 2rem; }}
+.waterfall {{ display: flex; height: 1.6rem; border-radius: 4px;
+             overflow: hidden; margin: .4rem 0; }}
+.waterfall div {{ height: 100%; }}
+.legend span {{ display: inline-block; margin-right: .9rem;
+               font-size: .85rem; }}
+.legend i {{ display: inline-block; width: .8rem; height: .8rem;
+            border-radius: 2px; margin-right: .3rem;
+            vertical-align: -1px; }}
+table {{ border-collapse: collapse; font-size: .9rem; }}
+td, th {{ padding: .15rem .7rem .15rem 0; text-align: right; }}
+th {{ text-align: left; }}
+.spark {{ font-family: monospace; white-space: pre; color: #456; }}
+.muted {{ color: #888; font-size: .85rem; }}
+</style></head><body>
+"""
+
+
+def _html_waterfall(entry: Dict) -> str:
+    cycles = entry.get("cycles", 0) or 1
+    buckets = entry.get("buckets", {})
+    segments = []
+    rows = []
+    for name in STALL_BUCKETS:
+        value = buckets.get(name, 0)
+        percent = 100.0 * value / cycles
+        if value:
+            segments.append(
+                f'<div style="width:{percent:.2f}%;background:'
+                f'{_BUCKET_COLORS[name]}" title="{BUCKET_LABELS[name]} '
+                f"{percent:.1f}%\"></div>"
+            )
+        rows.append(
+            f"<tr><th>{BUCKET_LABELS[name]}</th>"
+            f"<td>{value:,}</td><td>{percent:.1f}%</td></tr>"
+        )
+    return (
+        f'<div class="waterfall">{"".join(segments)}</div>'
+        f"<table><tr><th>bucket</th><td>cycles</td><td>share</td></tr>"
+        f'{"".join(rows)}</table>'
+    )
+
+
+def _html_legend() -> str:
+    items = "".join(
+        f'<span><i style="background:{_BUCKET_COLORS[name]}"></i>'
+        f"{BUCKET_LABELS[name]}</span>"
+        for name in STALL_BUCKETS
+    )
+    return f'<p class="legend">{items}</p>'
+
+
+def render_html(path: Union[str, Path]) -> str:
+    """Render the report as one self-contained HTML page."""
+    source = load_report_source(path)
+    root = source["dir"]
+    if source["kind"] == "run":
+        data = source["run"]
+        title = (
+            f"REST observability report — {data['benchmark']} "
+            f"(scale {data['scale']})"
+        )
+    else:
+        data = source["stalls"]
+        title = (
+            f"REST sweep stall report — {data['benchmark']} "
+            f"(scale {data['scale']})"
+        )
+    parts = [_HTML_HEAD.format(title=_html.escape(title))]
+    parts.append(f"<h1>{_html.escape(title)}</h1>")
+    parts.append(_html_legend())
+    for mode_name, entry in data["modes"].items():
+        parts.append(
+            f"<h2>{_html.escape(mode_name)} — "
+            f"{_html.escape(str(entry.get('defense', mode_name)))} "
+            f'<span class="muted">{entry.get("cycles", 0):,} cycles, '
+            f"CPI {entry.get('cpi', 0.0)}</span></h2>"
+        )
+        parts.append(_html_waterfall(entry))
+        if source["kind"] == "run":
+            for line in _sample_section(root, entry):
+                parts.append(
+                    f'<div class="spark">{_html.escape(line)}</div>'
+                )
+            for line in _event_section(entry):
+                parts.append(
+                    f'<div class="muted">{_html.escape(line)}</div>'
+                )
+    parts.append("</body></html>\n")
+    return "\n".join(parts)
+
+
+def write_report(
+    path: Union[str, Path],
+    out: Optional[Union[str, Path]] = None,
+    html: bool = False,
+) -> str:
+    """Render and optionally write the report; returns the text."""
+    text = render_html(path) if html else render_text(path)
+    if out is not None:
+        Path(out).write_text(text)
+    return text

@@ -113,6 +113,15 @@ class BaseAllocator:
         self.stats.allocations += 1
         self.stats.bytes_requested += size
         self.stats.bytes_reserved += chunk.total
+        machine = self.machine
+        if machine.tracer.enabled:
+            machine.tracer.emit(
+                "alloc.malloc",
+                machine.ops_emitted,
+                ptr=chunk.payload,
+                size=size,
+                total=chunk.total,
+            )
         self._on_malloc(chunk)
         return chunk.payload
 
@@ -125,6 +134,14 @@ class BaseAllocator:
         del self._live[ptr]
         chunk.live = False
         self.stats.frees += 1
+        machine = self.machine
+        if machine.tracer.enabled:
+            machine.tracer.emit(
+                "alloc.free",
+                machine.ops_emitted,
+                ptr=ptr,
+                size=chunk.size,
+            )
         if chunk.total >= self.mmap_threshold:
             self._on_free_huge(chunk)
         else:

@@ -23,6 +23,7 @@ from typing import List, Optional
 
 from repro.cache.hierarchy import MemoryHierarchy
 from repro.cpu.isa import MicroOp, OpType
+from repro.obs.tracer import NULL_TRACER
 from repro.runtime.layout import AddressSpaceLayout
 
 
@@ -62,6 +63,10 @@ class Machine:
         self.trace: List[MicroOp] = []
         self._pc = self.layout.code_base
         self.ops_emitted = 0
+        #: Observability hook: software-side ``alloc.*`` events are
+        #: stamped with the trace position (``ops_emitted``) instead of
+        #: a simulated cycle.
+        self.tracer = NULL_TRACER
         #: token width the software stack should align redzones to.
         self.token_width = (
             self.hierarchy.detector.token.width if self.hierarchy else 64
@@ -118,6 +123,10 @@ class Machine:
 
     def arm(self, address: int) -> None:
         """Place a REST token (the new ISA instruction)."""
+        if self.tracer.enabled:
+            self.tracer.emit(
+                "alloc.arm", self.ops_emitted, address=address
+            )
         if self.is_trace:
             if self.software_rest:
                 # No hardware: write the whole token value out.
@@ -138,6 +147,10 @@ class Machine:
 
     def disarm(self, address: int) -> None:
         """Remove a REST token (the new ISA instruction)."""
+        if self.tracer.enabled:
+            self.tracer.emit(
+                "alloc.disarm", self.ops_emitted, address=address
+            )
         if self.is_trace:
             if self.software_rest:
                 # Verify the token is present (the precise-disarm
