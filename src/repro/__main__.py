@@ -3,11 +3,19 @@
 Commands
 --------
 
-``experiments [names...] [--scale S] [--jobs N]``
+``experiments [names...] [--scale S] [--jobs N] [--timeout T] [--retries R]``
     Regenerate paper tables/figures (default: all of them), fanning
-    out over N worker processes.
-``sweep [--seeds a b c] [--jobs N] [--cache DIR]``
+    out over N worker processes; ``--timeout``/``--retries`` activate
+    the resilience layer (hung-worker kill, retry with backoff,
+    quarantine).
+``sweep [--seeds a b c] [--jobs N] [--cache DIR] [--timeout T] [--retries R]``
     Multi-seed stability sweep of the Figure 7 configurations.
+``chaos [--outdir DIR] [--fault-seed F] [--permanent K] ...``
+    Resilience proof: run the experiment sweep fault-free, re-run it
+    under a seeded fault plan (hangs, crashes, transients, allocator
+    failures, cache corruption) with timeouts+retries, and assert the
+    degraded run's manifest/artifacts are byte-identical to the
+    baseline for every non-quarantined unit.
 ``attack <name|all> [--defense plain|asan|rest|rest-heap]``
     Run attack scenarios and print the outcome.
 ``bench [--quick] [--out FILE] [--baseline FILE]``
@@ -97,7 +105,13 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
         for name in names
     ]
     cache = ResultCache(args.cache) if args.cache else None
-    results = execute_units(units, jobs=args.jobs, cache=cache)
+    results = execute_units(
+        units,
+        jobs=args.jobs,
+        cache=cache,
+        timeout=args.timeout,
+        retries=args.retries,
+    )
     status = 0
     for name in names:  # print in request order whatever finished first
         result = results[name]
@@ -105,7 +119,13 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
         if result.ok:
             print(result.value)
         else:
-            print(f"FAILED: {result.error['type']}: {result.error['message']}")
+            after = (
+                f" (after {result.attempts} attempts)"
+                if result.attempts > 1
+                else ""
+            )
+            print(f"FAILED: {result.error['type']}: "
+                  f"{result.error['message']}{after}")
             status = 1
     return status
 
@@ -130,6 +150,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             scale=args.scale,
             jobs=args.jobs,
             cache=cache,
+            timeout=args.timeout,
+            retries=args.retries,
         )
     except (ValueError, RuntimeError) as error:
         print(f"sweep failed: {error}")
@@ -345,6 +367,31 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     return 1 if regressions(deltas, tolerance_pp=args.tolerance) else 0
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.faults.chaos import run_chaos
+    from repro.faults.plan import FAULT_KINDS
+
+    for kind in args.kinds:
+        if kind not in FAULT_KINDS:
+            print(f"unknown fault kind {kind!r}; known: "
+                  f"{', '.join(FAULT_KINDS)}")
+            return 2
+    report = run_chaos(
+        args.outdir,
+        scale=args.scale,
+        seed=args.seed,
+        jobs=args.jobs,
+        timeout=args.timeout,
+        retries=args.retries,
+        fault_seed=args.fault_seed,
+        kinds=args.kinds,
+        fraction=args.fraction,
+        permanent=args.permanent,
+        hang_seconds=args.hang_seconds,
+    )
+    return 0 if report.ok else 1
+
+
 def _cmd_config(_args: argparse.Namespace) -> int:
     from repro.harness.configs import table2_text
 
@@ -440,6 +487,13 @@ def main(argv=None) -> int:
     p_exp.add_argument("--cache", type=_cache_dir, default=None,
                        metavar="DIR",
                        help="reuse/populate a result cache directory")
+    p_exp.add_argument("--timeout", type=float, default=None,
+                       metavar="SECONDS",
+                       help="per-unit wall-clock timeout (hung workers "
+                            "are killed and re-dispatched)")
+    p_exp.add_argument("--retries", type=int, default=0, metavar="N",
+                       help="extra attempts per failed unit before "
+                            "quarantine")
     p_exp.set_defaults(handler=_cmd_experiments)
 
     p_sweep = sub.add_parser(
@@ -453,7 +507,42 @@ def main(argv=None) -> int:
                          metavar="DIR")
     p_sweep.add_argument("--benchmarks", nargs="*", metavar="name",
                          help="subset of benchmarks (default: all)")
+    p_sweep.add_argument("--timeout", type=float, default=None,
+                         metavar="SECONDS",
+                         help="per-cell wall-clock timeout")
+    p_sweep.add_argument("--retries", type=int, default=0, metavar="N",
+                         help="extra attempts per failed cell")
     p_sweep.set_defaults(handler=_cmd_sweep)
+
+    p_chaos = sub.add_parser(
+        "chaos",
+        help="fault-injected sweep must match the fault-free baseline",
+    )
+    p_chaos.add_argument("--outdir", default="results/chaos", metavar="DIR")
+    p_chaos.add_argument("--scale", type=float, default=0.35)
+    p_chaos.add_argument("--seed", type=int, default=1234)
+    p_chaos.add_argument("--jobs", "-j", type=_positive_int, default=2)
+    p_chaos.add_argument("--timeout", type=float, default=60.0,
+                         metavar="SECONDS",
+                         help="per-unit timeout for the chaos run")
+    p_chaos.add_argument("--retries", type=int, default=2, metavar="N")
+    p_chaos.add_argument("--fault-seed", type=int, default=7,
+                         help="seed of the fault plan (same seed, same "
+                              "chaos)")
+    p_chaos.add_argument("--kinds", nargs="*", metavar="kind",
+                         default=["hang", "crash", "transient",
+                                  "memory_error", "corrupt_cache"],
+                         help="fault kinds to mix round-robin over the "
+                              "faulted units")
+    p_chaos.add_argument("--fraction", type=float, default=0.6,
+                         help="fraction of units to fault")
+    p_chaos.add_argument("--permanent", type=int, default=0, metavar="K",
+                         help="make K planned faults unhealable "
+                              "(exercises quarantine)")
+    p_chaos.add_argument("--hang-seconds", type=float, default=300.0,
+                         help="how long an injected hang sleeps (must "
+                              "exceed --timeout)")
+    p_chaos.set_defaults(handler=_cmd_chaos)
 
     p_att = sub.add_parser("attack", help="run attack scenarios")
     p_att.add_argument("name", help="attack name or 'all'")

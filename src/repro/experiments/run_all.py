@@ -12,22 +12,34 @@ computed; a unit that crashes is recorded as a structured error in the
 manifest while the rest of the sweep completes, and a re-run recomputes
 only the failed/missing cells.  Output is byte-identical regardless of
 job count (timing fields aside).
+
+``--timeout``/``--retries`` activate the engine's resilience layer:
+hung workers are killed and re-dispatched, failed attempts retry with
+seeded backoff, and units that exhaust the budget are *quarantined* —
+the manifest gains a structured ``quarantine`` section and a ``fault``
+counter summary, the sweep completes degraded instead of aborting, and
+the engine's ``fault.*`` events are written to
+``events-engine.jsonl`` for ``repro report``.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import time
 from pathlib import Path
 from typing import Dict, List, Optional
 
 from repro.harness.parallel import (
+    FAULT_PLAN_ENV,
     ResultCache,
     WorkUnit,
     execute_units,
     failed_units,
+    fault_summary,
+    quarantine_report,
 )
 
 #: experiment name -> scale override (None = use the requested scale).
@@ -88,13 +100,17 @@ def run_all(
     cache_dir: Optional[str] = None,
     use_cache: bool = True,
     quiet: bool = False,
+    timeout: Optional[float] = None,
+    retries: int = 0,
+    backoff: float = 0.25,
 ) -> Path:
     """Run every experiment; returns the output directory path.
 
     Failures do not abort the sweep: the manifest records a structured
-    error per failed experiment (``status: "error"``) and every other
-    cell still completes and is written.  Callers that need an exit
-    code should inspect the manifest (see :func:`main`).
+    error per failed experiment (``status: "error"``), lists every unit
+    that exhausted its retry budget in the ``quarantine`` section, and
+    every other cell still completes and is written.  Callers that need
+    an exit code should inspect the manifest (see :func:`main`).
     """
     out = Path(outdir)
     out.mkdir(parents=True, exist_ok=True)
@@ -104,8 +120,29 @@ def run_all(
     units = experiment_units(scale, seed)
     progress = None if quiet else (lambda msg: print(f"  {msg}", flush=True))
 
+    resilient = (
+        timeout is not None
+        or retries > 0
+        or bool(os.environ.get(FAULT_PLAN_ENV))
+    )
+    tracer = None
+    if resilient:
+        from repro.obs.tracer import RingTracer
+
+        tracer = RingTracer()
+
     wall0 = time.perf_counter()
-    results = execute_units(units, jobs=jobs, cache=cache, progress=progress)
+    results = execute_units(
+        units,
+        jobs=jobs,
+        cache=cache,
+        progress=progress,
+        timeout=timeout,
+        retries=retries,
+        backoff=backoff,
+        retry_seed=seed,
+        tracer=tracer,
+    )
 
     manifest = {
         "scale": scale,
@@ -114,12 +151,19 @@ def run_all(
         "started": time.strftime("%Y-%m-%d %H:%M:%S"),
         "experiments": {},
     }
+    unit_cpu = unit_wall = 0.0
     for unit in units:  # unit order, not completion order: deterministic
         result = results[unit.uid]
+        # Failed-unit timing counts too: a degraded sweep must not
+        # under-report what it actually spent.
+        unit_cpu += result.cpu_seconds
+        unit_wall += result.wall_seconds
         record = {
             "scale": unit.kwargs["scale"],
             "cached": result.cached,
             "cpu_seconds": round(result.cpu_seconds, 3),
+            "wall_seconds": round(result.wall_seconds, 3),
+            "attempts": result.attempts,
         }
         if result.ok:
             _, special_name = _SPECIAL_UNITS.get(unit.uid, (None, None))
@@ -131,6 +175,17 @@ def run_all(
             record["status"] = "error"
             record["error"] = result.error
         manifest["experiments"][unit.uid] = record
+    manifest["quarantine"] = quarantine_report(results)
+    if resilient:
+        manifest["fault"] = fault_summary(results, tracer)
+        if tracer is not None and len(tracer):
+            from repro.obs.tracer import write_jsonl
+
+            write_jsonl(tracer.events(), out / "events-engine.jsonl")
+    manifest["units_timing"] = {
+        "cpu_seconds": round(unit_cpu, 3),
+        "wall_seconds": round(unit_wall, 3),
+    }
     manifest["wall_seconds"] = round(time.perf_counter() - wall0, 3)
     (out / "manifest.json").write_text(json.dumps(manifest, indent=2))
 
@@ -138,13 +193,18 @@ def run_all(
     if not quiet:
         done = sum(1 for r in results.values() if r.ok)
         hits = sum(1 for r in results.values() if r.cached)
+        degraded = " DEGRADED" if manifest["quarantine"] else ""
         print(
             f"  {done}/{len(units)} experiments ok ({hits} cached, "
             f"{len(failures)} failed) in {manifest['wall_seconds']:.1f}s "
-            f"-> {out}"
+            f"-> {out}{degraded}"
         )
         for uid, error in sorted(failures.items()):
-            print(f"  FAILED {uid}: {error['type']}: {error['message']}")
+            attempts = results[uid].attempts
+            print(
+                f"  QUARANTINED {uid}: {error['type']}: "
+                f"{error['message']} (after {attempts} attempt(s))"
+            )
     return out
 
 
@@ -191,6 +251,21 @@ def main(argv=None) -> int:
         action="store_true",
         help="recompute everything; do not read or write the cache",
     )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-unit wall-clock timeout (hung workers are killed "
+             "and re-dispatched)",
+    )
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=0,
+        metavar="N",
+        help="extra attempts per failed unit before quarantine",
+    )
     args = parser.parse_args(argv)
     out = run_all(
         args.outdir,
@@ -199,6 +274,8 @@ def main(argv=None) -> int:
         jobs=args.jobs,
         cache_dir=args.cache_dir,
         use_cache=not args.no_cache,
+        timeout=args.timeout,
+        retries=args.retries,
     )
     manifest = json.loads((out / "manifest.json").read_text())
     failed = [

@@ -1,0 +1,28 @@
+"""Deterministic fault injection for the sweep engine.
+
+``plan``   — seeded :class:`FaultPlan` / :class:`FaultSpec` compilation
+             and JSON serialisation.
+``inject`` — worker-side activation via ``REPRO_FAULT_PLAN`` (the env
+             hook the engine's ``_execute_task`` consults per attempt).
+``chaos``  — the ``repro chaos`` driver: fault-free baseline vs chaos
+             sweep, manifest-identity verdict, fault accounting.
+"""
+
+from repro.faults.inject import (
+    ENV_VAR,
+    InjectedFault,
+    TransientInjectedFault,
+    maybe_inject,
+)
+from repro.faults.plan import ALWAYS, FAULT_KINDS, FaultPlan, FaultSpec
+
+__all__ = [
+    "ALWAYS",
+    "ENV_VAR",
+    "FAULT_KINDS",
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedFault",
+    "TransientInjectedFault",
+    "maybe_inject",
+]

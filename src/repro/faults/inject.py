@@ -1,0 +1,126 @@
+"""Worker-side fault injection, activated by ``REPRO_FAULT_PLAN``.
+
+The parallel engine's worker entry (:func:`repro.harness.parallel.
+_execute_task`) calls :func:`maybe_inject` once per attempt, *before*
+importing and running the unit's target.  With the environment variable
+unset that call is never made — the engine checks the variable itself —
+so a fault-free sweep pays exactly one ``os.environ.get`` per work
+unit and nothing on any simulator hot path.
+
+Injection is deterministic: the plan file maps unit ids to
+:class:`~repro.faults.plan.FaultSpec` entries, and the *attempt number*
+(threaded through the task tuple by the engine) decides whether this
+particular execution misbehaves (``attempt <= fail_attempts``).  A
+transient fault therefore fails the same attempts on every replay of
+the same plan.
+
+Fault kinds and their mechanics:
+
+========== =========================================================
+hang        ``time.sleep(hang_seconds)`` — the engine's per-unit
+            timeout must detect and SIGKILL the worker.
+crash       ``os._exit(exit_code)`` — hard death, no unwinding, no
+            result message; the engine sees the pipe close.
+raise       raises :class:`InjectedFault` (ordinary exception path).
+transient   raises :class:`TransientInjectedFault`; heals once the
+            attempt number exceeds ``fail_attempts``.
+memory_error raises :class:`MemoryError` (allocator-failure path).
+corrupt_cache no-op here — cache damage is injected by the chaos
+            driver before the sweep (see :mod:`repro.faults.chaos`).
+========== =========================================================
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Dict, Optional, Tuple
+
+from repro.faults.plan import FaultPlan, FaultSpec
+
+#: Environment variable holding the path of a compiled plan JSON file.
+ENV_VAR = "REPRO_FAULT_PLAN"
+
+
+class InjectedFault(RuntimeError):
+    """A fault raised on purpose by the injection layer."""
+
+
+class TransientInjectedFault(InjectedFault):
+    """An injected fault that heals after ``fail_attempts`` attempts."""
+
+
+#: Per-process memo of the loaded plan, keyed by path (workers are
+#: short-lived; a stale memo cannot outlive a plan swap in the parent
+#: because the path is part of the key).
+_LOADED: Dict[str, FaultPlan] = {}
+
+
+def active_plan() -> Optional[FaultPlan]:
+    """The plan named by ``REPRO_FAULT_PLAN``, or None when dormant."""
+    path = os.environ.get(ENV_VAR)
+    if not path:
+        return None
+    plan = _LOADED.get(path)
+    if plan is None:
+        plan = _LOADED[path] = FaultPlan.load(path)
+    return plan
+
+
+def spec_for(uid: str) -> Optional[FaultSpec]:
+    plan = active_plan()
+    return plan.spec_for(uid) if plan is not None else None
+
+
+def maybe_inject(uid: str, attempt: int) -> None:
+    """Apply this unit's fault for this attempt, if the plan has one."""
+    spec = spec_for(uid)
+    if spec is None or attempt > spec.fail_attempts:
+        return
+    if spec.kind == "hang":
+        time.sleep(spec.hang_seconds)
+        return  # if nobody killed us, run clean (a slow unit, not a dead one)
+    if spec.kind == "crash":
+        os._exit(spec.exit_code)
+    if spec.kind == "raise":
+        raise InjectedFault(
+            f"injected failure for {uid!r} (attempt {attempt})"
+        )
+    if spec.kind == "transient":
+        raise TransientInjectedFault(
+            f"injected transient failure for {uid!r} "
+            f"(attempt {attempt}/{spec.fail_attempts})"
+        )
+    if spec.kind == "memory_error":
+        raise MemoryError(
+            f"injected allocator failure for {uid!r} (attempt {attempt})"
+        )
+    # corrupt_cache: nothing to do inside the worker.
+
+
+def corrupt_cache_entry(cache, unit, spec: FaultSpec, salt=None) -> None:
+    """Damage the cache entry a unit would hit (driver-side injection).
+
+    ``truncated`` writes a torn, non-JSON file — the engine must treat
+    it as a miss.  ``stale-uid`` writes a *well-formed* entry whose
+    recorded identity does not match the unit — the engine's
+    uid/payload cross-check must reject it (the failure mode of a stale
+    salt bug, a hash collision, or a hand-edited entry).
+    """
+    key = unit.cache_key(salt)
+    path = cache._path(key)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    if spec.variant == "stale-uid":
+        import json
+
+        path.write_text(
+            json.dumps(
+                {
+                    "uid": f"{unit.uid}-stale",
+                    "payload": {"poisoned": True},
+                    "value": "poisoned value that must never be returned",
+                }
+            )
+        )
+    else:
+        path.write_text('{"uid": "' + unit.uid + '", "value": {tru')

@@ -1,0 +1,218 @@
+"""Deterministic fault plans: seeded chaos that replays exactly.
+
+A :class:`FaultPlan` describes *which work units fail and how* for one
+chaos run.  Everything is derived from a seed, so a chaos sweep is as
+reproducible as a fault-free one: the same seed over the same unit ids
+compiles to the same per-unit :class:`FaultSpec` assignment, the same
+injected failures, the same retry schedule.
+
+Two compilation modes:
+
+* :meth:`FaultPlan.compile_mix` — round-robin a kind mix over a seeded
+  shuffle of the unit ids.  Guarantees every kind in the mix is
+  represented (as long as there are enough units), which is what the
+  ``repro chaos`` command and the CI smoke job want.
+* :meth:`FaultPlan.compile_rates` — independent seeded coin flips per
+  unit, for statistical campaigns where coverage of every kind is not
+  required.
+
+Compiled plans serialise to a JSON file; exporting that file's path as
+``REPRO_FAULT_PLAN`` activates injection inside worker processes (see
+:mod:`repro.faults.inject`).  The environment variable is the only
+coupling with the execution engine, so plans propagate to forked and
+spawned workers alike and a run without the variable pays nothing.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
+
+#: ``fail_attempts`` value meaning "every attempt fails" — the unit can
+#: only end quarantined.
+ALWAYS = 10**9
+
+#: Every fault kind a spec may carry.
+FAULT_KINDS = (
+    "hang",  # worker sleeps past the engine's per-unit timeout
+    "crash",  # hard worker death via os._exit (no Python unwinding)
+    "raise",  # ordinary raised exception inside the unit
+    "transient",  # raises on early attempts, succeeds after
+    "memory_error",  # allocator failure: raises MemoryError
+    "corrupt_cache",  # damaged on-disk cache entry (injected by the driver)
+)
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """How one work unit misbehaves.
+
+    ``fail_attempts`` bounds the sabotage: attempts numbered above it
+    run clean, so ``fail_attempts=1`` is a transient fault healed by a
+    single retry and :data:`ALWAYS` is a permanent fault that exhausts
+    any retry budget and lands in quarantine.
+    """
+
+    kind: str
+    fail_attempts: int = 1
+    hang_seconds: float = 300.0
+    exit_code: int = 17
+    variant: str = ""  # corrupt_cache: "truncated" (default) or "stale-uid"
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; known: "
+                f"{', '.join(FAULT_KINDS)}"
+            )
+        if self.fail_attempts < 1:
+            raise ValueError("fail_attempts must be >= 1")
+
+    @property
+    def permanent(self) -> bool:
+        return self.fail_attempts >= ALWAYS
+
+
+@dataclass
+class FaultPlan:
+    """Seeded assignment of fault specs to work-unit ids."""
+
+    seed: int
+    faults: Dict[str, FaultSpec] = field(default_factory=dict)
+
+    def compile_mix(
+        self,
+        uids: Sequence[str],
+        kinds: Sequence[str],
+        fraction: float = 0.5,
+        fail_attempts: int = 1,
+        hang_seconds: float = 300.0,
+        permanent: int = 0,
+    ) -> "FaultPlan":
+        """Assign ``kinds`` round-robin over a seeded shuffle of uids.
+
+        ``fraction`` of the units (at least ``len(kinds)``, so every
+        kind appears when possible) receive a fault; the last
+        ``permanent`` of those are made unhealable (quarantine fodder).
+        Returns ``self`` for chaining.
+        """
+        if not kinds:
+            raise ValueError("need at least one fault kind")
+        for kind in kinds:
+            if kind not in FAULT_KINDS:
+                raise ValueError(f"unknown fault kind {kind!r}")
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError("fraction must be in (0, 1]")
+        shuffled = sorted(uids)  # seeded shuffle from a canonical order
+        random.Random(self.seed).shuffle(shuffled)
+        count = min(
+            len(shuffled),
+            max(len(kinds), int(round(fraction * len(shuffled)))),
+        )
+        targets = shuffled[:count]
+        assigned = [
+            (uid, kinds[index % len(kinds)])
+            for index, uid in enumerate(targets)
+        ]
+        # corrupt_cache never fails the unit itself (the damage just
+        # reads as a cache miss), so it can't be made permanent —
+        # quarantine fodder comes from the other kinds, last-assigned
+        # first.
+        unhealable = set()
+        for uid, kind in reversed(assigned):
+            if len(unhealable) >= permanent:
+                break
+            if kind != "corrupt_cache":
+                unhealable.add(uid)
+        for index, (uid, kind) in enumerate(assigned):
+            variant = (
+                ("stale-uid" if index % 2 else "truncated")
+                if kind == "corrupt_cache"
+                else ""
+            )
+            self.faults[uid] = FaultSpec(
+                kind=kind,
+                fail_attempts=ALWAYS if uid in unhealable else fail_attempts,
+                hang_seconds=hang_seconds,
+                variant=variant,
+            )
+        return self
+
+    def compile_rates(
+        self,
+        uids: Sequence[str],
+        rates: Dict[str, float],
+        fail_attempts: int = 1,
+        hang_seconds: float = 300.0,
+    ) -> "FaultPlan":
+        """Independent seeded draw per unit; ``rates`` maps kind to
+        probability (sum must be <= 1; the remainder runs clean)."""
+        total = sum(rates.values())
+        if total > 1.0 + 1e-9:
+            raise ValueError(f"fault rates sum to {total}, must be <= 1")
+        for kind in rates:
+            if kind not in FAULT_KINDS:
+                raise ValueError(f"unknown fault kind {kind!r}")
+        rng = random.Random(self.seed)
+        for uid in sorted(uids):  # canonical order: uid set defines the draw
+            roll = rng.random()
+            edge = 0.0
+            for kind, rate in sorted(rates.items()):
+                edge += rate
+                if roll < edge:
+                    self.faults[uid] = FaultSpec(
+                        kind=kind,
+                        fail_attempts=fail_attempts,
+                        hang_seconds=hang_seconds,
+                    )
+                    break
+        return self
+
+    # -- serialisation ---------------------------------------------------
+
+    def to_dict(self) -> Dict:
+        return {
+            "seed": self.seed,
+            "faults": {
+                uid: asdict(spec) for uid, spec in sorted(self.faults.items())
+            },
+        }
+
+    def write(self, path: Union[str, Path]) -> Path:
+        """Write the compiled plan as JSON; point ``REPRO_FAULT_PLAN``
+        at the returned path to activate it."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(self.to_dict(), indent=2, sort_keys=True))
+        return path
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "FaultPlan":
+        data = json.loads(Path(path).read_text())
+        return cls(
+            seed=data.get("seed", 0),
+            faults={
+                uid: FaultSpec(**spec)
+                for uid, spec in data.get("faults", {}).items()
+            },
+        )
+
+    # -- queries ---------------------------------------------------------
+
+    def spec_for(self, uid: str) -> Optional[FaultSpec]:
+        return self.faults.get(uid)
+
+    def permanent_uids(self) -> List[str]:
+        """Units this plan makes unhealable — the expected quarantine."""
+        return sorted(
+            uid for uid, spec in self.faults.items() if spec.permanent
+        )
+
+    def kind_counts(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for spec in self.faults.values():
+            counts[spec.kind] = counts.get(spec.kind, 0) + 1
+        return dict(sorted(counts.items()))

@@ -16,36 +16,64 @@ Three properties the engine guarantees:
   sweep skips every cell whose key is already present; editing any
   source file under ``repro`` changes the salt and invalidates the
   cache wholesale (stale results silently poisoning a sweep is worse
-  than recomputing).
+  than recomputing).  Entries are cross-checked against the requesting
+  unit's identity on read: a corrupt, truncated, or mismatched entry
+  (stale salt logic, hash collision, hand-edited file) reads as a miss.
 * **Failure isolation.**  A unit that raises does not abort the sweep:
   the worker catches the exception and returns a structured error
   (type, message, traceback) that the caller records; all other units
   complete.
 * **Resume.**  Because successful units are cached as they finish, a
-  crashed or partially-failed sweep re-run recomputes only the
-  missing/failed cells.
+  crashed, interrupted, or partially-failed sweep re-run recomputes
+  only the missing/failed cells.  ``KeyboardInterrupt`` flushes every
+  completed-but-unmerged result to the cache before propagating.
+
+On top of failure isolation sits an opt-in **resilience layer**
+(activated by ``timeout=``/``retries=`` or an active
+``REPRO_FAULT_PLAN``): each attempt runs in a dedicated supervised
+worker process, hung workers are SIGKILLed at the per-unit wall-clock
+``timeout`` and re-dispatched, failed attempts are retried with seeded
+exponential backoff + jitter, and units that exhaust the retry budget
+are *quarantined* — the sweep completes in a marked-degraded state
+instead of aborting, and a dead worker can never poison other units
+the way a broken shared pool would (each attempt owns its process, so
+"pool rebuild" is a per-attempt respawn).  With the layer dormant the
+dispatch path is exactly the classic pool/serial one.  Retry/timeout/
+crash/quarantine decisions are emitted as ``fault.*`` events on an
+optional tracer (see :mod:`repro.obs.tracer`).
 
 Timing discipline: units report their own ``cpu_seconds`` (process CPU
-time, well-defined under parallelism) and ``wall_seconds``; sweep-level
-wall time is the caller's.  :func:`strip_volatile` removes exactly the
-fields that vary run-to-run so determinism comparisons and regression
-diffs can ignore them.
+time, well-defined under parallelism) and ``wall_seconds``; retried
+units accumulate timing across *all* attempts, failed ones included,
+so degraded sweeps do not under-report cost.  Sweep-level wall time is
+the caller's.  :func:`strip_volatile` removes exactly the fields that
+vary run-to-run so determinism comparisons and regression diffs can
+ignore them.
 """
 
 from __future__ import annotations
 
 import hashlib
+import heapq
 import importlib
+import itertools
 import json
 import multiprocessing
 import os
+import random
 import time
 import traceback
+from collections import deque
 from dataclasses import dataclass, field
+from multiprocessing import connection as _mp_connection
 from pathlib import Path
 from typing import Callable, Dict, Iterable, List, Optional, Sequence
 
 from repro.harness.persistence import atomic_write_json
+
+#: Environment variable activating worker-side fault injection (see
+#: :mod:`repro.faults.inject`).  Checked once per work-unit attempt.
+FAULT_PLAN_ENV = "REPRO_FAULT_PLAN"
 
 #: Fields that record *when/how* a sweep ran rather than *what* it
 #: computed.  Byte-identical-output comparisons (tests, regression
@@ -56,8 +84,12 @@ TIMING_FIELDS = frozenset(
 )
 
 #: Timing fields plus run-circumstance fields (worker count, cache
-#: hits) that legitimately differ between equivalent runs.
-VOLATILE_FIELDS = TIMING_FIELDS | frozenset({"jobs", "cached", "hostname"})
+#: hits, retry/quarantine bookkeeping) that legitimately differ
+#: between equivalent runs — a healed chaos sweep must compare equal
+#: to a fault-free one.
+VOLATILE_FIELDS = TIMING_FIELDS | frozenset(
+    {"jobs", "cached", "hostname", "attempts", "fault", "quarantine"}
+)
 
 
 def strip_volatile(obj, fields: frozenset = VOLATILE_FIELDS):
@@ -133,7 +165,13 @@ class WorkUnit:
 
 @dataclass
 class UnitResult:
-    """Outcome of one work unit (success, structured failure, or cache hit)."""
+    """Outcome of one work unit (success, structured failure, or cache hit).
+
+    ``attempts`` counts executions including retries; ``cpu_seconds``/
+    ``wall_seconds`` accumulate over every attempt, failed ones
+    included.  ``quarantined`` marks a unit that exhausted its retry
+    budget under the resilience layer.
+    """
 
     uid: str
     ok: bool
@@ -142,6 +180,8 @@ class UnitResult:
     cpu_seconds: float = 0.0
     wall_seconds: float = 0.0
     cached: bool = False
+    attempts: int = 1
+    quarantined: bool = False
 
 
 class ResultCache:
@@ -150,7 +190,11 @@ class ResultCache:
     Values must be JSON-serialisable (experiment text, metric dicts).
     Writes are atomic (temp file + rename) so concurrent workers and
     interrupted sweeps never leave a torn entry; a corrupt entry reads
-    as a miss.
+    as a miss.  When the requesting :class:`WorkUnit` is passed to
+    :meth:`get`, the stored ``uid``/``payload`` are cross-checked
+    against it and any mismatch also reads as a miss (``mismatches``
+    counts these) — returning a value recorded for a *different*
+    computation would silently poison the sweep.
     """
 
     def __init__(self, root) -> None:
@@ -162,11 +206,14 @@ class ResultCache:
         self.hits = 0
         self.misses = 0
         self.stores = 0
+        self.mismatches = 0
 
     def _path(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.json"
 
-    def get(self, key: str) -> Optional[dict]:
+    def get(
+        self, key: str, unit: Optional[WorkUnit] = None
+    ) -> Optional[dict]:
         """Return the stored entry ``{"uid", "payload", "value"}`` or None."""
         try:
             entry = json.loads(self._path(key).read_text())
@@ -174,6 +221,13 @@ class ResultCache:
             self.misses += 1
             return None
         if not isinstance(entry, dict) or "value" not in entry:
+            self.misses += 1
+            return None
+        if unit is not None and (
+            entry.get("uid") != unit.uid
+            or entry.get("payload") != unit.key_payload
+        ):
+            self.mismatches += 1
             self.misses += 1
             return None
         self.hits += 1
@@ -188,11 +242,22 @@ class ResultCache:
 
 
 def _execute_task(task) -> UnitResult:
-    """Worker entry: run one unit, never raise (failure isolation)."""
-    uid, module_name, func_name, kwargs = task
+    """Worker entry: run one unit, never raise (failure isolation).
+
+    ``task`` is ``(uid, module, func, kwargs)`` plus an optional
+    attempt number (1-based; retries thread it through so deterministic
+    fault plans can key on it).  The fault hook costs one environment
+    lookup per unit when dormant.
+    """
+    uid, module_name, func_name, kwargs = task[0], task[1], task[2], task[3]
+    attempt = task[4] if len(task) > 4 else 1
     wall0 = time.perf_counter()
     cpu0 = time.process_time()
     try:
+        if os.environ.get(FAULT_PLAN_ENV):
+            from repro.faults.inject import maybe_inject
+
+            maybe_inject(uid, attempt)
         module = importlib.import_module(module_name)
         func = getattr(module, func_name)
         value = func(**kwargs)
@@ -202,6 +267,7 @@ def _execute_task(task) -> UnitResult:
             value=value,
             cpu_seconds=time.process_time() - cpu0,
             wall_seconds=time.perf_counter() - wall0,
+            attempts=attempt,
         )
     except Exception as error:  # noqa: BLE001 — isolation is the point
         return UnitResult(
@@ -214,6 +280,7 @@ def _execute_task(task) -> UnitResult:
             },
             cpu_seconds=time.process_time() - cpu0,
             wall_seconds=time.perf_counter() - wall0,
+            attempts=attempt,
         )
 
 
@@ -226,19 +293,291 @@ def _pool_context():
     return multiprocessing.get_context()
 
 
+def backoff_delay(
+    base: float, attempt: int, uid: str, seed: int = 0
+) -> float:
+    """Seeded exponential backoff with jitter for one failed attempt.
+
+    Doubles per attempt with a deterministic jitter factor in
+    [0.5, 1.5), derived from (seed, uid, attempt) — so a replayed chaos
+    run waits exactly as long, and simultaneous retries of different
+    units decorrelate instead of stampeding.
+    """
+    rng = random.Random(f"{seed}:{uid}:{attempt}")
+    return base * (2 ** (attempt - 1)) * (0.5 + rng.random())
+
+
+def _supervised_worker(conn, task) -> None:
+    """Entry point of a per-attempt supervised worker process."""
+    try:
+        result = _execute_task(task)
+        conn.send(result)
+    except Exception:  # noqa: BLE001 — e.g. unpicklable value
+        try:
+            conn.send(
+                UnitResult(
+                    uid=task[0],
+                    ok=False,
+                    error={
+                        "type": "WorkerProtocolError",
+                        "message": "worker could not deliver its result",
+                        "traceback": traceback.format_exc(),
+                    },
+                    attempts=task[4] if len(task) > 4 else 1,
+                )
+            )
+        except Exception:  # noqa: BLE001
+            pass
+    finally:
+        conn.close()
+
+
+def _run_supervised(
+    pending: List[WorkUnit],
+    jobs: int,
+    absorb: Callable[[UnitResult, bool], None],
+    timeout: Optional[float],
+    retries: int,
+    backoff: float,
+    retry_seed: int,
+    tracer,
+) -> None:
+    """Resilient dispatch: one supervised process per attempt.
+
+    Owning each attempt's process (instead of sharing a pool) is what
+    makes hung-worker SIGKILL, hard-crash detection (pipe EOF plus exit
+    code), and re-dispatch possible without ever tearing down or
+    rebuilding a shared pool: a dead worker takes down exactly one
+    attempt.  ``absorb`` receives only *final* results — retries are
+    internal — with timing accumulated across attempts.
+    """
+    context = _pool_context()
+    emit = tracer is not None and getattr(tracer, "enabled", False)
+    queue = deque((unit, 1) for unit in pending)
+    waiting: List = []  # (ready_at, seq, unit, attempt) retry backoff heap
+    seq = itertools.count()
+    inflight: Dict = {}  # conn -> attempt entry
+    spent: Dict[str, List[float]] = {}  # uid -> [cpu, wall]
+
+    def spawn(unit: WorkUnit, attempt: int) -> None:
+        parent_conn, child_conn = context.Pipe(duplex=False)
+        task = (unit.uid, unit.module, unit.func, unit.kwargs, attempt)
+        process = context.Process(
+            target=_supervised_worker, args=(child_conn, task), daemon=True
+        )
+        process.start()
+        child_conn.close()
+        now = time.monotonic()
+        inflight[parent_conn] = {
+            "unit": unit,
+            "attempt": attempt,
+            "process": process,
+            "started": now,
+            "deadline": now + timeout if timeout is not None else None,
+        }
+
+    def reap(entry, kill: bool = False) -> Optional[int]:
+        process = entry["process"]
+        if kill:
+            process.kill()
+        process.join(timeout=5.0)
+        return process.exitcode
+
+    def finalize(entry, result: UnitResult, quiet: bool = False) -> None:
+        unit, attempt = entry["unit"], entry["attempt"]
+        acc = spent.setdefault(unit.uid, [0.0, 0.0])
+        acc[0] += result.cpu_seconds
+        acc[1] += result.wall_seconds
+        if result.ok or attempt > retries:
+            result.cpu_seconds, result.wall_seconds = acc[0], acc[1]
+            result.attempts = attempt
+            if not result.ok:
+                result.quarantined = True
+                if emit:
+                    tracer.emit(
+                        "fault.quarantine",
+                        0,
+                        uid=unit.uid,
+                        attempts=attempt,
+                        error=result.error["type"],
+                    )
+            absorb(result, quiet)
+        else:
+            delay = backoff_delay(backoff, attempt, unit.uid, retry_seed)
+            if emit:
+                tracer.emit(
+                    "fault.retry",
+                    0,
+                    uid=unit.uid,
+                    attempt=attempt,
+                    error=result.error["type"],
+                    delay=round(delay, 4),
+                )
+            heapq.heappush(
+                waiting,
+                (time.monotonic() + delay, next(seq), unit, attempt + 1),
+            )
+
+    try:
+        while queue or waiting or inflight:
+            now = time.monotonic()
+            while waiting and waiting[0][0] <= now:
+                _, _, unit, attempt = heapq.heappop(waiting)
+                queue.append((unit, attempt))
+            while queue and len(inflight) < jobs:
+                unit, attempt = queue.popleft()
+                spawn(unit, attempt)
+            if not inflight:
+                if waiting:
+                    time.sleep(
+                        max(0.0, min(0.05, waiting[0][0] - time.monotonic()))
+                    )
+                continue
+
+            wait_for = 0.05
+            deadlines = [
+                entry["deadline"]
+                for entry in inflight.values()
+                if entry["deadline"] is not None
+            ]
+            if deadlines:
+                wait_for = min(wait_for, max(0.0, min(deadlines) - now))
+            if waiting:
+                wait_for = min(wait_for, max(0.0, waiting[0][0] - now))
+            ready = _mp_connection.wait(list(inflight), timeout=wait_for)
+
+            for conn in ready:
+                entry = inflight.pop(conn)
+                try:
+                    result = conn.recv()
+                    reap(entry)
+                except (EOFError, OSError):
+                    # Pipe closed with no result: the worker died hard
+                    # (os._exit, SIGKILL, OOM-kill).
+                    code = reap(entry)
+                    if emit:
+                        tracer.emit(
+                            "fault.crash",
+                            0,
+                            uid=entry["unit"].uid,
+                            attempt=entry["attempt"],
+                            exit_code=code,
+                        )
+                    result = UnitResult(
+                        uid=entry["unit"].uid,
+                        ok=False,
+                        error={
+                            "type": "WorkerCrash",
+                            "message": (
+                                f"worker died with exit code {code} on "
+                                f"attempt {entry['attempt']}"
+                            ),
+                            "traceback": "",
+                        },
+                        wall_seconds=time.monotonic() - entry["started"],
+                    )
+                conn.close()
+                finalize(entry, result)
+
+            now = time.monotonic()
+            for conn, entry in list(inflight.items()):
+                if entry["deadline"] is not None and now >= entry["deadline"]:
+                    # Hung worker: SIGKILL and hand the unit back to the
+                    # retry policy.
+                    del inflight[conn]
+                    reap(entry, kill=True)
+                    conn.close()
+                    if emit:
+                        tracer.emit(
+                            "fault.timeout",
+                            0,
+                            uid=entry["unit"].uid,
+                            attempt=entry["attempt"],
+                            timeout=timeout,
+                        )
+                    finalize(
+                        entry,
+                        UnitResult(
+                            uid=entry["unit"].uid,
+                            ok=False,
+                            error={
+                                "type": "WorkerTimeout",
+                                "message": (
+                                    f"exceeded {timeout}s wall-clock on "
+                                    f"attempt {entry['attempt']}"
+                                ),
+                                "traceback": "",
+                            },
+                            wall_seconds=now - entry["started"],
+                        ),
+                    )
+    except KeyboardInterrupt:
+        # Checkpoint flush: absorb every completed-but-unmerged result
+        # (which writes it to the cache) before tearing workers down,
+        # so an interrupted sweep resumes without re-executing them.
+        for conn, entry in list(inflight.items()):
+            try:
+                if conn.poll(0):
+                    result = conn.recv()
+                    if result.ok:
+                        finalize(entry, result, quiet=True)
+            except Exception:  # noqa: BLE001 — best-effort flush
+                pass
+        raise
+    finally:
+        for conn, entry in inflight.items():
+            try:
+                reap(entry, kill=True)
+                conn.close()
+            except Exception:  # noqa: BLE001
+                pass
+
+
+def _drain_ready(iterator, absorb) -> None:
+    """Best-effort absorb of already-completed pool results (KI flush)."""
+    while True:
+        try:
+            result = iterator.next(timeout=0.1)
+        except (StopIteration, multiprocessing.TimeoutError):
+            return
+        except Exception:  # noqa: BLE001 — flushing must never raise
+            return
+        try:
+            absorb(result, True)
+        except Exception:  # noqa: BLE001
+            return
+
+
 def execute_units(
     units: Iterable[WorkUnit],
     jobs: int = 1,
     cache: Optional[ResultCache] = None,
     progress: Optional[Callable[[str], None]] = None,
     salt: Optional[str] = None,
+    timeout: Optional[float] = None,
+    retries: int = 0,
+    backoff: float = 0.25,
+    retry_seed: int = 0,
+    tracer=None,
 ) -> Dict[str, UnitResult]:
     """Run every unit, in parallel when ``jobs > 1``; returns {uid: result}.
 
     Cache hits are resolved up front and skip execution entirely.
     Completion order never affects the result mapping — merge is by
     unit id — and successful values are written back to the cache as
-    they arrive, which is what makes interrupted sweeps resumable.
+    they arrive, which is what makes interrupted sweeps resumable
+    (``KeyboardInterrupt`` additionally flushes completed-but-unmerged
+    results before propagating).
+
+    ``timeout`` (per-unit wall seconds) and ``retries`` (extra attempts
+    after the first) activate the resilience layer: supervised
+    per-attempt worker processes, hung-worker SIGKILL + re-dispatch,
+    seeded exponential ``backoff`` between attempts, and quarantine of
+    units that exhaust the budget (``ok=False, quarantined=True``
+    instead of aborting).  An active ``REPRO_FAULT_PLAN`` also routes
+    through the supervised path so injected crashes can never take the
+    parent down.  With none of those set, dispatch is exactly the
+    classic serial/pool path.
     """
     ordered: List[WorkUnit] = list(units)
     seen = set()
@@ -246,6 +585,10 @@ def execute_units(
         if unit.uid in seen:
             raise ValueError(f"duplicate work-unit id {unit.uid!r}")
         seen.add(unit.uid)
+    if timeout is not None and timeout <= 0:
+        raise ValueError(f"timeout must be positive, got {timeout}")
+    if retries < 0:
+        raise ValueError(f"retries must be >= 0, got {retries}")
 
     results: Dict[str, UnitResult] = {}
     pending: List[WorkUnit] = []
@@ -253,7 +596,7 @@ def execute_units(
     for unit in ordered:
         if cache is not None:
             key = keys[unit.uid] = unit.cache_key(salt)
-            entry = cache.get(key)
+            entry = cache.get(key, unit)
             if entry is not None:
                 results[unit.uid] = UnitResult(
                     uid=unit.uid, ok=True, value=entry["value"], cached=True
@@ -265,24 +608,57 @@ def execute_units(
 
     by_uid = {unit.uid: unit for unit in pending}
 
-    def absorb(result: UnitResult) -> None:
+    def absorb(result: UnitResult, quiet: bool = False) -> None:
         results[result.uid] = result
         if result.ok and cache is not None:
             unit = by_uid[result.uid]
             cache.put(keys[unit.uid], unit, result.value)
-        if progress is not None:
-            status = "ok" if result.ok else f"FAILED: {result.error['type']}"
+        if progress is not None and not quiet:
+            if result.ok:
+                status = "ok"
+            elif result.quarantined:
+                status = (
+                    f"QUARANTINED: {result.error['type']} "
+                    f"after {result.attempts} attempt(s)"
+                )
+            else:
+                status = f"FAILED: {result.error['type']}"
             progress(f"{result.uid} [{status}]")
 
-    tasks = [(u.uid, u.module, u.func, u.kwargs) for u in pending]
+    resilient = (
+        timeout is not None
+        or retries > 0
+        or bool(os.environ.get(FAULT_PLAN_ENV))
+    )
+    if resilient:
+        _run_supervised(
+            pending,
+            jobs=max(1, jobs),
+            absorb=absorb,
+            timeout=timeout,
+            retries=retries,
+            backoff=backoff,
+            retry_seed=retry_seed,
+            tracer=tracer,
+        )
+        return results
+
+    tasks = [(u.uid, u.module, u.func, u.kwargs, 1) for u in pending]
     if jobs <= 1 or len(tasks) <= 1:
         for task in tasks:
             absorb(_execute_task(task))
     else:
         context = _pool_context()
         with context.Pool(processes=min(jobs, len(tasks))) as pool:
-            for result in pool.imap_unordered(_execute_task, tasks):
-                absorb(result)
+            iterator = pool.imap_unordered(_execute_task, tasks)
+            try:
+                for result in iterator:
+                    absorb(result)
+            except KeyboardInterrupt:
+                # Checkpoint flush: completed results already sitting in
+                # the pool's outqueue still reach the cache.
+                _drain_ready(iterator, absorb)
+                raise
     return results
 
 
@@ -293,3 +669,58 @@ def failed_units(results: Dict[str, UnitResult]) -> Dict[str, dict]:
         for uid, result in results.items()
         if not result.ok
     }
+
+
+def quarantine_report(results: Dict[str, UnitResult]) -> Dict[str, dict]:
+    """Manifest ``quarantine`` section: every unit that ended failed.
+
+    Keyed by uid; each entry records the attempts consumed and the
+    final structured error, which is what a degraded sweep publishes
+    instead of aborting.
+    """
+    return {
+        uid: {
+            "attempts": result.attempts,
+            "error": result.error,
+        }
+        for uid, result in sorted(results.items())
+        if not result.ok
+    }
+
+
+def fault_summary(
+    results: Dict[str, UnitResult], tracer=None
+) -> Dict[str, int]:
+    """Retry/timeout/crash/quarantine counters for one engine run.
+
+    Derived from final results plus (when a tracer was attached) the
+    per-attempt ``fault.*`` events, which also see failures that later
+    healed.  Rendered as ``fault.*`` statsdump rows and recorded in the
+    sweep manifest's ``fault`` section.
+    """
+    summary = {
+        "retries": sum(
+            result.attempts - 1 for result in results.values()
+            if not result.cached
+        ),
+        "timeouts": 0,
+        "crashes": 0,
+        "quarantined": sum(
+            1 for result in results.values() if result.quarantined
+        ),
+    }
+    if tracer is not None:
+        for event in tracer.events():
+            kind = event.get("kind", "")
+            if kind == "fault.timeout":
+                summary["timeouts"] += 1
+            elif kind == "fault.crash":
+                summary["crashes"] += 1
+    else:
+        for result in results.values():
+            error = result.error or {}
+            if error.get("type") == "WorkerTimeout":
+                summary["timeouts"] += 1
+            elif error.get("type") == "WorkerCrash":
+                summary["crashes"] += 1
+    return summary

@@ -148,3 +148,30 @@ def format_stats(result: RunResult, header: bool = True) -> str:
     if header:
         lines.append("---------- End Simulation Statistics ----------")
     return "\n".join(lines)
+
+
+def fault_rows(summary: dict) -> List[Tuple[str, object, str]]:
+    """``fault.*`` rows for one sweep's resilience accounting.
+
+    ``summary`` is the manifest ``fault`` section produced by
+    :func:`repro.harness.parallel.fault_summary` (retry / timeout /
+    crash / quarantine counters).
+    """
+    return [
+        ("fault.retries", summary.get("retries", 0),
+         "Failed work-unit attempts that were retried"),
+        ("fault.timeouts", summary.get("timeouts", 0),
+         "Hung workers killed at the per-unit timeout"),
+        ("fault.crashes", summary.get("crashes", 0),
+         "Worker processes that died without delivering a result"),
+        ("fault.quarantined", summary.get("quarantined", 0),
+         "Units that exhausted the retry budget"),
+    ]
+
+
+def format_fault_stats(summary: dict) -> str:
+    """Render the ``fault.*`` rows in the flat stats format."""
+    return "\n".join(
+        f"{name:<36} {value!s:>14}  # {description}"
+        for name, value, description in fault_rows(summary)
+    )

@@ -116,14 +116,21 @@ def seed_sweep(
     jobs: int = 1,
     cache: Optional[ResultCache] = None,
     progress=None,
+    timeout: Optional[float] = None,
+    retries: int = 0,
+    backoff: float = 0.25,
+    tracer=None,
 ) -> Dict[str, SweepResult]:
     """Run the suite once per seed; returns overhead stats per spec.
 
     With ``jobs > 1`` the (benchmark × spec × seed) grid is executed by
     the parallel engine; with a ``cache``, repeated sweeps recompute
-    only cells not already on disk.  A failed cell aborts the sweep
-    with the worker's structured error (sweep statistics over partial
-    grids would be silently wrong).
+    only cells not already on disk.  ``timeout``/``retries`` activate
+    the engine's resilience layer (hung-cell kill + re-dispatch, seeded
+    backoff between attempts) — but a cell that still fails after its
+    retry budget aborts the sweep with the worker's structured error,
+    because sweep *statistics* over a partial grid would be silently
+    wrong (unlike ``run_all``, there is no meaningful degraded result).
     """
     if not seeds:
         raise ValueError("need at least one seed")
@@ -131,7 +138,17 @@ def seed_sweep(
         raise ValueError("seeds must be unique (duplicate cells would "
                          "collapse to one cached work unit)")
     units = sweep_units(profiles, specs, seeds, scale)
-    results = execute_units(units, jobs=jobs, cache=cache, progress=progress)
+    results = execute_units(
+        units,
+        jobs=jobs,
+        cache=cache,
+        progress=progress,
+        timeout=timeout,
+        retries=retries,
+        backoff=backoff,
+        retry_seed=min(seeds),
+        tracer=tracer,
+    )
     failures = {
         uid: result.error
         for uid, result in results.items()
@@ -139,9 +156,11 @@ def seed_sweep(
     }
     if failures:
         uid, error = next(iter(sorted(failures.items())))
+        attempts = results[uid].attempts
         raise RuntimeError(
             f"{len(failures)} sweep cell(s) failed; first: {uid}: "
             f"{error['type']}: {error['message']}"
+            + (f" (after {attempts} attempts)" if attempts > 1 else "")
         )
 
     def runtime(profile: BenchmarkProfile, spec_name: str, seed: int) -> float:

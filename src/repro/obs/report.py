@@ -148,6 +148,30 @@ def _event_section(entry: Dict) -> List[str]:
     return lines
 
 
+def _fault_section(manifest: Dict) -> List[str]:
+    """Resilience accounting for a degraded sweep (empty when clean)."""
+    summary = manifest.get("fault")
+    quarantine = manifest.get("quarantine") or {}
+    if not summary and not quarantine:
+        return []
+    lines = [""]
+    if summary:
+        lines.append(
+            "fault recovery: "
+            f"{summary.get('retries', 0)} retries, "
+            f"{summary.get('timeouts', 0)} timeouts, "
+            f"{summary.get('crashes', 0)} crashes, "
+            f"{summary.get('quarantined', 0)} quarantined"
+        )
+    for uid, entry in sorted(quarantine.items()):
+        error = entry.get("error") or {}
+        lines.append(
+            f"  QUARANTINED {uid}: {error.get('type', '?')} after "
+            f"{entry.get('attempts', '?')} attempt(s)"
+        )
+    return lines
+
+
 def render_text(path: Union[str, Path]) -> str:
     """Render the report for a run or sweep directory as plain text."""
     source = load_report_source(path)
@@ -183,7 +207,10 @@ def render_text(path: Union[str, Path]) -> str:
             for name, record in manifest.get("experiments", {}).items():
                 status = record.get("status", "?")
                 cached = " (cached)" if record.get("cached") else ""
-                out.append(f"  {name:12s} {status}{cached}")
+                attempts = record.get("attempts", 1)
+                retried = f" ({attempts} attempts)" if attempts > 1 else ""
+                out.append(f"  {name:12s} {status}{cached}{retried}")
+            out.extend(_fault_section(manifest))
     out.append("")
     return "\n".join(out)
 
@@ -293,6 +320,10 @@ def render_html(path: Union[str, Path]) -> str:
                 parts.append(
                     f'<div class="muted">{_html.escape(line)}</div>'
                 )
+    if source["kind"] == "sweep" and source.get("manifest"):
+        for line in _fault_section(source["manifest"]):
+            if line:
+                parts.append(f'<div class="muted">{_html.escape(line)}</div>')
     parts.append("</body></html>\n")
     return "\n".join(parts)
 
