@@ -8,8 +8,21 @@ Commands
     out over N worker processes; ``--timeout``/``--retries`` activate
     the resilience layer (hung-worker kill, retry with backoff,
     quarantine).
-``sweep [--seeds a b c] [--jobs N] [--cache DIR] [--timeout T] [--retries R]``
+``sweep [--seeds a b c] [--jobs N] [--cache DIR] [--live] ...``
     Multi-seed stability sweep of the Figure 7 configurations.
+    ``--live`` streams per-cell sampler snapshots while cells run; a
+    failed cell exits 1 with a structured ``uid: type: message`` error.
+``serve [--state-dir DIR] [--slots N] [--max-jobs N] [--tcp HOST:PORT]``
+    Run the persistent simulation job daemon on a Unix socket.
+    SIGTERM/SIGINT drain gracefully: open jobs persist to queue.json
+    and are resumed by the next daemon.
+``submit <run_all|sweep> [--priority P] [--watch] ...``
+    Submit a job to the daemon; duplicate submissions share executions
+    (single-flight) and completed cells come from the shared cache.
+``watch <job>`` / ``status <job>`` / ``jobs`` / ``shutdown``
+    Follow a job's live event stream (sampler snapshots, unit/fault
+    events), dump one job's JSON status, list all jobs, or drain the
+    daemon.
 ``chaos [--outdir DIR] [--fault-seed F] [--permanent K] ...``
     Resilience proof: run the experiment sweep fault-free, re-run it
     under a seeded fault plan (hangs, crashes, transients, allocator
@@ -132,8 +145,8 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
     from repro.harness.configs import figure7_specs
-    from repro.harness.parallel import ResultCache
-    from repro.harness.sweeps import seed_sweep
+    from repro.harness.parallel import ResultCache, _pool_context
+    from repro.harness.sweeps import SweepError, seed_sweep
     from repro.workloads.spec import ALL_PROFILES, profile_by_name
 
     profiles = (
@@ -142,6 +155,36 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         else list(ALL_PROFILES)
     )
     cache = ResultCache(args.cache) if args.cache else None
+
+    # --live: drain the workers' progress channel in a thread and print
+    # one status line per sampler snapshot while cells run.
+    progress_queue = None
+    drain_thread = None
+    if args.live:
+        import queue as _queue_mod
+        import threading
+
+        progress_queue = _pool_context().Queue()
+
+        def drain() -> None:
+            while True:
+                try:
+                    event = progress_queue.get(timeout=0.2)
+                except (_queue_mod.Empty, OSError):
+                    continue
+                if event is None:
+                    return
+                if event.get("kind") == "sample":
+                    print(
+                        f"  live {event.get('uid')}: "
+                        f"cycle {event.get('cycle'):>8,}  "
+                        f"ipc {event.get('ipc'):.2f}",
+                        flush=True,
+                    )
+
+        drain_thread = threading.Thread(target=drain, daemon=True)
+        drain_thread.start()
+
     try:
         sweep = seed_sweep(
             profiles,
@@ -152,10 +195,29 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             cache=cache,
             timeout=args.timeout,
             retries=args.retries,
+            live=args.live,
+            progress_queue=progress_queue,
         )
+    except SweepError as error:
+        # Structured failure: name the cell and the worker's error type
+        # so scripts can tell a failed simulation from a bad invocation.
+        print(
+            f"sweep failed: {error.uid}: {error.error['type']}: "
+            f"{error.error['message']} "
+            f"({error.count} cell(s), {error.attempts} attempt(s))"
+        )
+        return 1
     except (ValueError, RuntimeError) as error:
         print(f"sweep failed: {error}")
         return 2
+    finally:
+        if progress_queue is not None:
+            try:
+                progress_queue.put(None)
+            except Exception:  # noqa: BLE001 — teardown is best-effort
+                pass
+            if drain_thread is not None:
+                drain_thread.join(timeout=2.0)
     print(f"{'config':16s} {'mean%':>8s} {'stdev':>7s} {'spread':>7s}  "
           f"({len(args.seeds)} seeds, scale {args.scale})")
     for name, result in sweep.items():
@@ -399,6 +461,200 @@ def _cmd_config(_args: argparse.Namespace) -> int:
     return 0
 
 
+#: Default daemon state directory (socket, cache, queue, job artifacts).
+DEFAULT_STATE_DIR = "results/service"
+
+
+def _endpoint(args: argparse.Namespace) -> dict:
+    """Resolve client connection kwargs from --socket/--tcp/--state-dir."""
+    from pathlib import Path
+
+    from repro.service.protocol import parse_tcp
+
+    if getattr(args, "tcp", None):
+        return {"tcp": parse_tcp(args.tcp)}
+    if getattr(args, "socket", None):
+        return {"socket_path": args.socket}
+    return {"socket_path": str(Path(args.state_dir) / "daemon.sock")}
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service.daemon import ServiceConfig, serve
+    from repro.service.protocol import parse_tcp
+
+    config = ServiceConfig(
+        state_dir=args.state_dir,
+        socket_path=args.socket,
+        tcp=parse_tcp(args.tcp) if args.tcp else None,
+        slots=args.slots,
+        max_jobs=args.max_jobs,
+        timeout=args.timeout,
+        retries=args.retries,
+        drain_grace=args.drain_grace,
+    )
+    print(
+        f"serving on {config.resolved_socket()} "
+        f"(state {args.state_dir}, slots {args.slots}); SIGTERM drains"
+    )
+    serve(config)
+    return 0
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    from repro.service.client import ServiceClient, ServiceError
+
+    params: dict = {}
+    if args.kind == "run_all":
+        if args.names:
+            params["names"] = args.names
+        if args.outdir:
+            params["outdir"] = args.outdir
+    else:
+        if args.benchmarks:
+            params["benchmarks"] = args.benchmarks
+        if args.specs:
+            params["specs"] = args.specs
+        if args.seeds:
+            params["seeds"] = args.seeds
+        params["live"] = not args.no_live
+        if args.sample_interval:
+            params["sample_interval"] = args.sample_interval
+    if args.scale is not None:
+        params["scale"] = args.scale
+    if args.kind == "run_all" and args.seed is not None:
+        params["seed"] = args.seed
+    try:
+        with ServiceClient(**_endpoint(args)) as client:
+            job = client.submit(args.kind, params, priority=args.priority)
+    except ServiceError as error:
+        print(f"submit rejected: {error.code}: {error}")
+        return 1
+    except OSError as error:
+        print(f"cannot reach daemon: {error}")
+        return 2
+    units = job["units"]
+    print(
+        f"{job['id']} submitted: {units['total']} unit(s), "
+        f"{units.get('cached', 0)} cached, "
+        f"{job['dedup_hits']} deduplicated, priority {job['priority']}"
+    )
+    if args.watch:
+        return _watch_job(args, job["id"])
+    return 0
+
+
+def _watch_job(args: argparse.Namespace, job_id: str) -> int:
+    from repro.service.client import ServiceClient, ServiceError
+
+    try:
+        with ServiceClient(**_endpoint(args)) as client:
+            state = None
+            for event in client.watch(job_id):
+                if event.get("type") == "done":
+                    state = event.get("state")
+                    break
+                kind = event.get("kind", "")
+                if kind == "sample":
+                    print(
+                        f"  {job_id} {event.get('uid')}: "
+                        f"cycle {event.get('cycle'):>8,}  "
+                        f"ipc {event.get('ipc'):.2f}",
+                        flush=True,
+                    )
+                elif kind.startswith("unit."):
+                    detail = ""
+                    if event.get("error"):
+                        detail = f" ({event['error']})"
+                    print(f"  {job_id} {event.get('uid')}: "
+                          f"{kind.split('.', 1)[1]}{detail}", flush=True)
+                elif kind.startswith("fault."):
+                    print(f"  {job_id} {event.get('uid')}: "
+                          f"{kind}", flush=True)
+                elif kind in ("job.done", "job.failed"):
+                    error = event.get("error")
+                    suffix = (
+                        f": {error['type']}: {error['message']}"
+                        if error
+                        else ""
+                    )
+                    print(f"  {job_id} {kind.split('.', 1)[1]}{suffix}",
+                          flush=True)
+    except ServiceError as error:
+        print(f"watch failed: {error.code}: {error}")
+        return 1
+    except OSError as error:
+        print(f"cannot reach daemon: {error}")
+        return 2
+    print(f"{job_id} finished: {state}")
+    return 0 if state == "done" else 1
+
+
+def _cmd_watch(args: argparse.Namespace) -> int:
+    return _watch_job(args, args.job)
+
+
+def _cmd_status(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.service.client import ServiceClient, ServiceError
+
+    try:
+        with ServiceClient(**_endpoint(args)) as client:
+            job = client.status(args.job)
+    except ServiceError as error:
+        print(f"status failed: {error.code}: {error}")
+        return 1
+    except OSError as error:
+        print(f"cannot reach daemon: {error}")
+        return 2
+    print(json.dumps(job, indent=2, sort_keys=True))
+    return 0 if job["state"] != "failed" else 1
+
+
+def _cmd_jobs(args: argparse.Namespace) -> int:
+    from repro.service.client import ServiceClient, ServiceError
+
+    try:
+        with ServiceClient(**_endpoint(args)) as client:
+            listing = client.jobs()
+            stats = client.ping()["stats"]
+    except ServiceError as error:
+        print(f"jobs failed: {error.code}: {error}")
+        return 1
+    except OSError as error:
+        print(f"cannot reach daemon: {error}")
+        return 2
+    print(f"{'id':6s} {'kind':8s} {'prio':7s} {'state':8s} "
+          f"{'units':>6s} {'dedup':>6s} {'fail':>5s}")
+    for job in listing:
+        print(
+            f"{job['id']:6s} {job['kind']:8s} {job['priority']:7s} "
+            f"{job['state']:8s} {job['units']['total']:>6d} "
+            f"{job['dedup_hits']:>6d} {job['failures']:>5d}"
+        )
+    print(
+        f"{len(listing)} job(s); {stats['executions']} execution(s), "
+        f"{stats['dedup_hits']} dedup hit(s), draining={stats['draining']}"
+    )
+    return 0
+
+
+def _cmd_shutdown(args: argparse.Namespace) -> int:
+    from repro.service.client import ServiceClient, ServiceError
+
+    try:
+        with ServiceClient(**_endpoint(args)) as client:
+            client.shutdown()
+    except ServiceError as error:
+        print(f"shutdown failed: {error.code}: {error}")
+        return 1
+    except OSError as error:
+        print(f"cannot reach daemon: {error}")
+        return 2
+    print("daemon draining (open jobs persist to queue.json)")
+    return 0
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     import json
     from pathlib import Path
@@ -512,6 +768,9 @@ def main(argv=None) -> int:
                          help="per-cell wall-clock timeout")
     p_sweep.add_argument("--retries", type=int, default=0, metavar="N",
                          help="extra attempts per failed cell")
+    p_sweep.add_argument("--live", action="store_true",
+                         help="stream per-cell sampler snapshots while "
+                              "cells run (results are unaffected)")
     p_sweep.set_defaults(handler=_cmd_sweep)
 
     p_chaos = sub.add_parser(
@@ -648,6 +907,87 @@ def main(argv=None) -> int:
     p_rep.add_argument("--html", action="store_true",
                        help="render self-contained HTML (requires --out)")
     p_rep.set_defaults(handler=_cmd_report)
+
+    def add_endpoint_flags(sub_parser: argparse.ArgumentParser) -> None:
+        sub_parser.add_argument("--state-dir", default=DEFAULT_STATE_DIR,
+                                metavar="DIR",
+                                help="daemon state directory (socket lives "
+                                     "at DIR/daemon.sock)")
+        sub_parser.add_argument("--socket", default=None, metavar="PATH",
+                                help="explicit Unix socket path")
+        sub_parser.add_argument("--tcp", default=None, metavar="HOST:PORT",
+                                help="TCP endpoint instead of the socket")
+
+    p_serve = sub.add_parser(
+        "serve", help="run the simulation job daemon (SIGTERM drains)"
+    )
+    add_endpoint_flags(p_serve)
+    p_serve.add_argument("--slots", type=_positive_int, default=2,
+                         help="concurrent simulations")
+    p_serve.add_argument("--max-jobs", type=_positive_int, default=8,
+                         help="open-job admission limit (excess submits "
+                              "get a structured queue_full rejection)")
+    p_serve.add_argument("--timeout", type=float, default=None,
+                         metavar="SECONDS",
+                         help="per-unit wall-clock timeout")
+    p_serve.add_argument("--retries", type=int, default=0, metavar="N",
+                         help="extra attempts per failed unit")
+    p_serve.add_argument("--drain-grace", type=float, default=10.0,
+                         metavar="SECONDS",
+                         help="how long in-flight units get on shutdown")
+    p_serve.set_defaults(handler=_cmd_serve)
+
+    p_sub = sub.add_parser(
+        "submit", help="submit a job to the daemon"
+    )
+    add_endpoint_flags(p_sub)
+    p_sub.add_argument("kind", choices=("run_all", "sweep"))
+    p_sub.add_argument("--priority", choices=("high", "normal", "low"),
+                       default="normal")
+    p_sub.add_argument("--watch", action="store_true",
+                       help="follow the job's live event stream")
+    p_sub.add_argument("--scale", type=float, default=None)
+    p_sub.add_argument("--seed", type=int, default=None,
+                       help="run_all only")
+    p_sub.add_argument("--names", nargs="*", metavar="name",
+                       help="run_all: experiment subset")
+    p_sub.add_argument("--outdir", default=None, metavar="DIR",
+                       help="run_all: artifact directory (default: "
+                            "<state-dir>/jobs/<job-id>)")
+    p_sub.add_argument("--benchmarks", nargs="*", metavar="name",
+                       help="sweep: benchmark subset")
+    p_sub.add_argument("--specs", nargs="*", metavar="name",
+                       help="sweep: Figure 7 spec subset")
+    p_sub.add_argument("--seeds", type=int, nargs="*", metavar="N",
+                       help="sweep: seeds (default 1..5)")
+    p_sub.add_argument("--no-live", action="store_true",
+                       help="sweep: skip live sampler streaming")
+    p_sub.add_argument("--sample-interval", type=_positive_int,
+                       default=None, metavar="N",
+                       help="sweep: cycles per live sample")
+    p_sub.set_defaults(handler=_cmd_submit)
+
+    p_watch = sub.add_parser(
+        "watch", help="stream a job's live events (replay + follow)"
+    )
+    add_endpoint_flags(p_watch)
+    p_watch.add_argument("job", help="job id, e.g. j0001")
+    p_watch.set_defaults(handler=_cmd_watch)
+
+    p_status = sub.add_parser("status", help="one job's status as JSON")
+    add_endpoint_flags(p_status)
+    p_status.add_argument("job", help="job id, e.g. j0001")
+    p_status.set_defaults(handler=_cmd_status)
+
+    p_jobs = sub.add_parser("jobs", help="list the daemon's jobs")
+    add_endpoint_flags(p_jobs)
+    p_jobs.set_defaults(handler=_cmd_jobs)
+
+    p_down = sub.add_parser(
+        "shutdown", help="gracefully drain and stop the daemon"
+    )
+    add_endpoint_flags(p_down)
+    p_down.set_defaults(handler=_cmd_shutdown)
 
     p_cfg = sub.add_parser("config", help="print Table II configuration")
     p_cfg.set_defaults(handler=_cmd_config)

@@ -66,10 +66,28 @@ _SPECIAL_UNITS = {
 
 
 def experiment_units(
-    scale: float, seed: int, scales: Optional[Dict] = None
+    scale: float,
+    seed: int,
+    scales: Optional[Dict] = None,
+    names: Optional[List[str]] = None,
 ) -> List[WorkUnit]:
-    """One picklable work unit per experiment module."""
+    """One picklable work unit per experiment module.
+
+    ``names`` restricts the sweep to a subset (request order, duplicates
+    collapsed); an unknown name raises ``ValueError`` so callers —
+    including the job service's admission control — reject bad requests
+    up front instead of failing mid-sweep.
+    """
     scales = EXPERIMENT_SCALES if scales is None else scales
+    if names is not None:
+        names = list(dict.fromkeys(names))
+        unknown = [name for name in names if name not in scales]
+        if unknown:
+            raise ValueError(
+                f"unknown experiment(s): {', '.join(unknown)}; "
+                f"known: {', '.join(scales)}"
+            )
+        scales = {name: scales[name] for name in names}
     units = []
     for name, override in scales.items():
         effective = override if override is not None else scale
@@ -92,58 +110,26 @@ def experiment_units(
     return units
 
 
-def run_all(
-    outdir: str,
-    scale: float = 0.5,
-    seed: int = 1234,
+def write_outputs(
+    outdir,
+    units: List[WorkUnit],
+    results: Dict,
+    scale: float,
+    seed: int,
     jobs: int = 1,
-    cache_dir: Optional[str] = None,
-    use_cache: bool = True,
-    quiet: bool = False,
-    timeout: Optional[float] = None,
-    retries: int = 0,
-    backoff: float = 0.25,
-) -> Path:
-    """Run every experiment; returns the output directory path.
+    tracer=None,
+    resilient: bool = False,
+    wall_seconds: float = 0.0,
+) -> Dict:
+    """Write per-experiment artifacts + ``manifest.json`` for one sweep.
 
-    Failures do not abort the sweep: the manifest records a structured
-    error per failed experiment (``status: "error"``), lists every unit
-    that exhausted its retry budget in the ``quarantine`` section, and
-    every other cell still completes and is written.  Callers that need
-    an exit code should inspect the manifest (see :func:`main`).
+    Shared by :func:`run_all` and the job service's ``run_all`` job
+    finalizer, so a job submitted through the service produces a
+    directory (and manifest) ``strip_volatile``-identical to a direct
+    run of the same configuration.  Returns the manifest dict.
     """
     out = Path(outdir)
     out.mkdir(parents=True, exist_ok=True)
-    cache = None
-    if use_cache:
-        cache = ResultCache(cache_dir if cache_dir is not None else out / "cache")
-    units = experiment_units(scale, seed)
-    progress = None if quiet else (lambda msg: print(f"  {msg}", flush=True))
-
-    resilient = (
-        timeout is not None
-        or retries > 0
-        or bool(os.environ.get(FAULT_PLAN_ENV))
-    )
-    tracer = None
-    if resilient:
-        from repro.obs.tracer import RingTracer
-
-        tracer = RingTracer()
-
-    wall0 = time.perf_counter()
-    results = execute_units(
-        units,
-        jobs=jobs,
-        cache=cache,
-        progress=progress,
-        timeout=timeout,
-        retries=retries,
-        backoff=backoff,
-        retry_seed=seed,
-        tracer=tracer,
-    )
-
     manifest = {
         "scale": scale,
         "seed": seed,
@@ -186,8 +172,75 @@ def run_all(
         "cpu_seconds": round(unit_cpu, 3),
         "wall_seconds": round(unit_wall, 3),
     }
-    manifest["wall_seconds"] = round(time.perf_counter() - wall0, 3)
+    manifest["wall_seconds"] = round(wall_seconds, 3)
     (out / "manifest.json").write_text(json.dumps(manifest, indent=2))
+    return manifest
+
+
+def run_all(
+    outdir: str,
+    scale: float = 0.5,
+    seed: int = 1234,
+    jobs: int = 1,
+    cache_dir: Optional[str] = None,
+    use_cache: bool = True,
+    quiet: bool = False,
+    timeout: Optional[float] = None,
+    retries: int = 0,
+    backoff: float = 0.25,
+    names: Optional[List[str]] = None,
+) -> Path:
+    """Run every experiment; returns the output directory path.
+
+    Failures do not abort the sweep: the manifest records a structured
+    error per failed experiment (``status: "error"``), lists every unit
+    that exhausted its retry budget in the ``quarantine`` section, and
+    every other cell still completes and is written.  Callers that need
+    an exit code should inspect the manifest (see :func:`main`).
+    """
+    out = Path(outdir)
+    out.mkdir(parents=True, exist_ok=True)
+    cache = None
+    if use_cache:
+        cache = ResultCache(cache_dir if cache_dir is not None else out / "cache")
+    units = experiment_units(scale, seed, names=names)
+    progress = None if quiet else (lambda msg: print(f"  {msg}", flush=True))
+
+    resilient = (
+        timeout is not None
+        or retries > 0
+        or bool(os.environ.get(FAULT_PLAN_ENV))
+    )
+    tracer = None
+    if resilient:
+        from repro.obs.tracer import RingTracer
+
+        tracer = RingTracer()
+
+    wall0 = time.perf_counter()
+    results = execute_units(
+        units,
+        jobs=jobs,
+        cache=cache,
+        progress=progress,
+        timeout=timeout,
+        retries=retries,
+        backoff=backoff,
+        retry_seed=seed,
+        tracer=tracer,
+    )
+
+    manifest = write_outputs(
+        out,
+        units,
+        results,
+        scale=scale,
+        seed=seed,
+        jobs=jobs,
+        tracer=tracer,
+        resilient=resilient,
+        wall_seconds=time.perf_counter() - wall0,
+    )
 
     failures = failed_units(results)
     if not quiet:

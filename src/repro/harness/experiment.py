@@ -106,8 +106,18 @@ def run_benchmark(
     spec: DefenseSpec,
     config: Optional[SimulationConfig] = None,
     core_config=None,
+    on_sample: Optional[Callable] = None,
+    sample_interval: Optional[int] = None,
 ) -> RunResult:
-    """Simulate one benchmark under one defense spec."""
+    """Simulate one benchmark under one defense spec.
+
+    ``on_sample`` routes the replay through the interval sampler
+    (:func:`repro.obs.sampler.run_sampled`) and forwards each snapshot
+    as it is taken — the live-telemetry path used by ``repro sweep
+    --live`` and the job service.  The sampled replay is
+    stats-identical to the plain one, so results (and cache entries)
+    do not depend on whether a run was observed.
+    """
     config = config or SimulationConfig()
 
     # Phase 1: generate the trace through the defense's software stack.
@@ -131,7 +141,17 @@ def run_benchmark(
     # Phase 2: replay on the cycle-level core with REST hardware.
     hierarchy = _make_hierarchy(spec, config)
     core = OutOfOrderCore(hierarchy, config=core_config or config.core)
-    core_stats = core.run(trace)
+    if on_sample is None:
+        core_stats = core.run(trace)
+    else:
+        from repro.obs.sampler import DEFAULT_INTERVAL, run_sampled
+
+        core_stats, _ = run_sampled(
+            core,
+            trace,
+            interval=sample_interval or DEFAULT_INTERVAL,
+            on_sample=on_sample,
+        )
 
     return RunResult(
         benchmark=profile.name,

@@ -49,6 +49,17 @@ so degraded sweeps do not under-report cost.  Sweep-level wall time is
 the caller's.  :func:`strip_volatile` removes exactly the fields that
 vary run-to-run so determinism comparisons and regression diffs can
 ignore them.
+
+**Progress channel.**  A caller may pass ``progress_queue=`` (a
+``multiprocessing`` queue from :func:`_pool_context`) to
+:func:`execute_units`; workers then have :func:`emit_progress`
+installed, and anything the unit's target calls it with — interval
+sampler snapshots, custom milestones — is tagged with the unit id and
+streamed to the parent *while the unit runs*, not after.  This is what
+``repro sweep --live`` and the job service's ``repro watch`` render.
+With no queue installed :func:`emit_progress` is a dormant
+``is None`` check, so cache keys, results, and the hot path are
+unaffected.
 """
 
 from __future__ import annotations
@@ -61,6 +72,7 @@ import json
 import multiprocessing
 import os
 import random
+import tempfile
 import time
 import traceback
 from collections import deque
@@ -68,8 +80,6 @@ from dataclasses import dataclass, field
 from multiprocessing import connection as _mp_connection
 from pathlib import Path
 from typing import Callable, Dict, Iterable, List, Optional, Sequence
-
-from repro.harness.persistence import atomic_write_json
 
 #: Environment variable activating worker-side fault injection (see
 #: :mod:`repro.faults.inject`).  Checked once per work-unit attempt.
@@ -103,6 +113,51 @@ def strip_volatile(obj, fields: frozenset = VOLATILE_FIELDS):
     if isinstance(obj, list):
         return [strip_volatile(value, fields) for value in obj]
     return obj
+
+
+#: Worker-side progress channel (see module docstring).  Installed by
+#: the pool initializer / supervised worker entry / serial path, read
+#: by :func:`emit_progress` from inside a unit's target callable.
+_PROGRESS_QUEUE = None
+_PROGRESS_TAG: Optional[str] = None
+_PROGRESS_UID: Optional[str] = None
+
+
+def install_progress(queue, tag: Optional[str] = None) -> None:
+    """Install a progress queue in this process (worker or serial).
+
+    ``tag`` disambiguates streams when one queue serves several
+    concurrent executions whose unit ids may collide (the job service
+    tags each execution); plain sweeps leave it None and rely on unit
+    ids being unique within one engine run.
+    """
+    global _PROGRESS_QUEUE, _PROGRESS_TAG
+    _PROGRESS_QUEUE = queue
+    _PROGRESS_TAG = tag
+
+
+def emit_progress(kind: str, **fields) -> bool:
+    """Stream one progress event to the parent; returns True if sent.
+
+    Callable from any work-unit target.  With no channel installed it
+    is a no-op returning False, so live-capable units run identically
+    (and hit the same cache entries) outside a live sweep.  Events are
+    flat dicts: ``{"kind": kind, "uid": <current unit>, **fields}``
+    plus ``"tag"`` when one was installed.  Delivery is best-effort —
+    a queue torn down mid-drain must never fail the unit.
+    """
+    queue = _PROGRESS_QUEUE
+    if queue is None:
+        return False
+    event = {"kind": kind, "uid": _PROGRESS_UID}
+    if _PROGRESS_TAG is not None:
+        event["tag"] = _PROGRESS_TAG
+    event.update(fields)
+    try:
+        queue.put(event)
+    except Exception:  # noqa: BLE001 — best-effort by contract
+        return False
+    return True
 
 
 _SALT_MEMO: Optional[str] = None
@@ -188,9 +243,16 @@ class ResultCache:
     """Content-addressed on-disk store of completed work-unit values.
 
     Values must be JSON-serialisable (experiment text, metric dicts).
-    Writes are atomic (temp file + rename) so concurrent workers and
-    interrupted sweeps never leave a torn entry; a corrupt entry reads
-    as a miss.  When the requesting :class:`WorkUnit` is passed to
+    Writes are exclusive-create: the entry is serialised to an
+    ``O_EXCL`` temp file and *published* with a hard link that fails if
+    the key already holds a valid entry (first writer wins, ``races``
+    counts the losers), falling back to an atomic rename when the entry
+    on disk is invalid (healing corruption) or the filesystem lacks
+    links.  Concurrent writers of one key — two daemon workers, or a
+    daemon plus a CLI sweep — therefore can never interleave partial
+    JSON, and readers only ever see a complete entry or none.  A
+    corrupt entry reads as a miss.  When the requesting
+    :class:`WorkUnit` is passed to
     :meth:`get`, the stored ``uid``/``payload`` are cross-checked
     against it and any mismatch also reads as a miss (``mismatches``
     counts these) — returning a value recorded for a *different*
@@ -207,6 +269,7 @@ class ResultCache:
         self.misses = 0
         self.stores = 0
         self.mismatches = 0
+        self.races = 0
 
     def _path(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.json"
@@ -233,10 +296,57 @@ class ResultCache:
         self.hits += 1
         return entry
 
+    def _valid_entry(self, path: Path, unit: WorkUnit) -> bool:
+        """True if ``path`` holds a complete entry for this unit."""
+        try:
+            entry = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            return False
+        return (
+            isinstance(entry, dict)
+            and "value" in entry
+            and entry.get("uid") == unit.uid
+            and entry.get("payload") == unit.key_payload
+        )
+
     def put(self, key: str, unit: WorkUnit, value) -> Path:
+        """Exclusive-create publish of one completed value.
+
+        The entry is fully written to an ``O_EXCL`` temp file first;
+        publication is a hard link (fails iff the key already exists),
+        so a reader can never observe partial JSON no matter how many
+        writers race on the key.  A loser of the race leaves the
+        existing entry alone when it is valid (``races`` counts this)
+        and replaces it atomically when it is torn or mismatched — the
+        chaos layer's cache-corruption faults must stay healable.
+        """
         entry = {"uid": unit.uid, "payload": unit.key_payload, "value": value}
         path = self._path(key)
-        atomic_write_json(path, entry)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        handle, tmp_name = tempfile.mkstemp(
+            dir=path.parent, prefix=f".{path.name}.", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(handle, "w") as tmp:
+                tmp.write(json.dumps(entry, indent=2, sort_keys=True))
+            try:
+                os.link(tmp_name, path)
+            except FileExistsError:
+                if self._valid_entry(path, unit):
+                    self.races += 1
+                else:
+                    os.replace(tmp_name, path)
+                    tmp_name = None
+            except OSError:
+                # Filesystem without hard links: plain atomic rename.
+                os.replace(tmp_name, path)
+                tmp_name = None
+        finally:
+            if tmp_name is not None:
+                try:
+                    os.unlink(tmp_name)
+                except OSError:
+                    pass
         self.stores += 1
         return path
 
@@ -249,8 +359,10 @@ def _execute_task(task) -> UnitResult:
     fault plans can key on it).  The fault hook costs one environment
     lookup per unit when dormant.
     """
+    global _PROGRESS_UID
     uid, module_name, func_name, kwargs = task[0], task[1], task[2], task[3]
     attempt = task[4] if len(task) > 4 else 1
+    _PROGRESS_UID = uid  # stamp emit_progress events with the unit id
     wall0 = time.perf_counter()
     cpu0 = time.process_time()
     try:
@@ -307,8 +419,10 @@ def backoff_delay(
     return base * (2 ** (attempt - 1)) * (0.5 + rng.random())
 
 
-def _supervised_worker(conn, task) -> None:
+def _supervised_worker(conn, task, progress=None, tag=None) -> None:
     """Entry point of a per-attempt supervised worker process."""
+    if progress is not None:
+        install_progress(progress, tag)
     try:
         result = _execute_task(task)
         conn.send(result)
@@ -341,6 +455,7 @@ def _run_supervised(
     backoff: float,
     retry_seed: int,
     tracer,
+    progress_queue=None,
 ) -> None:
     """Resilient dispatch: one supervised process per attempt.
 
@@ -363,7 +478,9 @@ def _run_supervised(
         parent_conn, child_conn = context.Pipe(duplex=False)
         task = (unit.uid, unit.module, unit.func, unit.kwargs, attempt)
         process = context.Process(
-            target=_supervised_worker, args=(child_conn, task), daemon=True
+            target=_supervised_worker,
+            args=(child_conn, task, progress_queue),
+            daemon=True,
         )
         process.start()
         child_conn.close()
@@ -559,6 +676,7 @@ def execute_units(
     backoff: float = 0.25,
     retry_seed: int = 0,
     tracer=None,
+    progress_queue=None,
 ) -> Dict[str, UnitResult]:
     """Run every unit, in parallel when ``jobs > 1``; returns {uid: result}.
 
@@ -578,6 +696,11 @@ def execute_units(
     through the supervised path so injected crashes can never take the
     parent down.  With none of those set, dispatch is exactly the
     classic serial/pool path.
+
+    ``progress_queue`` (a queue from this engine's multiprocessing
+    context) installs the live progress channel in every worker: unit
+    targets that call :func:`emit_progress` stream uid-tagged events to
+    the parent while running.  The caller owns draining the queue.
     """
     ordered: List[WorkUnit] = list(units)
     seen = set()
@@ -640,16 +763,30 @@ def execute_units(
             backoff=backoff,
             retry_seed=retry_seed,
             tracer=tracer,
+            progress_queue=progress_queue,
         )
         return results
 
     tasks = [(u.uid, u.module, u.func, u.kwargs, 1) for u in pending]
     if jobs <= 1 or len(tasks) <= 1:
-        for task in tasks:
-            absorb(_execute_task(task))
+        previous = _PROGRESS_QUEUE
+        if progress_queue is not None:
+            install_progress(progress_queue)
+        try:
+            for task in tasks:
+                absorb(_execute_task(task))
+        finally:
+            if progress_queue is not None:
+                install_progress(previous)
     else:
         context = _pool_context()
-        with context.Pool(processes=min(jobs, len(tasks))) as pool:
+        pool_kwargs = {}
+        if progress_queue is not None:
+            pool_kwargs["initializer"] = install_progress
+            pool_kwargs["initargs"] = (progress_queue,)
+        with context.Pool(
+            processes=min(jobs, len(tasks)), **pool_kwargs
+        ) as pool:
             iterator = pool.imap_unordered(_execute_task, tasks)
             try:
                 for result in iterator:

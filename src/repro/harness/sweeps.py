@@ -52,19 +52,77 @@ class SweepResult:
         return max(self.samples) - min(self.samples)
 
 
+class SweepError(RuntimeError):
+    """A sweep cell failed; carries the structured worker error.
+
+    ``uid`` names the failed cell, ``error`` is the engine's structured
+    ``{"type", "message", "traceback"}`` record, ``attempts`` the
+    executions consumed, ``count`` how many cells failed in total.  The
+    CLI surfaces these instead of a flattened message so scripted
+    callers can tell *which* unit died and why.
+    """
+
+    def __init__(
+        self, uid: str, error: dict, attempts: int = 1, count: int = 1
+    ) -> None:
+        self.uid = uid
+        self.error = error
+        self.attempts = attempts
+        self.count = count
+        message = (
+            f"{count} sweep cell(s) failed; first: {uid}: "
+            f"{error['type']}: {error['message']}"
+        )
+        if attempts > 1:
+            message += f" (after {attempts} attempts)"
+        super().__init__(message)
+
+
+def raise_on_failed_cells(results: Dict) -> None:
+    """Raise :class:`SweepError` for the first failed unit, if any."""
+    failures = {
+        uid: result for uid, result in results.items() if not result.ok
+    }
+    if failures:
+        uid, result = next(iter(sorted(failures.items())))
+        raise SweepError(
+            uid, result.error, attempts=result.attempts, count=len(failures)
+        )
+
+
 def run_cell(
     profile: str,
     spec: DefenseSpec,
     scale: float,
     seed: int,
+    live: bool = False,
+    sample_interval: Optional[int] = None,
 ) -> Dict[str, float]:
     """Picklable work unit: one (benchmark, spec, seed) simulation.
 
     Returns only JSON-safe scalars (what the sweep statistics and the
-    result cache need), not the full RunResult.
+    result cache need), not the full RunResult.  ``live`` streams
+    interval-sampler snapshots over the engine's progress channel
+    (:func:`repro.harness.parallel.emit_progress`) while the cell runs;
+    the sampled replay is stats-identical, and ``live`` is deliberately
+    absent from the cache-key payload, so live and plain sweeps share
+    cache entries.
     """
     config = SimulationConfig(scale=scale, seed=seed)
-    result = run_benchmark(profile_by_name(profile), spec, config)
+    on_sample = None
+    if live:
+        from repro.harness.parallel import emit_progress
+
+        def on_sample(sample):
+            emit_progress("sample", **sample)
+
+    result = run_benchmark(
+        profile_by_name(profile),
+        spec,
+        config,
+        on_sample=on_sample,
+        sample_interval=sample_interval,
+    )
     return {
         "runtime": result.runtime,
         "cycles": result.cycles,
@@ -77,8 +135,15 @@ def sweep_units(
     specs: Sequence[DefenseSpec],
     seeds: Sequence[int],
     scale: float,
+    live: bool = False,
+    sample_interval: Optional[int] = None,
 ) -> List[WorkUnit]:
-    """One work unit per (benchmark, spec, seed) cell, Plain included."""
+    """One work unit per (benchmark, spec, seed) cell, Plain included.
+
+    ``live``/``sample_interval`` only change *how* a cell runs (sampled
+    replay with streaming snapshots), never what it computes, so they
+    go into ``kwargs`` but not ``key_payload``.
+    """
     all_specs = [DefenseSpec.plain()] + [
         spec for spec in specs if spec.defense != "plain"
     ]
@@ -87,17 +152,22 @@ def sweep_units(
         config = SimulationConfig(scale=scale, seed=seed)
         for spec in all_specs:
             for profile in profiles:
+                kwargs = {
+                    "profile": profile.name,
+                    "spec": spec,
+                    "scale": scale,
+                    "seed": seed,
+                }
+                if live:
+                    kwargs["live"] = True
+                    if sample_interval is not None:
+                        kwargs["sample_interval"] = sample_interval
                 units.append(
                     WorkUnit(
                         uid=f"{profile.name}/{spec.name}/{seed}",
                         module=__name__,
                         func="run_cell",
-                        kwargs={
-                            "profile": profile.name,
-                            "spec": spec,
-                            "scale": scale,
-                            "seed": seed,
-                        },
+                        kwargs=kwargs,
                         key_payload={
                             "profile": profile.name,
                             "spec": spec.key_payload(),
@@ -106,6 +176,38 @@ def sweep_units(
                     )
                 )
     return units
+
+
+def aggregate_overheads(
+    profiles: Sequence[BenchmarkProfile],
+    specs: Sequence[DefenseSpec],
+    seeds: Sequence[int],
+    values: Dict[str, Dict[str, float]],
+) -> Dict[str, SweepResult]:
+    """Fold per-cell values into per-spec overhead statistics.
+
+    ``values`` maps ``"{benchmark}/{spec}/{seed}"`` unit ids to the
+    cell dicts :func:`run_cell` returns.  Samples are merged in seed
+    order regardless of how the cells were computed — the parallel
+    engine, the job service, or a cache — so the statistics are
+    identical for every execution strategy.
+    """
+
+    def runtime(profile: BenchmarkProfile, spec_name: str, seed: int) -> float:
+        return values[f"{profile.name}/{spec_name}/{seed}"]["runtime"]
+
+    samples: Dict[str, List[float]] = {spec.name: [] for spec in specs}
+    for seed in seeds:  # seed order, not completion order: deterministic
+        plains = [runtime(p, "Plain", seed) for p in profiles]
+        for spec in specs:
+            runtimes = [runtime(p, spec.name, seed) for p in profiles]
+            samples[spec.name].append(
+                weighted_mean_overhead(runtimes, plains)
+            )
+    return {
+        name: SweepResult(spec_name=name, samples=series)
+        for name, series in samples.items()
+    }
 
 
 def seed_sweep(
@@ -120,6 +222,9 @@ def seed_sweep(
     retries: int = 0,
     backoff: float = 0.25,
     tracer=None,
+    live: bool = False,
+    sample_interval: Optional[int] = None,
+    progress_queue=None,
 ) -> Dict[str, SweepResult]:
     """Run the suite once per seed; returns overhead stats per spec.
 
@@ -128,16 +233,24 @@ def seed_sweep(
     only cells not already on disk.  ``timeout``/``retries`` activate
     the engine's resilience layer (hung-cell kill + re-dispatch, seeded
     backoff between attempts) — but a cell that still fails after its
-    retry budget aborts the sweep with the worker's structured error,
-    because sweep *statistics* over a partial grid would be silently
-    wrong (unlike ``run_all``, there is no meaningful degraded result).
+    retry budget aborts the sweep with :class:`SweepError` carrying the
+    worker's structured error, because sweep *statistics* over a
+    partial grid would be silently wrong (unlike ``run_all``, there is
+    no meaningful degraded result).
+
+    ``live=True`` runs each cell through the interval sampler and
+    streams snapshots over ``progress_queue`` while the cell executes
+    (``repro sweep --live``); results and cache keys are unaffected.
     """
     if not seeds:
         raise ValueError("need at least one seed")
     if len(set(seeds)) != len(seeds):
         raise ValueError("seeds must be unique (duplicate cells would "
                          "collapse to one cached work unit)")
-    units = sweep_units(profiles, specs, seeds, scale)
+    units = sweep_units(
+        profiles, specs, seeds, scale, live=live,
+        sample_interval=sample_interval,
+    )
     results = execute_units(
         units,
         jobs=jobs,
@@ -148,33 +261,8 @@ def seed_sweep(
         backoff=backoff,
         retry_seed=min(seeds),
         tracer=tracer,
+        progress_queue=progress_queue,
     )
-    failures = {
-        uid: result.error
-        for uid, result in results.items()
-        if not result.ok
-    }
-    if failures:
-        uid, error = next(iter(sorted(failures.items())))
-        attempts = results[uid].attempts
-        raise RuntimeError(
-            f"{len(failures)} sweep cell(s) failed; first: {uid}: "
-            f"{error['type']}: {error['message']}"
-            + (f" (after {attempts} attempts)" if attempts > 1 else "")
-        )
-
-    def runtime(profile: BenchmarkProfile, spec_name: str, seed: int) -> float:
-        return results[f"{profile.name}/{spec_name}/{seed}"].value["runtime"]
-
-    samples: Dict[str, List[float]] = {spec.name: [] for spec in specs}
-    for seed in seeds:  # seed order, not completion order: deterministic
-        plains = [runtime(p, "Plain", seed) for p in profiles]
-        for spec in specs:
-            runtimes = [runtime(p, spec.name, seed) for p in profiles]
-            samples[spec.name].append(
-                weighted_mean_overhead(runtimes, plains)
-            )
-    return {
-        name: SweepResult(spec_name=name, samples=values)
-        for name, values in samples.items()
-    }
+    raise_on_failed_cells(results)
+    values = {uid: result.value for uid, result in results.items()}
+    return aggregate_overheads(profiles, specs, seeds, values)

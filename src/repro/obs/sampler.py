@@ -20,7 +20,7 @@ Samples are flat dicts serialisable with the tracer's JSONL helpers.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 #: Default sampling interval in cycles.
 DEFAULT_INTERVAL = 2000
@@ -31,12 +31,20 @@ def run_sampled(
     uops,
     interval: int = DEFAULT_INTERVAL,
     max_cycles: Optional[int] = None,
+    on_sample: Optional[Callable[[Dict], None]] = None,
 ) -> Tuple[object, List[Dict]]:
     """Run ``uops`` on ``core`` sampling every ``interval`` cycles.
 
     Returns ``(core.stats, samples)``.  The run uses the same
     event-driven fast-forward as :meth:`OutOfOrderCore.run`, so it is
     as fast as a normal run and produces identical statistics.
+
+    ``on_sample`` is called with each sample *as it is taken* — this is
+    the live-streaming hook (`repro sweep --live`, the job service's
+    ``repro watch``): forwarding the snapshot mid-run is what turns the
+    time series from a post-hoc artifact into live telemetry.  The
+    callback only observes the already-built dict, so it cannot perturb
+    simulation state or statistics.
     """
     if interval <= 0:
         raise ValueError("sampling interval must be positive")
@@ -97,6 +105,8 @@ def run_sampled(
                 "token_ops": current[6] - last[6],
             }
         )
+        if on_sample is not None:
+            on_sample(samples[-1])
         last = current
         last_cycle = cycle
         next_boundary = (cycle // interval + 1) * interval

@@ -1,0 +1,38 @@
+"""Simulation job service: daemon, scheduler, protocol, client.
+
+See INTERNALS.md §10 for the architecture.  Quick tour:
+
+* :mod:`repro.service.protocol` — versioned JSON-lines wire format.
+* :mod:`repro.service.jobs` — job kinds (``run_all``, ``sweep``) and
+  their decomposition into engine work units.
+* :mod:`repro.service.pool` — supervised worker processes under
+  asyncio (timeout / retry / quarantine / drain-abort).
+* :mod:`repro.service.scheduler` — priority classes, FIFO fairness,
+  admission control, single-flight dedup, drain persistence.
+* :mod:`repro.service.daemon` — the ``repro serve`` process.
+* :mod:`repro.service.client` — blocking client used by the CLI verbs
+  (``submit``, ``status``, ``watch``, ``jobs``, ``shutdown``).
+"""
+
+from repro.service.client import ServiceClient, ServiceError, wait_for_daemon
+from repro.service.daemon import Daemon, ServiceConfig, serve
+from repro.service.jobs import JOB_KINDS, PRIORITIES, Job, JobParamsError
+from repro.service.protocol import PROTOCOL_VERSION, ProtocolError
+from repro.service.scheduler import AdmissionError, Scheduler
+
+__all__ = [
+    "AdmissionError",
+    "Daemon",
+    "JOB_KINDS",
+    "Job",
+    "JobParamsError",
+    "PRIORITIES",
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "Scheduler",
+    "ServiceClient",
+    "ServiceConfig",
+    "ServiceError",
+    "serve",
+    "wait_for_daemon",
+]

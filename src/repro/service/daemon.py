@@ -1,0 +1,394 @@
+"""The simulation job daemon: asyncio server + worker pool + scheduler.
+
+``repro serve --state-dir DIR`` runs one daemon per state directory.
+It listens on a Unix socket (``DIR/daemon.sock``; optionally also TCP
+via ``--tcp HOST:PORT``), speaks the JSON-lines protocol of
+:mod:`repro.service.protocol`, and owns:
+
+* a :class:`~repro.service.scheduler.Scheduler` (job table, priority
+  queue, single-flight dedup, admission control),
+* a :class:`~repro.service.pool.UnitExecutor` (supervised worker
+  processes with the engine's timeout/retry/quarantine policy),
+* the shared :class:`~repro.harness.parallel.ResultCache` under
+  ``DIR/cache`` — the same content-addressed store CLI sweeps use, so
+  daemon and CLI runs feed each other,
+* a progress bridge: one ``multiprocessing`` queue drained by a
+  thread, each event hopped onto the event loop with
+  ``call_soon_threadsafe`` and routed to the owning execution's
+  watchers (this is what makes ``repro watch`` live rather than
+  post-hoc).
+
+Failure domains are deliberately nested: a malformed frame kills one
+*connection*; a crashed simulation kills one *attempt*; a failed unit
+fails one *job*; only SIGTERM/SIGINT touch the daemon itself, and then
+via graceful drain — stop admitting, give in-flight attempts a grace
+period, persist still-open jobs to ``queue.json``, exit.  A restarted
+daemon restores that queue and re-runs only what the cache does not
+already hold.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import queue as _queue_mod
+import signal
+import threading
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional, Tuple
+
+from repro.harness.parallel import ResultCache
+from repro.service import protocol
+from repro.service.scheduler import AdmissionError, Scheduler
+from repro.service.pool import UnitExecutor
+
+#: Socket filename inside the state directory.
+SOCKET_NAME = "daemon.sock"
+
+
+@dataclass
+class ServiceConfig:
+    """Everything one daemon instance needs to run."""
+
+    state_dir: str
+    socket_path: Optional[str] = None  # default: <state_dir>/daemon.sock
+    tcp: Optional[Tuple[str, int]] = None
+    slots: int = 2  # concurrent simulations
+    max_jobs: int = 8  # open-job admission limit
+    timeout: Optional[float] = None  # per-unit wall-clock kill
+    retries: int = 0
+    backoff: float = 0.25
+    drain_grace: float = 10.0  # seconds in-flight work gets on SIGTERM
+    salt: Optional[str] = None  # cache salt override (tests)
+
+    def resolved_socket(self) -> Path:
+        if self.socket_path is not None:
+            return Path(self.socket_path)
+        return Path(self.state_dir) / SOCKET_NAME
+
+
+class Daemon:
+    def __init__(self, config: ServiceConfig) -> None:
+        self.config = config
+        self.state_dir = Path(config.state_dir)
+        self.state_dir.mkdir(parents=True, exist_ok=True)
+        self.cache = ResultCache(self.state_dir / "cache")
+        self.executor = UnitExecutor(
+            timeout=config.timeout,
+            retries=config.retries,
+            backoff=config.backoff,
+        )
+        self.progress_queue = self.executor.make_queue()
+        self.executor.progress_queue = self.progress_queue
+        self.scheduler = Scheduler(
+            self.executor,
+            self.cache,
+            slots=config.slots,
+            max_jobs=config.max_jobs,
+            salt=config.salt,
+            jobs_dir=self.state_dir / "jobs",
+        )
+        self.started = time.time()
+        self._stop = asyncio.Event()
+        self._progress_thread: Optional[threading.Thread] = None
+        self._log_path = self.state_dir / "daemon.log"
+        self._server = None
+        self._tcp_server = None
+
+    # ---------------------------------------------------------------- log
+
+    def log(self, message: str) -> None:
+        stamp = time.strftime("%Y-%m-%d %H:%M:%S")
+        with self._log_path.open("a") as handle:
+            handle.write(f"{stamp} {message}\n")
+
+    # ------------------------------------------------------ progress pump
+
+    def _drain_progress(self, loop: asyncio.AbstractEventLoop) -> None:
+        """Thread target: hop worker progress events onto the loop."""
+        while True:
+            try:
+                event = self.progress_queue.get(timeout=0.2)
+            except (_queue_mod.Empty, OSError):
+                if self._stop.is_set():
+                    return
+                continue
+            if event is None:  # shutdown sentinel
+                return
+            try:
+                loop.call_soon_threadsafe(self.scheduler.on_progress, event)
+            except RuntimeError:  # loop already closed
+                return
+
+    # ------------------------------------------------------- connections
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (
+                    asyncio.LimitOverrunError,
+                    ValueError,
+                ):  # line exceeded the stream limit
+                    writer.write(
+                        protocol.encode_frame(
+                            protocol.error_frame(
+                                "bad_frame", "frame exceeds size limit"
+                            )
+                        )
+                    )
+                    await writer.drain()
+                    return
+                if not line:
+                    return  # client closed
+                if not line.strip():
+                    continue
+                try:
+                    frame = protocol.decode_frame(line)
+                    rtype = protocol.check_request(frame)
+                except protocol.ProtocolError as error:
+                    # Poison only this connection: report and hang up.
+                    writer.write(protocol.encode_frame(error.frame()))
+                    await writer.drain()
+                    return
+                try:
+                    done = await self._dispatch(rtype, frame, writer)
+                except (ConnectionResetError, BrokenPipeError):
+                    raise
+                except Exception as error:  # noqa: BLE001 — daemon survives
+                    self.log(
+                        f"internal error handling {rtype}: "
+                        f"{type(error).__name__}: {error}"
+                    )
+                    writer.write(
+                        protocol.encode_frame(
+                            protocol.error_frame(
+                                "internal",
+                                f"{type(error).__name__}: {error}",
+                            )
+                        )
+                    )
+                    await writer.drain()
+                    return
+                if done:
+                    return
+        except (ConnectionResetError, BrokenPipeError, OSError):
+            # Mid-stream disconnect: this connection only; jobs and all
+            # other clients are unaffected.
+            pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                pass
+
+    async def _dispatch(
+        self, rtype: str, frame: dict, writer: asyncio.StreamWriter
+    ) -> bool:
+        """Handle one request; returns True when the connection is done."""
+
+        def send(payload: dict) -> None:
+            writer.write(protocol.encode_frame(payload))
+
+        if rtype == "ping":
+            send(
+                {
+                    "type": "pong",
+                    "v": protocol.PROTOCOL_VERSION,
+                    "pid": os.getpid(),
+                    "uptime": round(time.time() - self.started, 3),
+                    "stats": self.scheduler.stats(),
+                }
+            )
+            await writer.drain()
+            return False
+        if rtype == "submit":
+            kind = frame.get("kind")
+            params = frame.get("params") or {}
+            if not isinstance(kind, str) or not isinstance(params, dict):
+                send(
+                    protocol.error_frame(
+                        "bad_params", "submit needs kind:str and params:dict"
+                    )
+                )
+                await writer.drain()
+                return False
+            try:
+                job = self.scheduler.submit(
+                    kind, params, priority=frame.get("priority", "normal")
+                )
+            except AdmissionError as error:
+                self.log(f"reject {kind}: {error.code}: {error}")
+                send(protocol.error_frame(error.code, str(error)))
+                await writer.drain()
+                return False
+            self.log(
+                f"submit {job.id} kind={kind} units={len(job.units)} "
+                f"priority={job.priority} dedup={job.dedup_hits}"
+            )
+            send({"type": "submitted", "job": job.to_wire()})
+            await writer.drain()
+            return False
+        if rtype == "status":
+            job = self.scheduler.jobs.get(frame.get("job"))
+            if job is None:
+                send(
+                    protocol.error_frame(
+                        "unknown_job", f"no job {frame.get('job')!r}"
+                    )
+                )
+            else:
+                send({"type": "status", "job": job.to_wire(include_result=True)})
+            await writer.drain()
+            return False
+        if rtype == "jobs":
+            listing = [
+                job.to_wire()
+                for job in sorted(
+                    self.scheduler.jobs.values(), key=lambda j: j.seq
+                )
+            ]
+            send({"type": "jobs", "jobs": listing})
+            await writer.drain()
+            return False
+        if rtype == "watch":
+            return await self._watch(frame, writer)
+        if rtype == "shutdown":
+            send({"type": "ok", "draining": True})
+            await writer.drain()
+            self.log("shutdown requested over protocol")
+            self.request_stop()
+            return True
+        return True  # unreachable: check_request vetted rtype
+
+    async def _watch(self, frame: dict, writer: asyncio.StreamWriter) -> bool:
+        job = self.scheduler.jobs.get(frame.get("job"))
+        if job is None:
+            writer.write(
+                protocol.encode_frame(
+                    protocol.error_frame(
+                        "unknown_job", f"no job {frame.get('job')!r}"
+                    )
+                )
+            )
+            await writer.drain()
+            return False
+        live: asyncio.Queue = asyncio.Queue()
+        job.watchers.add(live)
+        last_seq = 0
+        try:
+            # Replay first (subscribing *before* the snapshot + seq dedup
+            # makes the handoff gapless), then stream until done.
+            for event in list(job.events):
+                writer.write(protocol.encode_frame(event))
+                last_seq = event["seq"]
+            await writer.drain()
+            while not (job.done_event.is_set() and live.empty()):
+                try:
+                    event = await asyncio.wait_for(live.get(), timeout=0.2)
+                except asyncio.TimeoutError:
+                    continue
+                if event["seq"] <= last_seq:
+                    continue
+                last_seq = event["seq"]
+                writer.write(protocol.encode_frame(event))
+                await writer.drain()
+        finally:
+            job.watchers.discard(live)
+        writer.write(
+            protocol.encode_frame(
+                {"type": "done", "job": job.id, "state": job.state}
+            )
+        )
+        await writer.drain()
+        return False  # connection may issue further requests
+
+    # -------------------------------------------------------- run / stop
+
+    def request_stop(self) -> None:
+        """Begin a graceful drain.  Must be called on the event loop;
+        foreign threads go through :meth:`stop_threadsafe`."""
+        self._stop.set()
+
+    def stop_threadsafe(self) -> None:
+        loop = getattr(self, "loop", None)
+        if loop is not None and not loop.is_closed():
+            loop.call_soon_threadsafe(self.request_stop)
+
+    async def run(self) -> None:
+        loop = asyncio.get_running_loop()
+        self.loop = loop
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(signum, self.request_stop)
+            except (ValueError, NotImplementedError, RuntimeError):
+                pass  # not the main thread (tests) or unsupported
+
+        socket_path = self.config.resolved_socket()
+        socket_path.parent.mkdir(parents=True, exist_ok=True)
+        if socket_path.exists():
+            socket_path.unlink()  # stale socket from a killed daemon
+        limit = protocol.MAX_FRAME_BYTES + 1024
+        self._server = await asyncio.start_unix_server(
+            self._handle_connection, path=str(socket_path), limit=limit
+        )
+        if self.config.tcp is not None:
+            host, port = self.config.tcp
+            self._tcp_server = await asyncio.start_server(
+                self._handle_connection, host=host, port=port, limit=limit
+            )
+
+        self._progress_thread = threading.Thread(
+            target=self._drain_progress, args=(loop,), daemon=True
+        )
+        self._progress_thread.start()
+
+        restored = self.scheduler.restore(self.state_dir)
+        if restored:
+            self.log(f"restored {restored} persisted job(s) from queue.json")
+        self.log(
+            f"listening on {socket_path} "
+            f"(slots={self.config.slots}, max_jobs={self.config.max_jobs})"
+        )
+
+        try:
+            await self._stop.wait()
+        finally:
+            await self._shutdown(socket_path)
+
+    async def _shutdown(self, socket_path: Path) -> None:
+        self.log(f"draining (grace={self.config.drain_grace}s)")
+        for server in (self._server, self._tcp_server):
+            if server is not None:
+                server.close()
+        await self.scheduler.drain(self.config.drain_grace)
+        persisted = self.scheduler.persist(self.state_dir)
+        self.log(f"drained; persisted {persisted} open job(s)")
+        try:
+            self.progress_queue.put(None)  # unblock the pump thread
+        except Exception:  # noqa: BLE001
+            pass
+        if self._progress_thread is not None:
+            self._progress_thread.join(timeout=2.0)
+        for server in (self._server, self._tcp_server):
+            if server is not None:
+                try:
+                    await server.wait_closed()
+                except Exception:  # noqa: BLE001
+                    pass
+        try:
+            socket_path.unlink()
+        except OSError:
+            pass
+
+
+def serve(config: ServiceConfig) -> None:
+    """Blocking entry point: run one daemon until it drains."""
+    daemon = Daemon(config)
+    asyncio.run(daemon.run())

@@ -1,0 +1,132 @@
+"""Versioned JSON-lines wire protocol of the simulation job service.
+
+One **frame** is one JSON object serialised on a single line and
+terminated by ``\\n`` — trivially parseable from any language, easy to
+log, and self-delimiting, so a truncated or interleaved frame is
+detectable instead of silently corrupting the stream.  Every *request*
+frame carries ``"v": PROTOCOL_VERSION``; the daemon refuses mismatched
+versions with a structured error rather than guessing, because a
+half-understood scheduler command is worse than none.
+
+Request types (client → daemon)::
+
+    {"v": 1, "type": "ping"}
+    {"v": 1, "type": "submit", "kind": "sweep", "params": {...},
+     "priority": "normal"}
+    {"v": 1, "type": "status", "job": "j0001"}
+    {"v": 1, "type": "jobs"}
+    {"v": 1, "type": "watch", "job": "j0001"}
+    {"v": 1, "type": "shutdown"}
+
+Response types (daemon → client): ``pong``, ``submitted``, ``status``,
+``jobs``, ``ok``, and for ``watch`` a stream of ``event`` frames closed
+by exactly one ``done`` frame.  Any failure is an ``error`` frame::
+
+    {"type": "error", "code": "queue_full", "message": "..."}
+
+Error codes are part of the contract: ``bad_frame`` (unparseable or
+oversized line), ``version_mismatch``, ``unknown_type``,
+``unknown_job``, ``bad_params``, ``queue_full`` (admission control:
+the daemon *rejects* rather than queues unboundedly), and ``draining``
+(daemon is shutting down; resubmit after restart).  A protocol error
+poisons only its own connection — the daemon drops that client and
+keeps every job and every other connection running.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Tuple
+
+#: Bump on any incompatible frame change.  The daemon and client must
+#: agree exactly; there is no negotiation.
+PROTOCOL_VERSION = 1
+
+#: Upper bound on one frame's wire size.  A line that exceeds it is a
+#: protocol violation (``bad_frame``), not a request to buffer forever.
+MAX_FRAME_BYTES = 1 << 20
+
+#: Request types the daemon understands.
+REQUEST_TYPES = ("ping", "submit", "status", "jobs", "watch", "shutdown")
+
+
+class ProtocolError(Exception):
+    """A malformed or unacceptable frame; carries the error code."""
+
+    def __init__(self, code: str, message: str) -> None:
+        self.code = code
+        super().__init__(message)
+
+    def frame(self) -> Dict:
+        return error_frame(self.code, str(self))
+
+
+def error_frame(code: str, message: str, **extra) -> Dict:
+    frame = {"type": "error", "code": code, "message": message}
+    frame.update(extra)
+    return frame
+
+
+def request(rtype: str, **fields) -> Dict:
+    """Build a client request frame (stamps the protocol version)."""
+    frame = {"v": PROTOCOL_VERSION, "type": rtype}
+    frame.update(fields)
+    return frame
+
+
+def encode_frame(frame: Dict) -> bytes:
+    """Serialise one frame to its wire form (single line + newline)."""
+    return json.dumps(frame, sort_keys=True).encode("utf-8") + b"\n"
+
+
+def decode_frame(line: bytes) -> Dict:
+    """Parse one wire line into a frame dict.
+
+    Raises :class:`ProtocolError` (code ``bad_frame``) for anything
+    that is not a single JSON object: invalid JSON, a bare scalar or
+    list, or an oversized line.
+    """
+    if len(line) > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            "bad_frame", f"frame exceeds {MAX_FRAME_BYTES} bytes"
+        )
+    try:
+        frame = json.loads(line.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise ProtocolError("bad_frame", f"unparseable frame: {error}")
+    if not isinstance(frame, dict):
+        raise ProtocolError(
+            "bad_frame", f"frame must be a JSON object, got {type(frame).__name__}"
+        )
+    return frame
+
+
+def check_request(frame: Dict) -> str:
+    """Validate a request frame; returns its type.
+
+    Raises :class:`ProtocolError` with ``version_mismatch`` for a wrong
+    or missing ``v`` and ``unknown_type`` for an unrecognised type.
+    """
+    version = frame.get("v")
+    if version != PROTOCOL_VERSION:
+        raise ProtocolError(
+            "version_mismatch",
+            f"protocol version {version!r} unsupported "
+            f"(daemon speaks {PROTOCOL_VERSION})",
+        )
+    rtype = frame.get("type")
+    if rtype not in REQUEST_TYPES:
+        raise ProtocolError(
+            "unknown_type",
+            f"unknown request type {rtype!r}; "
+            f"known: {', '.join(REQUEST_TYPES)}",
+        )
+    return rtype
+
+
+def parse_tcp(text: str) -> Tuple[str, int]:
+    """Parse a ``HOST:PORT`` endpoint string (CLI ``--tcp`` flag)."""
+    host, sep, port = text.rpartition(":")
+    if not sep or not host:
+        raise ValueError(f"{text!r} is not HOST:PORT")
+    return host, int(port)

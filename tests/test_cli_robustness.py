@@ -191,3 +191,47 @@ class TestArgumentValidation:
         )
         assert code == 2
         assert "cannot read baseline" in out
+
+
+class TestSweepCli:
+    """`repro sweep` exit discipline and live progress streaming."""
+
+    ARGS = ["sweep", "--seeds", "1", "--benchmarks", "bzip2",
+            "--scale", "0.02"]
+
+    def test_live_streams_sampler_lines(self):
+        code, out = run_cli(self.ARGS + ["--live"])
+        assert code == 0
+        # At least one in-flight sampler snapshot was rendered, tagged
+        # with the cell id, before the summary table.
+        assert "live bzip2/" in out
+        live_at = out.index("live bzip2/")
+        assert "ipc" in out[live_at:]
+        assert out.index("config") > live_at
+
+    def test_failed_cell_exits_nonzero_with_structured_error(
+        self, tmp_path, monkeypatch
+    ):
+        from repro.faults.plan import ALWAYS, FaultPlan, FaultSpec
+
+        uid = "bzip2/Secure Heap/1"
+        plan = FaultPlan(seed=1)
+        plan.faults[uid] = FaultSpec(kind="crash", fail_attempts=ALWAYS)
+        monkeypatch.setenv(
+            "REPRO_FAULT_PLAN", str(plan.write(tmp_path / "plan.json"))
+        )
+        code, out = run_cli(self.ARGS)
+        assert code == 1
+        # The message names the failed cell and the worker error type so
+        # scripts can tell a failed simulation from a bad invocation.
+        assert f"sweep failed: {uid}: WorkerCrash" in out
+        assert "attempt" in out
+
+    def test_duplicate_seeds_are_usage_error(self):
+        code, out = run_cli(
+            ["sweep", "--seeds", "1", "1", "--benchmarks", "bzip2",
+             "--scale", "0.02"]
+        )
+        assert code == 2
+        assert "sweep failed:" in out
+        assert "unique" in out

@@ -1,0 +1,233 @@
+"""Wire-protocol robustness: malformed frames, version skew, disconnects.
+
+The failure-domain contract under test: a protocol violation poisons
+exactly one connection.  The daemon answers with a structured error
+frame, hangs up on that client, and keeps every job and every other
+connection running.  Raw sockets (not :class:`ServiceClient`) are used
+deliberately — the point is sending what a well-behaved client never
+would.
+"""
+
+import asyncio
+import json
+import shutil
+import socket
+import tempfile
+import threading
+from contextlib import contextmanager
+from pathlib import Path
+
+import pytest
+
+from repro.service import ServiceClient, wait_for_daemon
+from repro.service.daemon import Daemon, ServiceConfig
+from repro.service.protocol import (
+    MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+    ProtocolError,
+    check_request,
+    decode_frame,
+    encode_frame,
+    error_frame,
+    parse_tcp,
+    request,
+)
+
+
+@pytest.fixture(autouse=True)
+def _fixed_salt(monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_SALT", "test-salt")
+
+
+class TestFrameCodec:
+    def test_roundtrip(self):
+        frame = request("submit", kind="sweep", params={"seeds": [1]})
+        assert decode_frame(encode_frame(frame).rstrip(b"\n")) == frame
+        assert frame["v"] == PROTOCOL_VERSION
+
+    @pytest.mark.parametrize(
+        "line",
+        [
+            b"not json at all",
+            b'{"truncated": ',
+            b'"a bare string"',
+            b"[1, 2, 3]",
+            b"42",
+            b"\xff\xfe garbage bytes",
+        ],
+    )
+    def test_malformed_lines_are_bad_frame(self, line):
+        with pytest.raises(ProtocolError) as excinfo:
+            decode_frame(line)
+        assert excinfo.value.code == "bad_frame"
+
+    def test_oversized_frame_rejected(self):
+        huge = b'{"pad": "' + b"a" * MAX_FRAME_BYTES + b'"}'
+        with pytest.raises(ProtocolError) as excinfo:
+            decode_frame(huge)
+        assert excinfo.value.code == "bad_frame"
+
+    def test_version_mismatch(self):
+        for bad in ({"type": "ping"}, {"v": 99, "type": "ping"},
+                    {"v": "1", "type": "ping"}):
+            with pytest.raises(ProtocolError) as excinfo:
+                check_request(bad)
+            assert excinfo.value.code == "version_mismatch"
+
+    def test_unknown_type(self):
+        with pytest.raises(ProtocolError) as excinfo:
+            check_request({"v": PROTOCOL_VERSION, "type": "frobnicate"})
+        assert excinfo.value.code == "unknown_type"
+
+    def test_error_frame_shape(self):
+        frame = error_frame("queue_full", "busy", job="j0001")
+        assert frame == {
+            "type": "error", "code": "queue_full",
+            "message": "busy", "job": "j0001",
+        }
+
+    def test_parse_tcp(self):
+        assert parse_tcp("127.0.0.1:9999") == ("127.0.0.1", 9999)
+        with pytest.raises(ValueError):
+            parse_tcp("no-port")
+        with pytest.raises(ValueError):
+            parse_tcp("host:notanumber")
+
+
+@contextmanager
+def running_daemon(**overrides):
+    state_dir = tempfile.mkdtemp(prefix="svcp", dir="/tmp")
+    config = ServiceConfig(state_dir=state_dir, **overrides)
+    daemon = Daemon(config)
+    thread = threading.Thread(
+        target=lambda: asyncio.run(daemon.run()), daemon=True
+    )
+    thread.start()
+    socket_path = str(config.resolved_socket())
+    wait_for_daemon(socket_path=socket_path)
+    try:
+        yield daemon, socket_path
+    finally:
+        daemon.stop_threadsafe()
+        thread.join(timeout=60)
+        assert not thread.is_alive(), "daemon failed to drain"
+        shutil.rmtree(state_dir, ignore_errors=True)
+
+
+def raw_exchange(socket_path, payload: bytes):
+    """Send raw bytes, return every line the daemon answers with."""
+    sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    sock.settimeout(10.0)
+    sock.connect(socket_path)
+    try:
+        sock.sendall(payload)
+        sock.shutdown(socket.SHUT_WR)  # we are done talking; EOF the daemon
+        reader = sock.makefile("rb")
+        return [json.loads(line) for line in reader]
+    finally:
+        sock.close()
+
+
+class TestDaemonProtocolRobustness:
+    def test_garbage_line_errors_and_closes_connection(self):
+        with running_daemon() as (daemon, socket_path):
+            replies = raw_exchange(socket_path, b"utter garbage\n")
+            assert len(replies) == 1
+            assert replies[0]["code"] == "bad_frame"
+            # The daemon still serves a fresh, well-behaved connection.
+            with ServiceClient(socket_path=socket_path) as client:
+                assert client.ping()["type"] == "pong"
+
+    def test_version_mismatch_over_the_wire(self):
+        with running_daemon() as (daemon, socket_path):
+            replies = raw_exchange(
+                socket_path, b'{"v": 99, "type": "ping"}\n'
+            )
+            assert replies[0]["code"] == "version_mismatch"
+
+    def test_unknown_type_over_the_wire(self):
+        with running_daemon() as (daemon, socket_path):
+            replies = raw_exchange(
+                socket_path,
+                encode_frame({"v": PROTOCOL_VERSION, "type": "mystery"}),
+            )
+            assert replies[0]["code"] == "unknown_type"
+
+    def test_truncated_frame_then_eof_is_harmless(self):
+        with running_daemon() as (daemon, socket_path):
+            # Half a frame, no newline, then hang up mid-frame.  asyncio's
+            # readline hands the daemon the partial bytes at EOF, so the
+            # daemon reports them as one bad frame rather than crashing.
+            replies = raw_exchange(socket_path, b'{"v": 1, "type": "pi')
+            assert replies == [] or replies[0]["code"] == "bad_frame"
+            with ServiceClient(socket_path=socket_path) as client:
+                assert client.ping()["type"] == "pong"
+
+    def test_oversized_line_is_bad_frame(self):
+        with running_daemon() as (daemon, socket_path):
+            blob = b'{"v": 1, "pad": "' + b"a" * (MAX_FRAME_BYTES + 4096)
+            replies = raw_exchange(socket_path, blob + b'"}\n')
+            assert replies[0]["code"] == "bad_frame"
+            with ServiceClient(socket_path=socket_path) as client:
+                assert client.ping()["type"] == "pong"
+
+    def test_midstream_watch_disconnect_poisons_only_that_client(self):
+        """A watcher that vanishes mid-stream must not take the job or
+        other connections with it."""
+        with running_daemon(slots=2) as (daemon, socket_path):
+            with ServiceClient(socket_path=socket_path) as client:
+                job = client.submit(
+                    "sweep",
+                    {
+                        "benchmarks": ["bzip2"],
+                        "specs": ["Secure Heap"],
+                        "seeds": [1],
+                        "scale": 0.05,
+                        "sample_interval": 500,
+                    },
+                )
+                # Watcher connects, reads one frame, then disappears.
+                rude = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+                rude.settimeout(10.0)
+                rude.connect(socket_path)
+                rude.sendall(encode_frame(request("watch", job=job["id"])))
+                assert rude.recv(4096)  # at least the replayed queue event
+                rude.close()
+
+                final = client.wait(job["id"])
+                assert final["state"] == "done"
+                # A later watcher still gets the full (replayed) stream.
+                events = list(client.watch(job["id"]))
+                kinds = {event.get("kind") for event in events}
+                assert "job.done" in kinds
+                assert events[-1]["type"] == "done"
+
+    def test_unknown_job_is_structured_not_fatal(self):
+        with running_daemon() as (daemon, socket_path):
+            replies = raw_exchange(
+                socket_path, encode_frame(request("status", job="j9999"))
+            )
+            assert replies[0]["code"] == "unknown_job"
+            replies = raw_exchange(
+                socket_path, encode_frame(request("watch", job="j9999"))
+            )
+            assert replies[0]["code"] == "unknown_job"
+
+    def test_submit_with_wrong_field_types_is_bad_params(self):
+        with running_daemon() as (daemon, socket_path):
+            frame = request("submit", kind=42, params=[])
+            replies = raw_exchange(socket_path, encode_frame(frame))
+            assert replies[0]["code"] == "bad_params"
+            frame = request(
+                "submit", kind="sweep", params={"seeds": "not-a-list"}
+            )
+            replies = raw_exchange(socket_path, encode_frame(frame))
+            assert replies[0]["code"] == "bad_params"
+
+    def test_tcp_endpoint_speaks_the_same_protocol(self):
+        with running_daemon(tcp=("127.0.0.1", 0)) as (daemon, socket_path):
+            port = daemon._tcp_server.sockets[0].getsockname()[1]
+            with ServiceClient(tcp=("127.0.0.1", port)) as client:
+                pong = client.ping()
+            assert pong["type"] == "pong"
+            assert pong["v"] == PROTOCOL_VERSION
