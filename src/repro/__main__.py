@@ -31,6 +31,11 @@ Commands
     baseline for every non-quarantined unit.
 ``attack <name|all> [--defense plain|asan|rest|rest-heap]``
     Run attack scenarios and print the outcome.
+``foundry [--seed S] [--cases N] [--jobs N] [--defenses ...] ...``
+    Generate a seeded adversarial corpus, execute it across defense
+    modes through the parallel engine, and score a detection-coverage
+    matrix; ``--golden``/``--strict`` gate CI on matrix drift and
+    oracle mispredictions.
 ``bench [--quick] [--out FILE] [--baseline FILE]``
     Measure simulator trace-replay throughput per defense mode and
     optionally gate against a committed baseline (CI smoke job).
@@ -91,7 +96,11 @@ EXPERIMENTS = (
     "intext",
     "memoverhead",
     "security",
+    "attackmatrix",
 )
+
+#: Defense axes of the foundry (canonical registry names).
+FOUNDRY_DEFENSES = ("none", "asan", "rest", "rest-heap", "softrest")
 
 
 def _cmd_experiments(args: argparse.Namespace) -> int:
@@ -227,31 +236,95 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
 
 def _cmd_attack(args: argparse.Namespace) -> int:
-    from repro.defenses import AsanDefense, PlainDefense, RestDefense
-    from repro.defenses.diagnosis import explain_fault
-    from repro.runtime import Machine
-    from repro.workloads import ATTACK_REGISTRY, run_attack
+    from repro.defenses import make_defense
+    from repro.workloads import ATTACK_REGISTRY, UnknownAttackError, run_attack
 
-    factories = {
-        "plain": lambda: PlainDefense(Machine()),
-        "asan": lambda: AsanDefense(Machine()),
-        "rest": lambda: RestDefense(Machine(), protect_stack=True),
-        "rest-heap": lambda: RestDefense(Machine(), protect_stack=False),
-    }
-    factory = factories[args.defense]
     names = sorted(ATTACK_REGISTRY) if args.name == "all" else [args.name]
     for name in names:
-        if name not in ATTACK_REGISTRY:
-            print(f"unknown attack {name!r}; known: "
-                  f"{', '.join(sorted(ATTACK_REGISTRY))}")
+        defense = make_defense(args.defense)
+        try:
+            result = run_attack(name, defense)
+        except UnknownAttackError as error:
+            print(str(error))
             return 2
-        defense = factory()
-        result = run_attack(name, defense)
         print(f"{name:28s} [{args.defense:9s}] -> {result.outcome.value}"
               + (f" ({result.detected_by})" if result.detected_by else ""))
         if args.verbose and result.detail:
             print(f"    {result.detail}")
     return 0
+
+
+def _cmd_foundry(args: argparse.Namespace) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.foundry.matrix import matrix_to_json, render_matrix_text
+    from repro.foundry.primitives import FAMILIES, OracleViolation
+    from repro.foundry.runner import FoundryExecutionError, run_foundry
+    from repro.harness.parallel import ResultCache
+
+    for family in args.families or ():
+        if family not in FAMILIES:
+            print(f"unknown family {family!r}; known: {', '.join(FAMILIES)}")
+            return 2
+    cache = ResultCache(args.cache) if args.cache else None
+    try:
+        matrix = run_foundry(
+            args.seed,
+            args.cases,
+            defenses=args.defenses or None,
+            families=args.families or None,
+            jobs=args.jobs,
+            cache=cache,
+            timeout=args.timeout,
+            retries=args.retries,
+        )
+    except OracleViolation as error:
+        print(f"foundry failed: oracle violation in case {error.case_id}: "
+              f"{error}")
+        return 1
+    except FoundryExecutionError as error:
+        print(f"foundry failed: {error}")
+        return 1
+    if args.out:
+        out = Path(args.out)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(matrix_to_json(matrix))
+        print(f"wrote {out}")
+    print(render_matrix_text(matrix))
+    status = 0
+    if args.golden:
+        try:
+            golden = json.loads(Path(args.golden).read_text())
+        except (OSError, json.JSONDecodeError) as error:
+            print(f"cannot read golden {args.golden}: {error}")
+            return 2
+        if matrix != golden:
+            print(f"GOLDEN MISMATCH vs {args.golden}:")
+            for key in sorted(set(matrix) | set(golden)):
+                if matrix.get(key) != golden.get(key):
+                    print(f"  field {key!r} differs")
+            status = 1
+        else:
+            print(f"matrix matches golden {args.golden}")
+    if args.strict:
+        if matrix["mispredictions"]:
+            first = matrix["mispredictions"][0]
+            print(
+                f"STRICT: {len(matrix['mispredictions'])} oracle "
+                f"misprediction(s); first: {first['case_id']} "
+                f"[{first['defense']}] expected {first['expected']}, "
+                f"got {first['actual']}"
+            )
+            status = 1
+        missed = matrix["asan_expected_detect_missed"]
+        if missed:
+            print(
+                f"STRICT: {len(missed)} sound-oracle case(s) ASan should "
+                f"catch but missed: {', '.join(missed[:5])}"
+            )
+            status = 1
+    return status
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
@@ -812,6 +885,40 @@ def main(argv=None) -> int:
     )
     p_att.add_argument("--verbose", "-v", action="store_true")
     p_att.set_defaults(handler=_cmd_attack)
+
+    p_fnd = sub.add_parser(
+        "foundry",
+        help="seeded attack corpus scored as a detection-coverage matrix",
+    )
+    p_fnd.add_argument("--seed", type=int, default=7,
+                       help="corpus seed (same seed, same matrix)")
+    p_fnd.add_argument("--cases", type=_positive_int, default=500,
+                       help="corpus size, round-robin over families")
+    p_fnd.add_argument("--jobs", "-j", type=_positive_int, default=1)
+    p_fnd.add_argument("--defenses", nargs="*", choices=FOUNDRY_DEFENSES,
+                       metavar="mode",
+                       help="defense modes (default: none asan rest "
+                            "softrest)")
+    p_fnd.add_argument("--families", nargs="*", metavar="family",
+                       help="primitive families (default: all)")
+    p_fnd.add_argument("--cache", type=_cache_dir, default=None,
+                       metavar="DIR",
+                       help="reuse/populate a shard result cache")
+    p_fnd.add_argument("--out", default=None, metavar="FILE",
+                       help="write the matrix JSON here (name it "
+                            "foundry_matrix.json for repro report)")
+    p_fnd.add_argument("--golden", default=None, metavar="FILE",
+                       help="fail (exit 1) unless the matrix equals this "
+                            "committed golden")
+    p_fnd.add_argument("--strict", action="store_true",
+                       help="fail (exit 1) on oracle mispredictions or "
+                            "sound-oracle ASan misses")
+    p_fnd.add_argument("--timeout", type=float, default=None,
+                       metavar="SECONDS",
+                       help="per-shard wall-clock timeout")
+    p_fnd.add_argument("--retries", type=int, default=0, metavar="N",
+                       help="extra attempts per failed shard")
+    p_fnd.set_defaults(handler=_cmd_foundry)
 
     p_trace = sub.add_parser(
         "trace", help="record/replay binary micro-op traces"

@@ -12,12 +12,20 @@ from repro.defenses.none import PlainDefense
 from repro.defenses.asan import AsanDefense
 from repro.defenses.rest import RestDefense
 from repro.defenses.softrest import SoftRestDefense
+from repro.defenses.registry import (
+    DEFENSE_MODES,
+    canonical_mode,
+    make_defense,
+)
 
 __all__ = [
     "AsanDefense",
+    "DEFENSE_MODES",
     "Defense",
     "DefenseKind",
     "PlainDefense",
     "RestDefense",
     "SoftRestDefense",
+    "canonical_mode",
+    "make_defense",
 ]

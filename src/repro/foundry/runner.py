@@ -1,0 +1,111 @@
+"""Corpus execution over the parallel work-unit engine.
+
+A corpus run is sharded into fixed-size slices per defense mode; each
+shard is one :class:`WorkUnit` whose kwargs are pure coordinates
+``(seed, count, start, shard, defense, families)``.  Shard size is a
+constant — never derived from ``--jobs`` — so cache keys are identical
+across job counts and a warm cache replays any shard for free.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro.foundry.generator import generate_corpus
+from repro.foundry.matrix import MATRIX_SCHEMA, score_matrix
+from repro.harness.parallel import ResultCache, WorkUnit, execute_units
+
+#: Cases per work unit.  Fixed: changing this invalidates every cached
+#: foundry shard (the shard geometry is part of the cache key).
+SHARD_SIZE = 64
+
+#: The tentpole's defense axis; rest-heap is opt-in via --defenses.
+DEFAULT_DEFENSES = ("none", "asan", "rest", "softrest")
+
+
+class FoundryExecutionError(RuntimeError):
+    """A shard failed (after the engine's own retries)."""
+
+    def __init__(self, uid: str, error: Optional[dict]) -> None:
+        self.uid = uid
+        self.error = error or {}
+        kind = self.error.get("type", "unknown")
+        message = self.error.get("message", "no detail")
+        super().__init__(f"foundry unit {uid} failed: {kind}: {message}")
+
+
+def plan_units(
+    seed: int,
+    count: int,
+    defenses: Sequence[str],
+    families: Optional[Sequence[str]] = None,
+) -> List[WorkUnit]:
+    family_list = list(families) if families else None
+    units = []
+    for defense in defenses:
+        for start in range(0, count, SHARD_SIZE):
+            kwargs = {
+                "seed": seed,
+                "count": count,
+                "start": start,
+                "shard": min(SHARD_SIZE, count - start),
+                "defense": defense,
+                "families": family_list,
+            }
+            units.append(
+                WorkUnit(
+                    uid=f"foundry-{defense}-s{seed}-{start:05d}",
+                    module="repro.foundry.executor",
+                    func="run_shard",
+                    kwargs=kwargs,
+                    key_payload={"schema": MATRIX_SCHEMA, **kwargs},
+                )
+            )
+    return units
+
+
+def run_foundry(
+    seed: int,
+    count: int,
+    defenses: Optional[Sequence[str]] = None,
+    families: Optional[Sequence[str]] = None,
+    jobs: int = 1,
+    cache: Optional[ResultCache] = None,
+    progress: Optional[Callable[[str], None]] = None,
+    timeout: Optional[float] = None,
+    retries: int = 0,
+) -> Dict[str, Any]:
+    """Generate, execute and score a corpus; returns the matrix dict.
+
+    Raises :class:`~repro.foundry.primitives.OracleViolation` if any
+    generated case fails validation and :class:`FoundryExecutionError`
+    if a shard dies even after retries.
+    """
+    modes = tuple(defenses) if defenses else DEFAULT_DEFENSES
+    corpus = generate_corpus(seed, count, families)
+    units = plan_units(seed, count, modes, families)
+    results = execute_units(
+        units,
+        jobs=jobs,
+        cache=cache,
+        progress=progress,
+        timeout=timeout,
+        retries=retries,
+    )
+    by_defense: Dict[str, Dict[str, Dict[str, Any]]] = {m: {} for m in modes}
+    for unit in units:
+        result = results[unit.uid]
+        if not result.ok:
+            raise FoundryExecutionError(unit.uid, result.error)
+        for record in result.value:
+            by_defense[record["defense"]][record["case_id"]] = record
+    for mode in modes:
+        if len(by_defense[mode]) != len(corpus):
+            raise FoundryExecutionError(
+                f"foundry-{mode}",
+                {
+                    "type": "IncompleteResults",
+                    "message": f"{len(by_defense[mode])}/{len(corpus)} cases",
+                },
+            )
+    return score_matrix(seed, corpus, by_defense, modes)

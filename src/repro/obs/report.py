@@ -64,9 +64,10 @@ def _bar(fraction: float, width: int = _BAR_WIDTH) -> str:
 def load_report_source(path: Union[str, Path]) -> Dict:
     """Classify a directory and load the data a report needs.
 
-    Returns ``{"kind": "run"|"sweep", "dir": Path, ...}``; raises
-    ``ValueError`` when the directory contains neither a ``run.json``
-    nor a ``manifest.json``/``stalls.json`` pair.
+    Returns ``{"kind": "run"|"sweep"|"foundry", "dir": Path, ...}``;
+    raises ``ValueError`` when the directory contains neither a
+    ``run.json``, a ``manifest.json``/``stalls.json`` pair, nor a
+    ``foundry_matrix.json``.
     """
     root = Path(path)
     run_json = root / "run.json"
@@ -75,6 +76,13 @@ def load_report_source(path: Union[str, Path]) -> Dict:
             "kind": "run",
             "dir": root,
             "run": json.loads(run_json.read_text()),
+        }
+    foundry_json = root / "foundry_matrix.json"
+    if foundry_json.is_file():
+        return {
+            "kind": "foundry",
+            "dir": root,
+            "matrix": json.loads(foundry_json.read_text()),
         }
     stalls_json = root / "stalls.json"
     manifest_json = root / "manifest.json"
@@ -88,8 +96,9 @@ def load_report_source(path: Union[str, Path]) -> Dict:
             source["manifest"] = json.loads(manifest_json.read_text())
         return source
     raise ValueError(
-        f"{root} is neither an observed-run directory (run.json) nor a "
-        "sweep directory (stalls.json from run_all)"
+        f"{root} is neither an observed-run directory (run.json), a "
+        "sweep directory (stalls.json from run_all), nor a foundry "
+        "directory (foundry_matrix.json)"
     )
 
 
@@ -173,10 +182,14 @@ def _fault_section(manifest: Dict) -> List[str]:
 
 
 def render_text(path: Union[str, Path]) -> str:
-    """Render the report for a run or sweep directory as plain text."""
+    """Render the report for a run/sweep/foundry directory as text."""
     source = load_report_source(path)
     root = source["dir"]
     out: List[str] = []
+    if source["kind"] == "foundry":
+        from repro.foundry.matrix import render_matrix_text
+
+        return render_matrix_text(source["matrix"])
     if source["kind"] == "run":
         run = source["run"]
         out.append(
@@ -284,10 +297,99 @@ def _html_legend() -> str:
     return f'<p class="legend">{items}</p>'
 
 
+def _html_foundry(matrix: Dict) -> List[str]:
+    """Coverage-matrix page: family × defense grid with catch rates."""
+    defenses = matrix["defenses"]
+    parts = ["<h2>Detection coverage (per primitive family)</h2>"]
+    header = "".join(f"<td><b>{_html.escape(d)}</b></td>" for d in defenses)
+    rows = [f"<tr><th>family</th>{header}</tr>"]
+    for family in matrix["families"]:
+        cells = []
+        for defense in defenses:
+            cell = matrix["cells"][family][defense]
+            total = cell["total"] or 1
+            caught = cell["detected"]
+            lethal = total - cell["clean"] - cell["false_positive"]
+            if lethal:
+                share = caught / lethal
+                color = (
+                    "#7a9e7e" if share >= 0.99
+                    else "#d7c04d" if share > 0
+                    else "#c0504d"
+                )
+                label = f"{caught}/{lethal}"
+            else:  # benign family: green unless false positives
+                color = "#c0504d" if cell["false_positive"] else "#7a9e7e"
+                label = f"{cell['clean']} clean"
+                if cell["false_positive"]:
+                    label = f"{cell['false_positive']} false-pos"
+            cells.append(
+                f'<td style="background:{color};color:#fff;'
+                f'text-align:center">{label}</td>'
+            )
+        rows.append(
+            f"<tr><th>{_html.escape(family)}</th>{''.join(cells)}</tr>"
+        )
+    parts.append(f"<table>{''.join(rows)}</table>")
+    parts.append(
+        '<p class="muted">cells: detected / sound-oracle cases '
+        "(benign families show clean runs; red = false positives)</p>"
+    )
+    parts.append("<h2>Detection latency (cycles of attack progress)</h2>")
+    lat_rows = [
+        "<tr><th>defense</th><td>n</td><td>min</td><td>p50</td>"
+        "<td>p90</td><td>max</td></tr>"
+    ]
+    for defense in defenses:
+        stats = matrix["latency"][defense]
+        if stats["count"]:
+            lat_rows.append(
+                f"<tr><th>{_html.escape(defense)}</th>"
+                f"<td>{stats['count']}</td><td>{stats['min']}</td>"
+                f"<td>{stats['p50']}</td><td>{stats['p90']}</td>"
+                f"<td>{stats['max']}</td></tr>"
+            )
+        else:
+            lat_rows.append(
+                f"<tr><th>{_html.escape(defense)}</th>"
+                f'<td colspan="5" class="muted">no detections</td></tr>'
+            )
+    parts.append(f"<table>{''.join(lat_rows)}</table>")
+    rest_fn = matrix["rest_false_negatives"]
+    parts.append(
+        f"<p>REST false negatives (sound-oracle cases missed): "
+        f"<b>{rest_fn['total']}</b></p>"
+    )
+    if matrix["mispredictions"]:
+        parts.append(
+            f'<p style="color:#c0504d"><b>ORACLE MISPREDICTIONS: '
+            f"{len(matrix['mispredictions'])}</b></p>"
+        )
+    else:
+        parts.append('<p class="muted">oracle mispredictions: none</p>')
+    return parts
+
+
 def render_html(path: Union[str, Path]) -> str:
     """Render the report as one self-contained HTML page."""
     source = load_report_source(path)
     root = source["dir"]
+    if source["kind"] == "foundry":
+        matrix = source["matrix"]
+        title = (
+            f"REST foundry coverage matrix — seed {matrix['seed']}, "
+            f"{matrix['cases']} cases"
+        )
+        parts = [_HTML_HEAD.format(title=_html.escape(title))]
+        parts.append(f"<h1>{_html.escape(title)}</h1>")
+        parts.append(
+            f'<p class="muted">corpus digest '
+            f"{_html.escape(matrix['corpus_digest'][:16])}, defenses: "
+            f"{_html.escape(', '.join(matrix['defenses']))}</p>"
+        )
+        parts.extend(_html_foundry(matrix))
+        parts.append("</body></html>\n")
+        return "\n".join(parts)
     if source["kind"] == "run":
         data = source["run"]
         title = (

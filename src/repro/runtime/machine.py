@@ -63,6 +63,12 @@ class Machine:
         self.trace: List[MicroOp] = []
         self._pc = self.layout.code_base
         self.ops_emitted = 0
+        #: Functional-mode cycle odometer: the summed hierarchy latency
+        #: of every load/store/arm/disarm that *completed*.  A faulting
+        #: access contributes nothing, so the delta across an attack
+        #: phase is the work the program got done before detection —
+        #: the foundry reports this as detection latency.
+        self.functional_cycles = 0
         #: Observability hook: software-side ``alloc.*`` events are
         #: stamped with the trace position (``ops_emitted``) instead of
         #: a simulated cycle.
@@ -103,7 +109,8 @@ class Machine:
                 MicroOp(OpType.LOAD, pc=self._pc, address=address, size=size, deps=deps)
             )
             return b"\x00" * size
-        data, _ = self.hierarchy.read(address, size)
+        data, result = self.hierarchy.read(address, size)
+        self.functional_cycles += result.latency
         return data
 
     def store(self, address: int, data: bytes = b"", size: int = 0, deps: tuple = ()) -> None:
@@ -119,7 +126,8 @@ class Machine:
             )
             return
         payload = data if data else b"\x00" * n
-        self.hierarchy.write(address, payload)
+        result = self.hierarchy.write(address, payload)
+        self.functional_cycles += result.latency
 
     def arm(self, address: int) -> None:
         """Place a REST token (the new ISA instruction)."""
@@ -143,7 +151,8 @@ class Machine:
             op = OpType.STORE if self.perfect_hw else OpType.ARM
             self._emit(MicroOp(op, pc=self._pc, address=address, size=8))
             return
-        self.hierarchy.arm(address)
+        result = self.hierarchy.arm(address)
+        self.functional_cycles += result.latency
 
     def disarm(self, address: int) -> None:
         """Remove a REST token (the new ISA instruction)."""
@@ -178,7 +187,8 @@ class Machine:
             op = OpType.STORE if self.perfect_hw else OpType.DISARM
             self._emit(MicroOp(op, pc=self._pc, address=address, size=8))
             return
-        self.hierarchy.disarm(address)
+        result = self.hierarchy.disarm(address)
+        self.functional_cycles += result.latency
 
     # -- compute / control ---------------------------------------------------
 

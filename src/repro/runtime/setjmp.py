@@ -24,6 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
+from repro.defenses.base import Defense
 from repro.defenses.rest import RestDefense
 from repro.runtime.stack import StackFrame
 
@@ -67,7 +68,7 @@ class FrameRegistry:
         return len(addresses)
 
 
-def setjmp(defense: RestDefense) -> JmpBuf:
+def setjmp(defense: Defense) -> JmpBuf:
     """Capture the current stack context."""
     return JmpBuf(
         stack_depth=defense.stack.depth,
@@ -76,20 +77,24 @@ def setjmp(defense: RestDefense) -> JmpBuf:
 
 
 def longjmp(
-    defense: RestDefense,
+    defense: Defense,
     env: JmpBuf,
     frame_registry: Optional[FrameRegistry] = None,
 ) -> int:
     """Unwind the stack back to ``env``.
 
-    Without a registry, frames are popped but their redzone tokens are
-    left armed (the paper's unsupported case: later frames reusing the
-    addresses fault spuriously).  With a registry, the skipped frames'
-    tokens are disarmed first.  Returns the number of frames skipped.
+    For REST without a registry, frames are popped but their redzone
+    tokens are left armed (the paper's unsupported case: later frames
+    reusing the addresses fault spuriously).  With a registry, the
+    skipped frames' tokens are disarmed first.  For a shadow-memory
+    defense, the skipped region's shadow is zeroed wholesale (ASan's
+    longjmp interceptor), so no registry is needed.  Returns the number
+    of frames skipped.
     """
     stack = defense.stack
     if env.stack_depth > stack.depth:
         raise RuntimeError("longjmp target frame already returned")
+    low_water = stack.stack_pointer
     skipped = 0
     while stack.depth > env.stack_depth:
         frame = stack._frames[-1]
@@ -97,4 +102,7 @@ def longjmp(
             frame_registry.disarm_frame(defense, frame)
         stack.pop_frame(frame)
         skipped += 1
+    shadow = getattr(defense, "shadow", None)
+    if shadow is not None and skipped and env.stack_pointer > low_water:
+        shadow.unpoison(low_water, env.stack_pointer - low_water)
     return skipped

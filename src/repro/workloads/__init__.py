@@ -24,6 +24,7 @@ from repro.workloads.attacks import (
     AttackOutcome,
     AttackResult,
     ATTACK_REGISTRY,
+    UnknownAttackError,
     run_attack,
 )
 
@@ -34,6 +35,7 @@ __all__ = [
     "AttackResult",
     "BenchmarkProfile",
     "SyntheticWorkload",
+    "UnknownAttackError",
     "profile_by_name",
     "run_attack",
 ]

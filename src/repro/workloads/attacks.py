@@ -16,9 +16,10 @@ whether the defense detected it, and how.  The suite covers:
 
 from __future__ import annotations
 
+import difflib
 import enum
 from dataclasses import dataclass
-from typing import Callable, Dict, Optional
+from typing import Callable, Dict, Optional, Sequence
 
 from repro.core import RestException
 from repro.core.exceptions import InvalidRestInstructionError
@@ -580,11 +581,34 @@ ATTACK_REGISTRY: Dict[str, Callable[[Defense], AttackResult]] = {
 }
 
 
+class UnknownAttackError(KeyError):
+    """Raised for attack names not in :data:`ATTACK_REGISTRY`.
+
+    A ``KeyError`` subclass (callers that catch ``KeyError`` keep
+    working) carrying the bad name, the known names and close-match
+    suggestions so CLI layers can print an actionable message.
+    """
+
+    def __init__(self, name: str, known: Sequence[str]) -> None:
+        self.name = name
+        self.known = tuple(known)
+        self.suggestions = tuple(
+            difflib.get_close_matches(name, self.known, n=3, cutoff=0.6)
+        )
+        message = f"unknown attack {name!r}"
+        if self.suggestions:
+            message += "; did you mean: " + ", ".join(self.suggestions)
+        message += "; known: " + ", ".join(self.known)
+        super().__init__(message)
+
+    def __str__(self) -> str:  # KeyError.__str__ repr()s its arg
+        return self.args[0]
+
+
 def run_attack(name: str, defense: Defense) -> AttackResult:
     """Run one registered attack against a (fresh) defense instance."""
     try:
         attack = ATTACK_REGISTRY[name]
     except KeyError:
-        known = ", ".join(sorted(ATTACK_REGISTRY))
-        raise KeyError(f"unknown attack {name!r}; known: {known}") from None
+        raise UnknownAttackError(name, sorted(ATTACK_REGISTRY)) from None
     return attack(defense)

@@ -1,0 +1,63 @@
+"""Regression lock: the hand-written attack suite × defense matrix.
+
+``results/attack_matrix_golden.json`` pins the outcome of every
+registered attack (the Table III suite plus later additions) across all
+canonical defense modes.  Any drift — a detection becoming a miss, a
+new attack landing without a golden update, a defense mode changing
+behaviour — fails here with the exact cells that moved.
+
+Regenerate intentionally with ``PYTHONPATH=src python
+tools/foundry_golden.py`` and commit the diff.
+"""
+
+import json
+from pathlib import Path
+
+from repro.defenses import DEFENSE_MODES
+from repro.foundry.matrix import ATTACK_MATRIX_SCHEMA, handwritten_matrix
+from repro.workloads.attacks import ATTACK_REGISTRY
+
+GOLDEN = (
+    Path(__file__).resolve().parent.parent
+    / "results"
+    / "attack_matrix_golden.json"
+)
+
+
+def _diff_cells(golden, fresh):
+    """Human-readable list of (attack, defense) cells that changed."""
+    moved = []
+    attacks = sorted(set(golden["attacks"]) | set(fresh["attacks"]))
+    for attack in attacks:
+        old = golden["attacks"].get(attack)
+        new = fresh["attacks"].get(attack)
+        if old == new:
+            continue
+        if old is None or new is None:
+            moved.append(f"{attack}: {'added' if old is None else 'removed'}")
+            continue
+        for mode in DEFENSE_MODES:
+            if old.get(mode) != new.get(mode):
+                moved.append(
+                    f"{attack}/{mode}: {old.get(mode)} -> {new.get(mode)}"
+                )
+    return moved
+
+
+class TestAttackMatrixGolden:
+    def test_schema_and_axes(self):
+        golden = json.loads(GOLDEN.read_text())
+        assert golden["schema"] == ATTACK_MATRIX_SCHEMA
+        assert tuple(golden["defenses"]) == DEFENSE_MODES
+        # Every registered attack is pinned; no stale entries linger.
+        assert sorted(golden["attacks"]) == sorted(ATTACK_REGISTRY)
+
+    def test_every_outcome_matches_golden(self):
+        golden = json.loads(GOLDEN.read_text())
+        fresh = handwritten_matrix()
+        moved = _diff_cells(golden, fresh)
+        assert not moved, (
+            "attack outcome drift (regenerate via tools/foundry_golden.py "
+            "only if intended):\n  " + "\n  ".join(moved)
+        )
+        assert fresh == golden

@@ -193,6 +193,92 @@ class TestArgumentValidation:
         assert "cannot read baseline" in out
 
 
+class TestAttackCli:
+    """`repro attack` structured unknown-name handling."""
+
+    def test_unknown_attack_is_usage_error_with_suggestions(self):
+        code, out = run_cli(["attack", "heartbled"])
+        assert code == 2
+        assert "unknown attack 'heartbled'" in out
+        assert "did you mean: heartbleed" in out
+
+    def test_unknown_attack_lists_registry(self):
+        code, out = run_cli(["attack", "zzz_not_an_attack"])
+        assert code == 2
+        assert "known:" in out
+        assert "double_free" in out
+
+    def test_run_attack_raises_structured_keyerror(self):
+        from repro.defenses import make_defense
+        from repro.workloads import UnknownAttackError
+        from repro.workloads.attacks import run_attack
+
+        with pytest.raises(UnknownAttackError) as excinfo:
+            run_attack("heartbled", make_defense("none"))
+        error = excinfo.value
+        assert isinstance(error, KeyError)  # stays catchable as before
+        assert "heartbleed" in error.suggestions
+        assert "did you mean" in str(error)
+
+
+class TestFoundryCli:
+    """`repro foundry` exit discipline: 2 usage, 1 failure, 0 success."""
+
+    def _expect_usage_exit(self, argv):
+        from repro.__main__ import main
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(argv)
+        assert excinfo.value.code == 2
+
+    def test_rejects_zero_jobs(self):
+        self._expect_usage_exit(["foundry", "--jobs", "0", "--cases", "9"])
+
+    def test_rejects_zero_cases(self):
+        self._expect_usage_exit(["foundry", "--cases", "0"])
+
+    def test_rejects_unknown_defense(self):
+        self._expect_usage_exit(
+            ["foundry", "--cases", "9", "--defenses", "stackguard"]
+        )
+
+    def test_rejects_file_as_cache(self, tmp_path):
+        not_a_dir = tmp_path / "cache.json"
+        not_a_dir.write_text("{}")
+        self._expect_usage_exit(
+            ["foundry", "--cases", "9", "--cache", str(not_a_dir)]
+        )
+
+    def test_unknown_family_is_usage_error(self):
+        code, out = run_cli(
+            ["foundry", "--cases", "9", "--families", "heap_spray"]
+        )
+        assert code == 2
+        assert "unknown family" in out
+        assert "heap_spray" in out
+
+    def test_small_run_exits_zero_and_writes_matrix(self, tmp_path):
+        out_path = tmp_path / "m" / "foundry_matrix.json"
+        code, out = run_cli(
+            ["foundry", "--seed", "3", "--cases", "9", "--defenses",
+             "none", "rest", "--strict", "--out", str(out_path)]
+        )
+        assert code == 0
+        assert "foundry coverage matrix" in out
+        assert "oracle mispredictions: none" in out
+        assert out_path.exists()
+
+    def test_golden_mismatch_exits_one(self, tmp_path):
+        golden = tmp_path / "golden.json"
+        golden.write_text('{"schema": "rest-repro/foundry-matrix/v1"}\n')
+        code, out = run_cli(
+            ["foundry", "--seed", "3", "--cases", "9", "--defenses",
+             "none", "--golden", str(golden)]
+        )
+        assert code == 1
+        assert "golden" in out
+
+
 class TestSweepCli:
     """`repro sweep` exit discipline and live progress streaming."""
 

@@ -1,0 +1,124 @@
+"""The foundry's geometry model against the real allocators.
+
+``poison_intervals`` is the generator's entire theory of where each
+defense placed its redzones; every oracle verdict derives from it.
+These tests probe the *actual* defenses byte-by-byte at the model's
+predicted boundaries — last valid payload byte, first pad byte, first
+and last redzone byte — and require fault/no-fault to match the model
+exactly.  A drift in either the allocators or the model fails here
+long before it shows up as a matrix misprediction.
+"""
+
+import pytest
+
+from repro.core import RestException
+from repro.defenses import make_defense
+from repro.runtime.shadow import AsanViolation
+from repro.foundry.generator import (
+    asan_heap_redzone,
+    asan_heap_span,
+    generate_corpus,
+    poison_intervals,
+    rest_heap_redzone,
+    rest_heap_span,
+)
+from repro.foundry.primitives import FAMILIES
+
+_VIOLATIONS = (RestException, AsanViolation)
+
+# Sizes crossing the interesting thresholds: sub-granule, granule
+# aligned, token aligned, pad-bearing, redzone-doubling (>64 → asan
+# redzone grows past its 16-byte floor).
+PROBE_SIZES = (8, 13, 48, 64, 72, 100, 150, 197, 256)
+
+
+def _faults(defense, address, width=1):
+    try:
+        defense.load(address, width)
+    except _VIOLATIONS:
+        return True
+    return False
+
+
+def _hits(intervals, offset, width):
+    return any(
+        offset < end and offset + width > start for start, end in intervals
+    )
+
+
+class TestHeapGeometry:
+    @pytest.mark.parametrize("mode", ["none", "asan", "rest", "softrest"])
+    @pytest.mark.parametrize("size", PROBE_SIZES)
+    def test_boundary_probes_match_model(self, mode, size):
+        defense = make_defense(mode)
+        base = defense.malloc(size)
+        intervals = poison_intervals(mode, "heap", size)
+        span = {
+            "none": size,
+            "asan": asan_heap_span(size),
+        }.get(mode, rest_heap_span(size))
+        rz = {
+            "none": 0,
+            "asan": asan_heap_redzone(size),
+        }.get(mode, rest_heap_redzone(size))
+        probes = [0, size - 1, size, span - 1, span]
+        if rz:
+            probes += [-1, -rz, span + rz - 1]
+        for offset in sorted(set(probes)):
+            expected = _hits(intervals, offset, 1)
+            actual = _faults(defense, base + offset)
+            assert actual == expected, (
+                f"{mode} size={size} offset={offset}: "
+                f"model says {'fault' if expected else 'clean'}, "
+                f"hardware says {'fault' if actual else 'clean'}"
+            )
+
+    def test_none_mode_has_no_intervals(self):
+        for size in PROBE_SIZES:
+            assert poison_intervals("none", "heap", size) == ()
+            assert poison_intervals("none", "stack", size) == ()
+
+    def test_rest_heap_leaves_stack_unprotected(self):
+        for size in PROBE_SIZES:
+            assert poison_intervals("rest-heap", "stack", size) == ()
+            assert poison_intervals("rest-heap", "heap", size) == \
+                poison_intervals("rest", "heap", size)
+
+
+class TestStackGeometry:
+    @pytest.mark.parametrize("mode", ["asan", "rest", "softrest"])
+    @pytest.mark.parametrize("size", (8, 30, 64, 100, 150))
+    def test_stack_boundary_probes_match_model(self, mode, size):
+        defense = make_defense(mode)
+        frame = defense.function_enter([size])
+        base = frame.buffers[0].address
+        intervals = poison_intervals(mode, "stack", size)
+        (lead_start, _), (span, trail_end) = intervals
+        probes = sorted(
+            {0, size - 1, size, span - 1, span, -1, lead_start, trail_end - 1}
+        )
+        for offset in probes:
+            expected = _hits(intervals, offset, 1)
+            actual = _faults(defense, base + offset)
+            assert actual == expected, (
+                f"{mode} stack size={size} offset={offset}: "
+                f"model/hardware disagree"
+            )
+
+
+class TestCorpusShape:
+    def test_corpus_spans_all_families(self):
+        corpus = generate_corpus(5, 3 * len(FAMILIES))
+        by_family = {}
+        for case in corpus:
+            by_family[case.family] = by_family.get(case.family, 0) + 1
+        assert set(by_family) == set(FAMILIES)
+        assert all(count == 3 for count in by_family.values())
+
+    def test_family_filter_restricts_corpus(self):
+        corpus = generate_corpus(5, 10, families=["parser", "subtoken"])
+        assert {c.family for c in corpus} == {"parser", "subtoken"}
+
+    def test_unknown_family_rejected(self):
+        with pytest.raises(ValueError, match="unknown family"):
+            generate_corpus(5, 4, families=["heap_spray"])

@@ -1,0 +1,118 @@
+"""Property-based tests for the attack-corpus foundry.
+
+Three guarantees the whole pipeline leans on:
+
+1. Determinism — the corpus is a pure function of ``(seed, count,
+   families)``; two generations are byte-identical, and any single case
+   regenerated in isolation (``case_at``, the shard path) equals its
+   position in the full corpus.
+2. Identity — case ids embed the seed and index, so corpora from
+   different seeds can never collide in a cache or a results merge.
+3. Oracle consistency — every generated case passes ``validate_case``
+   plus the structural invariants the executor relies on (expected
+   verdict per canonical defense mode, illegal hull on the right side
+   of the allocation, benign cases claiming no soundness).
+"""
+
+import json
+
+from hypothesis import given, settings, strategies as st
+
+from repro.defenses import DEFENSE_MODES
+from repro.foundry.generator import case_at, generate_corpus, validate_case
+from repro.foundry.matrix import corpus_digest
+from repro.foundry.primitives import CaseOutcome, FAMILIES
+
+_OUTCOMES = {o.value for o in CaseOutcome}
+
+seeds = st.integers(min_value=0, max_value=2**32 - 1)
+counts = st.integers(min_value=1, max_value=30)
+
+
+def _dump(cases):
+    return json.dumps([c.to_json() for c in cases], sort_keys=True)
+
+
+class TestDeterminism:
+    @given(seed=seeds, count=counts)
+    @settings(max_examples=20, deadline=None)
+    def test_same_seed_byte_identical_corpus(self, seed, count):
+        first = generate_corpus(seed, count)
+        second = generate_corpus(seed, count)
+        assert _dump(first) == _dump(second)
+        assert corpus_digest(first) == corpus_digest(second)
+
+    @given(seed=seeds, count=counts)
+    @settings(max_examples=20, deadline=None)
+    def test_case_at_matches_corpus_position(self, seed, count):
+        # The shard executor regenerates cases one at a time; any
+        # disagreement with the full-corpus path would silently score
+        # results against the wrong oracle.
+        corpus = generate_corpus(seed, count)
+        for index in (0, count // 2, count - 1):
+            assert case_at(seed, index).to_json() == corpus[index].to_json()
+
+    @given(seed=seeds)
+    @settings(max_examples=20, deadline=None)
+    def test_prefix_stability(self, seed):
+        # Growing the corpus must never rewrite existing cases — a
+        # warm cache for `--cases 500` stays valid at `--cases 1000`.
+        small = generate_corpus(seed, 12)
+        large = generate_corpus(seed, 24)
+        assert _dump(small) == _dump(large[:12])
+
+
+class TestIdentity:
+    @given(seed_a=seeds, seed_b=seeds, count=counts)
+    @settings(max_examples=20, deadline=None)
+    def test_disjoint_seeds_disjoint_ids(self, seed_a, seed_b, count):
+        ids_a = {c.case_id for c in generate_corpus(seed_a, count)}
+        ids_b = {c.case_id for c in generate_corpus(seed_b, count)}
+        if seed_a == seed_b:
+            assert ids_a == ids_b
+        else:
+            assert not ids_a & ids_b
+
+    @given(seed=seeds, count=counts)
+    @settings(max_examples=20, deadline=None)
+    def test_ids_unique_within_corpus(self, seed, count):
+        ids = [c.case_id for c in generate_corpus(seed, count)]
+        assert len(ids) == len(set(ids))
+
+
+class TestOracleConsistency:
+    @given(seed=seeds, count=counts)
+    @settings(max_examples=20, deadline=None)
+    def test_every_case_validates(self, seed, count):
+        for case in generate_corpus(seed, count):
+            validate_case(case)  # raises OracleViolation on any breach
+
+    @given(seed=seeds)
+    @settings(max_examples=15, deadline=None)
+    def test_structural_invariants(self, seed):
+        for case in generate_corpus(seed, 18):
+            oracle = case.oracle
+            assert set(oracle.expected) == set(DEFENSE_MODES)
+            assert set(oracle.expected.values()) <= _OUTCOMES
+            # An undefended run never *detects* anything.
+            assert oracle.expected["none"] in (
+                CaseOutcome.MISSED.value,
+                CaseOutcome.CLEAN.value,
+            )
+            if oracle.kind == "benign":
+                assert not oracle.sound_detects
+                assert oracle.illegal_start is None
+            else:
+                # Every real violation is sound-detectable by a
+                # byte-granular reference detector — even when all the
+                # modeled defenses are expected to miss it (that gap IS
+                # the REST false-negative measurement).
+                assert oracle.sound_detects
+                if oracle.illegal_start is not None:
+                    assert oracle.illegal_start < oracle.illegal_end
+
+    @given(seed=seeds)
+    @settings(max_examples=10, deadline=None)
+    def test_families_cover_round_robin(self, seed):
+        corpus = generate_corpus(seed, len(FAMILIES) * 2)
+        assert {c.family for c in corpus} == set(FAMILIES)

@@ -1,0 +1,82 @@
+"""Cross-seam checks: generated cases land in REST's documented gaps.
+
+The paper (§V-C) concedes two spatial false negatives for 64-byte
+token granularity: overflows that *land in the alignment pad* between
+the payload and the first token, and accesses *narrower than a token*
+that stay inside the slot.  These tests take generated cases from the
+``pad_landing`` and ``subtoken`` families and execute them directly
+with ``run_case``, asserting the documented asymmetry per defense:
+
+* pad landings:  ASan's byte-granular redzone catches them (DETECTED),
+  REST's token granularity cannot (MISSED);
+* sub-granule accesses (within the 8-byte ASan granule): *both*
+  detectors miss — this is the floor of redzone-based checking;
+* narrow pad accesses (past the granule but short of the token): ASan
+  catches, REST misses.
+
+Every assertion also checks ``matches_expected`` so the generator's
+oracle and the observed hardware agree case-by-case.
+"""
+
+import pytest
+
+from repro.foundry.executor import run_case
+from repro.foundry.generator import generate_corpus
+
+
+def _cases(family, count=10, seed=21):
+    return generate_corpus(seed, count, families=[family])
+
+
+def _outcome(case, defense):
+    record = run_case(case, defense)
+    assert record["matches_expected"], (
+        f"{case.case_id} [{defense}]: expected {record['expected']}, "
+        f"got {record['outcome']} ({record['detail']})"
+    )
+    return record["outcome"]
+
+
+class TestPadLandingSeam:
+    """Overflow into the alignment pad below the first REST token."""
+
+    @pytest.mark.parametrize("case", _cases("pad_landing"),
+                             ids=lambda c: c.case_id)
+    def test_rest_misses_asan_catches(self, case):
+        assert _outcome(case, "rest") == "missed"
+        assert _outcome(case, "softrest") == "missed"
+        assert _outcome(case, "asan") == "detected"
+        assert _outcome(case, "none") == "missed"
+
+
+class TestSubtokenSeam:
+    """Accesses narrower than the detection granule(s)."""
+
+    @pytest.mark.parametrize(
+        "case",
+        [c for c in _cases("subtoken", count=16)
+         if c.params["variant"] == "subgranule"],
+        ids=lambda c: c.case_id,
+    )
+    def test_subgranule_evades_both(self, case):
+        # Inside the 8-byte ASan granule: below every detector's floor.
+        assert _outcome(case, "rest") == "missed"
+        assert _outcome(case, "asan") == "missed"
+
+    @pytest.mark.parametrize(
+        "case",
+        [c for c in _cases("subtoken", count=16)
+         if c.params["variant"] == "narrow_pad"],
+        ids=lambda c: c.case_id,
+    )
+    def test_narrow_pad_is_asan_only(self, case):
+        # Past the granule but short of the token: ASan's redzone
+        # starts at the granule boundary, REST's token 64 bytes up.
+        assert _outcome(case, "rest") == "missed"
+        assert _outcome(case, "asan") == "detected"
+
+
+class TestSeamVariety:
+    def test_both_subtoken_variants_generated(self):
+        variants = {c.params["variant"] for c in _cases("subtoken", count=16)}
+        assert variants == {"subgranule", "narrow_pad"}

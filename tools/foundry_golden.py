@@ -1,0 +1,55 @@
+#!/usr/bin/env python
+"""Regenerate the committed security-matrix goldens.
+
+    PYTHONPATH=src python tools/foundry_golden.py
+
+Rewrites:
+
+* ``results/attack_matrix_golden.json`` — outcome of every hand-written
+  attack (Table III suite) across all canonical defense modes.
+* ``results/foundry_matrix_golden.json`` — the CI smoke corpus matrix
+  (seed 7, 120 cases, default defense axes).
+
+Commit the diff only when an outcome change is *intended* — these files
+are the regression lock for the security evaluation.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.foundry.matrix import handwritten_matrix, matrix_to_json  # noqa: E402
+from repro.foundry.runner import run_foundry  # noqa: E402
+
+#: CI smoke-corpus coordinates — keep in sync with the foundry-smoke
+#: job in .github/workflows/ci.yml and tests/test_attack_matrix_golden.py.
+SMOKE_SEED = 7
+SMOKE_CASES = 120
+
+RESULTS = Path(__file__).resolve().parent.parent / "results"
+
+
+def main() -> int:
+    attack_path = RESULTS / "attack_matrix_golden.json"
+    attack_path.write_text(
+        json.dumps(handwritten_matrix(), indent=1, sort_keys=True) + "\n"
+    )
+    print(f"wrote {attack_path}")
+
+    matrix = run_foundry(SMOKE_SEED, SMOKE_CASES, jobs=2)
+    foundry_path = RESULTS / "foundry_matrix_golden.json"
+    foundry_path.write_text(matrix_to_json(matrix))
+    print(
+        f"wrote {foundry_path} "
+        f"(digest {matrix['corpus_digest'][:12]}, "
+        f"{len(matrix['mispredictions'])} mispredictions)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
