@@ -102,6 +102,11 @@ EXPERIMENTS = (
 #: Defense axes of the foundry (canonical registry names).
 FOUNDRY_DEFENSES = ("none", "asan", "rest", "rest-heap", "softrest")
 
+#: Experiments whose numbers come from attack execution (detection
+#: outcomes, tripwire hits), not trace replay — the fast tier only
+#: replaces the replay, so these reject ``--tier fast``.
+ATTACK_EXPERIMENTS = frozenset({"table3", "security", "attackmatrix"})
+
 
 def _cmd_experiments(args: argparse.Namespace) -> int:
     from repro.harness.parallel import ResultCache, WorkUnit, execute_units
@@ -111,18 +116,28 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
         if name not in EXPERIMENTS:
             print(f"unknown experiment {name!r}; known: {', '.join(EXPERIMENTS)}")
             return 2
+    if args.tier == "fast":
+        unsupported = [n for n in names if n in ATTACK_EXPERIMENTS]
+        if unsupported:
+            print(
+                f"--tier fast is not supported for attack-driven "
+                f"experiment(s) {', '.join(unsupported)}: their results "
+                f"are detection outcomes, not replay cycles"
+            )
+            return 2
     names = list(dict.fromkeys(names))  # work-unit ids must be unique
+    unit_kwargs = {"scale": args.scale, "seed": args.seed}
+    unit_payload = {"scale": args.scale, "seed": args.seed}
+    if args.tier != "accurate":
+        unit_kwargs["tier"] = args.tier
+        unit_payload["tier"] = args.tier
     units = [
         WorkUnit(
             uid=name,
             module=f"repro.experiments.{name}",
             func="regenerate",
-            kwargs={"scale": args.scale, "seed": args.seed},
-            key_payload={
-                "experiment": name,
-                "scale": args.scale,
-                "seed": args.seed,
-            },
+            kwargs=dict(unit_kwargs),
+            key_payload={"experiment": name, **unit_payload},
         )
         for name in names
     ]
@@ -206,6 +221,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             retries=args.retries,
             live=args.live,
             progress_queue=progress_queue,
+            tier=args.tier,
         )
     except SweepError as error:
         # Structured failure: name the cell and the worker's error type
@@ -732,7 +748,11 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     import json
     from pathlib import Path
 
-    from repro.harness.bench import compare_to_baseline, run_bench
+    from repro.harness.bench import (
+        check_fast_tier,
+        compare_to_baseline,
+        run_bench,
+    )
 
     scale = 0.25 if args.quick else args.scale
     repeats = 3 if args.quick else args.repeats
@@ -742,12 +762,26 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         seed=args.seed,
         repeats=repeats,
         progress=print,
+        tier=args.tier,
     )
     if args.out:
         Path(args.out).write_text(
             json.dumps(manifest, indent=1, sort_keys=True) + "\n"
         )
         print(f"wrote {args.out}")
+    status = 0
+    if args.tier == "fast":
+        # Self-gate: divergence within the declared tolerance and warm
+        # replay at least --min-speedup over the accurate tier.
+        problems = check_fast_tier(manifest, min_speedup=args.min_speedup)
+        if problems:
+            for problem in problems:
+                print(f"FAST TIER: {problem}")
+            status = 1
+        else:
+            tol = manifest["declared_tolerance_pct"]
+            print(f"fast tier within ±{tol:.0f}% of the accurate tier on "
+                  f"every mode (warm speedup ≥ {args.min_speedup:.0f}x)")
     if args.baseline:
         try:
             baseline = json.loads(Path(args.baseline).read_text())
@@ -765,7 +799,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             f"all modes within {args.max_regression:.0%} of baseline "
             f"{args.baseline}"
         )
-    return 0
+    return status
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
@@ -773,6 +807,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
     from repro.obs.sampler import DEFAULT_INTERVAL
 
     modes = args.modes if args.modes else None
+    if args.tier == "fast" and (args.trace_out or args.o3
+                                or args.sample_interval):
+        print("--tier fast replays analytically: no sampler, event "
+              "trace, or O3 pipeline view is produced "
+              "(drop --sample-interval/--trace-out/--o3)")
+        return 2
     summary = run_observed(
         args.outdir,
         benchmark=args.benchmark,
@@ -784,6 +824,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         events=args.trace_out,
         o3=args.o3,
         progress=print,
+        tier=args.tier,
     )
     print(f"wrote {len(summary['modes'])} mode(s) to {args.outdir}")
     return 0
@@ -823,6 +864,10 @@ def main(argv=None) -> int:
     p_exp.add_argument("--retries", type=int, default=0, metavar="N",
                        help="extra attempts per failed unit before "
                             "quarantine")
+    p_exp.add_argument("--tier", choices=("accurate", "fast"),
+                       default="accurate",
+                       help="simulation tier (fast = analytical block "
+                            "replay; attack-driven experiments reject it)")
     p_exp.set_defaults(handler=_cmd_experiments)
 
     p_sweep = sub.add_parser(
@@ -844,6 +889,10 @@ def main(argv=None) -> int:
     p_sweep.add_argument("--live", action="store_true",
                          help="stream per-cell sampler snapshots while "
                               "cells run (results are unaffected)")
+    p_sweep.add_argument("--tier", choices=("accurate", "fast"),
+                         default="accurate",
+                         help="simulation tier (fast = analytical block "
+                              "replay; incompatible with --live)")
     p_sweep.set_defaults(handler=_cmd_sweep)
 
     p_chaos = sub.add_parser(
@@ -982,6 +1031,15 @@ def main(argv=None) -> int:
     p_bench.add_argument("--max-regression", type=float, default=0.30,
                          help="allowed throughput drop vs baseline "
                               "(fraction, default 0.30)")
+    p_bench.add_argument("--tier", choices=("accurate", "fast"),
+                         default="accurate",
+                         help="also time the fast tier and gate its "
+                              "divergence/speedup against the accurate "
+                              "runs")
+    p_bench.add_argument("--min-speedup", type=float, default=10.0,
+                         metavar="X",
+                         help="required warm fast-tier speedup over the "
+                              "accurate tier (default 10)")
     p_bench.set_defaults(handler=_cmd_bench)
 
     p_run = sub.add_parser(
@@ -1003,6 +1061,11 @@ def main(argv=None) -> int:
                        help="export structured events as JSONL")
     p_run.add_argument("--o3", action="store_true",
                        help="export a gem5 O3PipeView trace per mode")
+    p_run.add_argument("--tier", choices=("accurate", "fast"),
+                       default="accurate",
+                       help="simulation tier (fast = analytical block "
+                            "replay with a predicted-vs-measured "
+                            "divergence artifact per mode)")
     p_run.set_defaults(handler=_cmd_run)
 
     p_rep = sub.add_parser(

@@ -1,0 +1,134 @@
+"""Basic-block decomposition of executed uop traces.
+
+The fast-tier simulator (:mod:`repro.fasttier`) models the trace as a
+sequence of *basic blocks*: maximal straight-line runs of uops ended by
+a control-flow uop (branch/call/ret) or by a length cap.  This module
+owns the boundary rule so the characterizer (which attributes
+cycle-accurate commit progress to blocks) and the analytical replayer
+(which charges memoized block costs) always agree on where blocks
+start and end.
+
+Blocks are *positions* in one concrete trace, not static code: the
+trace is the committed path, so a static loop body reappears as many
+dynamic blocks sharing one shape class.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.cpu.isa import MicroOp, OpType
+
+#: Upper bound on block length: very long straight-line runs (libc
+#: copies) are split so one class never spans wildly different cache
+#: behaviour.
+DEFAULT_BLOCK_CAP = 32
+
+#: Op types whose execution cost is dominated by a multi-cycle
+#: functional unit rather than the 1-cycle ALU path.
+_HEAVY_OPS = frozenset((OpType.MUL, OpType.DIV, OpType.FP))
+
+
+class Block:
+    """One dynamic basic block: ``trace[start:end]``.
+
+    ``shape`` is the coarse structural class key the fast tier memoizes
+    under — two blocks with equal shape are assumed to cost the same
+    number of cycles *given the same cache-state class* (the memo key's
+    other half, computed per instance from the lean cache model).
+    """
+
+    __slots__ = ("start", "end", "shape", "ctrl_taken", "ctrl_pc")
+
+    def __init__(self, start, end, shape, ctrl_taken, ctrl_pc):
+        self.start = start
+        self.end = end
+        self.shape = shape
+        #: Terminator outcome (None when the block was cap-split or is
+        #: the trace tail without a control uop).
+        self.ctrl_taken = ctrl_taken
+        self.ctrl_pc = ctrl_pc
+
+    def __len__(self):
+        return self.end - self.start
+
+    def __repr__(self):
+        return f"Block({self.start}:{self.end}, shape={self.shape})"
+
+
+def split_blocks(
+    trace: Sequence[MicroOp], cap: int = DEFAULT_BLOCK_CAP
+) -> List[Block]:
+    """Decompose ``trace`` into basic blocks.
+
+    A block ends after a control uop (the terminator belongs to the
+    block) or after ``cap`` uops, whichever comes first.  The shape key
+    is ``(n_uops, n_loads, n_stores, n_rest, n_heavy, ctrl_kind)``
+    where ``ctrl_kind`` is 0 (no terminator), 1 (branch) or 2
+    (call/ret), and ``n_rest`` counts arm/disarm token ops — the part
+    of the mix each defense mode adds.
+    """
+    if cap <= 0:
+        raise ValueError("block cap must be positive")
+    blocks: List[Block] = []
+    append = blocks.append
+    heavy = _HEAVY_OPS
+    ot_load = OpType.LOAD
+    n = len(trace)
+    start = 0
+    loads = stores = rest = hvy = 0
+    for index in range(n):
+        uop = trace[index]
+        op = uop.op
+        if op.is_memory:
+            if op is ot_load:
+                loads += 1
+            elif op.is_store_like:
+                if op is OpType.STORE:
+                    stores += 1
+                else:
+                    rest += 1
+        elif op in heavy:
+            hvy += 1
+        is_ctrl = op.is_control
+        length = index + 1 - start
+        if is_ctrl or length >= cap:
+            ctrl_kind = 0
+            taken = None
+            pc = 0
+            if is_ctrl:
+                ctrl_kind = 1 if op is OpType.BRANCH else 2
+                taken = uop.taken
+                pc = uop.pc
+            append(
+                Block(
+                    start,
+                    index + 1,
+                    (length, loads, stores, rest, hvy, ctrl_kind),
+                    taken,
+                    pc,
+                )
+            )
+            start = index + 1
+            loads = stores = rest = hvy = 0
+    if start < n:
+        append(
+            Block(
+                start,
+                n,
+                (n - start, loads, stores, rest, hvy, 0),
+                None,
+                0,
+            )
+        )
+    return blocks
+
+
+def block_boundaries(blocks: Sequence[Block]) -> List[int]:
+    """Cumulative committed-uop counts at each block end.
+
+    The characterizer watches ``stats.committed`` cross these values
+    while stepping the cycle-accurate core to attribute cycles to
+    blocks (see :meth:`repro.cpu.pipeline.OutOfOrderCore.run_attributed`).
+    """
+    return [block.end for block in blocks]

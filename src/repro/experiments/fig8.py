@@ -16,9 +16,11 @@ from repro.harness.reporting import bar_chart, format_table, overhead_matrix
 from repro.workloads.spec import ALL_PROFILES
 
 
-def run(scale: float = DEFAULT_SCALE, seed: int = 1234, progress=None):
+def run(scale: float = DEFAULT_SCALE, seed: int = 1234, progress=None,
+        tier: str = "accurate"):
     config = make_config(scale=scale, seed=seed)
-    return run_suite(ALL_PROFILES, figure8_specs(), config, progress=progress)
+    return run_suite(ALL_PROFILES, figure8_specs(), config,
+                     progress=progress, tier=tier)
 
 
 def render(results) -> str:
@@ -66,8 +68,9 @@ def render(results) -> str:
     return table + "\n\n" + "\n".join(spreads) + "\n\n" + chart
 
 
-def regenerate(scale: float = DEFAULT_SCALE, seed: int = 1234) -> str:
-    return render(run(scale=scale, seed=seed))
+def regenerate(scale: float = DEFAULT_SCALE, seed: int = 1234,
+               tier: str = "accurate") -> str:
+    return render(run(scale=scale, seed=seed, tier=tier))
 
 
 if __name__ == "__main__":

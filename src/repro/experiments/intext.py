@@ -26,15 +26,19 @@ from repro.harness.reporting import format_table
 from repro.workloads.spec import ALL_PROFILES, profile_by_name
 
 
-def regenerate(scale: float = DEFAULT_SCALE, seed: int = 1234) -> str:
+def regenerate(scale: float = DEFAULT_SCALE, seed: int = 1234,
+               tier: str = "accurate") -> str:
     config = make_config(scale=scale, seed=seed)
     lines = []
 
     # -- per-mode microarchitectural effects on xalancbmk -------------------
     profile = profile_by_name("xalancbmk")
-    secure = run_benchmark(profile, DefenseSpec.rest("Secure Full"), config)
+    secure = run_benchmark(
+        profile, DefenseSpec.rest("Secure Full"), config, tier=tier
+    )
     debug = run_benchmark(
-        profile, DefenseSpec.rest("Debug Full", mode=Mode.DEBUG), config
+        profile, DefenseSpec.rest("Debug Full", mode=Mode.DEBUG), config,
+        tier=tier,
     )
     blocked_ratio = debug.core_stats.rob_blocked_by_store_cycles / max(
         1, secure.core_stats.rob_blocked_by_store_cycles
@@ -89,7 +93,7 @@ def regenerate(scale: float = DEFAULT_SCALE, seed: int = 1234) -> str:
             "PerfectHW Heap", protect_stack=False, perfect_hw=True
         ),
     ]
-    results = run_suite(ALL_PROFILES, specs, config)
+    results = run_suite(ALL_PROFILES, specs, config, tier=tier)
     plains = [results[b]["Plain"].runtime for b in results]
 
     def wtd(name: str) -> float:

@@ -1,0 +1,29 @@
+"""Opt-in analytical fast-tier simulator (``--tier fast``).
+
+Decomposes executed traces into basic blocks, characterizes a
+calibration slice against the cycle-accurate pipeline, memoizes block
+costs per ``(block shape, defense mode, cache-state class)`` and
+replays the steady state analytically — see
+:mod:`repro.fasttier.engine` for the full strategy writeup and
+INTERNALS §12 for the design rationale and divergence bounds.
+"""
+
+from repro.fasttier.engine import (
+    DECLARED_TOLERANCE,
+    DEFAULT_MEMO,
+    BlockMemo,
+    FastTierEngine,
+    FastTierResult,
+)
+
+#: CLI names of the simulation tiers.
+TIERS = ("accurate", "fast")
+
+__all__ = [
+    "BlockMemo",
+    "DECLARED_TOLERANCE",
+    "DEFAULT_MEMO",
+    "FastTierEngine",
+    "FastTierResult",
+    "TIERS",
+]

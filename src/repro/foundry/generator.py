@@ -175,7 +175,16 @@ def _gen_linear_overflow(rng: random.Random):
         accesses = [[off, width] for off in range(0, size + distance, stride)]
     else:
         steps = distance // stride
-        accesses = [[-k * stride, width] for k in range(1, steps + 1)]
+        # A backward access spans [-k*stride, -k*stride + width); when
+        # width > k*stride that span crosses offset 0 back into the
+        # granted allocation, making the illegal hull two-sided (which
+        # _illegal_hull cannot represent) and overlapping [0, size).
+        # Start at the first step whose whole span lies below the
+        # allocation.  width <= stride keeps first == 1, so those
+        # corpora are unchanged; the rng draw order above is untouched
+        # either way.
+        first = max(1, -(-width // stride))
+        accesses = [[-k * stride, width] for k in range(first, first + steps)]
     lo, hi = _illegal_hull(accesses, size)
     params = {
         "region": region,
@@ -536,6 +545,19 @@ def validate_case(case: AttackCase) -> None:
         if oracle.illegal_start >= oracle.illegal_end:
             fail("empty illegal hull")
         if oracle.illegal_ref == "victim":
+            if (
+                oracle.illegal_start < 0
+                and oracle.illegal_end > oracle.alloc_size
+            ):
+                fail(
+                    f"illegal hull [{oracle.illegal_start}, "
+                    f"{oracle.illegal_end}) spans both sides of the "
+                    f"granted allocation [0, {oracle.alloc_size}); "
+                    "_illegal_hull collapses illegal bytes into one "
+                    "contiguous interval and cannot represent a "
+                    "two-sided (underflow and overflow) region — keep "
+                    "each generated case one-sided"
+                )
             inside = (
                 oracle.illegal_end > 0
                 and oracle.illegal_start < oracle.alloc_size

@@ -1,0 +1,202 @@
+"""Fast-tier analytical replay: determinism, accuracy, CLI gating.
+
+Three contracts, matching the tier's documented guarantees
+(INTERNALS §12):
+
+* **Memo determinism** — a warm replay (memo hit) must be
+  byte-identical to the cold characterization that populated the memo.
+  The whole engine is integer fixed-point arithmetic, so equality is
+  exact, not approximate.
+* **Declared accuracy** — on the benchmark set the bench harness
+  gates in CI, end-to-end fast-tier cycles stay within the declared
+  tolerance of the cycle-accurate tier, per (workload × defense) cell.
+  The divergence is a pure function of the trace, so these assertions
+  cannot flake.
+* **Surface gating** — ``--tier fast`` is rejected with a usage error
+  (exit 2) everywhere the fast tier cannot honour the request: attack
+  workloads (their result is a detection outcome, not a cycle count),
+  attack-driven experiments, and observability exports that need the
+  real pipeline.
+"""
+
+import io
+from contextlib import redirect_stdout
+from dataclasses import asdict
+
+import pytest
+
+from repro.fasttier import (
+    DECLARED_TOLERANCE,
+    BlockMemo,
+    FastTierEngine,
+)
+from repro.harness.bench import bench_specs
+from repro.harness.configs import SimulationConfig
+from repro.harness.experiment import run_benchmark
+from repro.runtime.machine import ExecutionMode, Machine
+from repro.workloads.generator import SyntheticWorkload
+from repro.workloads.spec import profile_by_name
+
+
+def _make_trace(benchmark: str, spec, scale: float, seed: int):
+    from repro.harness.experiment import build_defense
+
+    config = SimulationConfig(scale=scale, seed=seed)
+    machine = Machine(
+        mode=ExecutionMode.TRACE,
+        perfect_hw=spec.perfect_hw,
+        software_rest=spec.defense == "softrest",
+    )
+    machine.token_width = spec.token_width
+    defense = build_defense(machine, spec)
+    SyntheticWorkload(
+        profile_by_name(benchmark),
+        defense,
+        seed=config.seed,
+        scale=config.scale,
+        alloc_intensity=config.alloc_intensity,
+    ).run()
+    return machine.take_trace(), config
+
+
+def run_cli(argv):
+    from repro.__main__ import main
+
+    captured = io.StringIO()
+    with redirect_stdout(captured):
+        code = main(argv)
+    return code, captured.getvalue()
+
+
+class TestMemoDeterminism:
+    def test_warm_replay_byte_identical_to_cold(self):
+        spec = bench_specs()["rest-secure"]
+        trace, config = _make_trace("xalancbmk", spec, 0.25, 1234)
+        engine = FastTierEngine(BlockMemo())
+
+        cold = engine.run(trace, spec, config)
+        warm = engine.run(trace, spec, config)
+
+        assert not cold.memo_hit and warm.memo_hit
+        assert asdict(warm.stats) == asdict(cold.stats)
+        assert asdict(warm.hierarchy_stats) == asdict(cold.hierarchy_stats)
+        assert warm.divergence == cold.divergence
+        assert warm.l1d_miss_rate == cold.l1d_miss_rate
+        assert warm.l2_miss_rate == cold.l2_miss_rate
+        # Only the memo-hit flag may differ.
+        meta_cold = dict(cold.meta, memo_hit=None)
+        meta_warm = dict(warm.meta, memo_hit=None)
+        assert meta_warm == meta_cold
+
+    def test_rerun_is_deterministic_across_engines(self):
+        spec = bench_specs()["plain"]
+        trace, config = _make_trace("gcc", spec, 0.25, 1234)
+        one = FastTierEngine(BlockMemo()).run(trace, spec, config)
+        two = FastTierEngine(BlockMemo()).run(trace, spec, config)
+        assert asdict(one.stats) == asdict(two.stats)
+
+    def test_memo_distinguishes_defense_modes(self):
+        specs = bench_specs()
+        memo = BlockMemo()
+        engine = FastTierEngine(memo)
+        for mode in ("rest-secure", "rest-debug"):
+            trace, config = _make_trace("xalancbmk", specs[mode], 0.25, 7)
+            result = engine.run(trace, specs[mode], config)
+            assert not result.memo_hit  # distinct key per defense mode
+        assert len(memo.entries) == 2
+
+
+class TestDeclaredAccuracy:
+    #: The cells the CI bench job gates; scale matches ``bench --quick``.
+    SCALE = 0.25
+    SEED = 1234
+
+    @pytest.mark.parametrize("mode", sorted(bench_specs()))
+    def test_divergence_within_declared_tolerance(self, mode):
+        spec = bench_specs()[mode]
+        profile = profile_by_name("xalancbmk")
+        config = SimulationConfig(scale=self.SCALE, seed=self.SEED)
+        accurate = run_benchmark(profile, spec, config)
+        fast = run_benchmark(profile, spec, config, tier="fast")
+        divergence = (
+            fast.cycles - accurate.cycles
+        ) / accurate.cycles
+        assert abs(divergence) <= DECLARED_TOLERANCE, (
+            f"{mode}: fast {fast.cycles} vs accurate {accurate.cycles} "
+            f"({100.0 * divergence:+.2f}%)"
+        )
+        # Same trace in, same uop count out: the fast tier replays the
+        # identical instruction stream, only the pricing is analytical.
+        assert fast.instructions == accurate.instructions
+
+    def test_fast_result_carries_divergence_payload(self):
+        spec = bench_specs()["asan"]
+        profile = profile_by_name("xalancbmk")
+        config = SimulationConfig(scale=self.SCALE, seed=self.SEED)
+        fast = run_benchmark(profile, spec, config, tier="fast")
+        assert fast.tier == "fast"
+        assert fast.fast_meta["tier"] == "fast"
+        assert (
+            fast.fast_divergence["declared_tolerance_pct"]
+            == DECLARED_TOLERANCE * 100.0
+        )
+        assert fast.fast_divergence["per_block_class"], (
+            "per-block-class divergence rows must be populated"
+        )
+
+
+class TestSurfaceGating:
+    def test_foundry_rejects_tier_flag(self):
+        # ``repro foundry`` executes attack corpora; it has no --tier
+        # flag at all, so argparse exits with the usage code.
+        with pytest.raises(SystemExit) as err:
+            run_cli(["foundry", "--tier", "fast"])
+        assert err.value.code == 2
+
+    def test_attack_rejects_tier_flag(self):
+        with pytest.raises(SystemExit) as err:
+            run_cli(["attack", "all", "--tier", "fast"])
+        assert err.value.code == 2
+
+    @pytest.mark.parametrize(
+        "experiment", ["table3", "security", "attackmatrix"]
+    )
+    def test_attack_experiments_reject_fast(self, experiment):
+        code, output = run_cli(["experiments", experiment, "--tier", "fast"])
+        assert code == 2
+        assert "not supported" in output
+
+    def test_sweep_live_rejects_fast(self):
+        code, output = run_cli(
+            ["sweep", "--tier", "fast", "--live", "--seeds", "1",
+             "--scale", "0.05", "--benchmarks", "sjeng"]
+        )
+        assert code == 2
+        assert "sampler" in output or "live" in output
+
+    def test_run_per_uop_exports_reject_fast(self, tmp_path):
+        code, output = run_cli(
+            ["run", "--outdir", str(tmp_path), "--tier", "fast", "--o3"]
+        )
+        assert code == 2
+        assert "fast" in output
+
+    def test_run_benchmark_rejects_sampler_under_fast(self):
+        profile = profile_by_name("sjeng")
+        spec = bench_specs()["plain"]
+        with pytest.raises(ValueError, match="sampler"):
+            run_benchmark(
+                profile,
+                spec,
+                SimulationConfig(scale=0.05),
+                on_sample=lambda sample: None,
+                tier="fast",
+            )
+
+    def test_unknown_tier_rejected(self):
+        profile = profile_by_name("sjeng")
+        spec = bench_specs()["plain"]
+        with pytest.raises(ValueError, match="unknown tier"):
+            run_benchmark(
+                profile, spec, SimulationConfig(scale=0.05), tier="warp"
+            )

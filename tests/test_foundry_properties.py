@@ -15,18 +15,37 @@ Three guarantees the whole pipeline leans on:
 """
 
 import json
+import random
 
-from hypothesis import given, settings, strategies as st
+import pytest
+from hypothesis import example, given, settings, strategies as st
 
 from repro.defenses import DEFENSE_MODES
-from repro.foundry.generator import case_at, generate_corpus, validate_case
+from repro.foundry.generator import (
+    _gen_linear_overflow,
+    case_at,
+    generate_corpus,
+    validate_case,
+)
 from repro.foundry.matrix import corpus_digest
-from repro.foundry.primitives import CaseOutcome, FAMILIES
+from repro.foundry.primitives import (
+    AttackCase,
+    CaseOutcome,
+    FAMILIES,
+    Oracle,
+    OracleViolation,
+)
 
 _OUTCOMES = {o.value for o in CaseOutcome}
 
 seeds = st.integers(min_value=0, max_value=2**32 - 1)
 counts = st.integers(min_value=1, max_value=30)
+
+#: Falsifying input hypothesis found for the backward linear-overflow
+#: bug (width > k*stride access straddling the allocation start) —
+#: pinned permanently on every corpus-validity property so the
+#: regression reproduces without a database.
+_REGRESSION_SEED = 536870913
 
 
 def _dump(cases):
@@ -35,6 +54,7 @@ def _dump(cases):
 
 class TestDeterminism:
     @given(seed=seeds, count=counts)
+    @example(seed=_REGRESSION_SEED, count=1)
     @settings(max_examples=20, deadline=None)
     def test_same_seed_byte_identical_corpus(self, seed, count):
         first = generate_corpus(seed, count)
@@ -43,6 +63,7 @@ class TestDeterminism:
         assert corpus_digest(first) == corpus_digest(second)
 
     @given(seed=seeds, count=counts)
+    @example(seed=_REGRESSION_SEED, count=1)
     @settings(max_examples=20, deadline=None)
     def test_case_at_matches_corpus_position(self, seed, count):
         # The shard executor regenerates cases one at a time; any
@@ -74,6 +95,7 @@ class TestIdentity:
             assert not ids_a & ids_b
 
     @given(seed=seeds, count=counts)
+    @example(seed=_REGRESSION_SEED, count=1)
     @settings(max_examples=20, deadline=None)
     def test_ids_unique_within_corpus(self, seed, count):
         ids = [c.case_id for c in generate_corpus(seed, count)]
@@ -82,12 +104,14 @@ class TestIdentity:
 
 class TestOracleConsistency:
     @given(seed=seeds, count=counts)
+    @example(seed=_REGRESSION_SEED, count=1)
     @settings(max_examples=20, deadline=None)
     def test_every_case_validates(self, seed, count):
         for case in generate_corpus(seed, count):
             validate_case(case)  # raises OracleViolation on any breach
 
     @given(seed=seeds)
+    @example(seed=_REGRESSION_SEED)
     @settings(max_examples=15, deadline=None)
     def test_structural_invariants(self, seed):
         for case in generate_corpus(seed, 18):
@@ -116,3 +140,73 @@ class TestOracleConsistency:
     def test_families_cover_round_robin(self, seed):
         corpus = generate_corpus(seed, len(FAMILIES) * 2)
         assert {c.family for c in corpus} == set(FAMILIES)
+
+
+class TestBackwardOverflowRegression:
+    """Direct (non-hypothesis) pins for the backward width>stride bug.
+
+    ``_gen_linear_overflow`` used to emit backward accesses at
+    ``-k*stride`` whose ``width > k*stride`` span crossed offset 0 into
+    the granted allocation, producing a hull like ``[-116, 4)`` that
+    overlaps ``[0, size)`` and trips ``validate_case``.
+    """
+
+    @staticmethod
+    def _backward_cases(limit=200):
+        """Deterministically drive the generator into backward draws."""
+        found = []
+        for probe in range(limit):
+            rng = random.Random(f"backward-regression:{probe}")
+            params, oracle = _gen_linear_overflow(rng)
+            if params["direction"] == "backward":
+                found.append((params, oracle))
+        return found
+
+    def test_backward_accesses_never_cross_allocation_start(self):
+        cases = self._backward_cases()
+        assert cases, "probe seeds produced no backward cases"
+        wide = 0
+        for params, oracle in cases:
+            for off, width in params["accesses"]:
+                assert off + width <= 0, (
+                    f"backward access [{off}, {off + width}) crosses "
+                    f"into the granted allocation (stride "
+                    f"{params['stride']}, width {params['width']})"
+                )
+            if params["width"] > params["stride"]:
+                wide += 1
+            # The hull must be strictly one-sided (underflow only).
+            assert oracle.illegal_end <= 0
+        assert wide, "no width>stride case exercised — widen the probes"
+
+    def test_regression_seed_case_is_one_sided_and_valid(self):
+        # The exact falsifying input hypothesis reported: index 0 of
+        # corpus 536870913 is a backward linear overflow.
+        case = case_at(_REGRESSION_SEED, 0)
+        assert case.family == "linear_overflow"
+        assert case.params["direction"] == "backward"
+        assert case.params["width"] > case.params["stride"]
+        validate_case(case)
+        assert case.oracle.illegal_end <= 0
+
+    def test_validate_case_rejects_two_sided_hull(self):
+        # Future generator families must fail loudly if they ever emit
+        # a hull spanning both sides of the allocation — _illegal_hull
+        # cannot represent that region faithfully.
+        case = case_at(_REGRESSION_SEED, 0)
+        bad = AttackCase(
+            case_id=case.case_id,
+            family=case.family,
+            params=dict(case.params),
+            oracle=Oracle(
+                kind="spatial",
+                sound_detects=True,
+                alloc_size=case.oracle.alloc_size,
+                illegal_start=-8,
+                illegal_end=case.oracle.alloc_size + 8,
+                illegal_ref="victim",
+                expected=dict(case.oracle.expected),
+            ),
+        )
+        with pytest.raises(OracleViolation, match="two-sided"):
+            validate_case(bad)
