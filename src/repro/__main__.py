@@ -39,14 +39,22 @@ Commands
 ``bench [--quick] [--out FILE] [--baseline FILE]``
     Measure simulator trace-replay throughput per defense mode and
     optionally gate against a committed baseline (CI smoke job).
-``run --outdir DIR [--trace-out] [--o3] [--sample-interval N]``
+``run --outdir DIR [--trace-out] [--o3] [--diff A B] [--sample-interval N]``
     Observed run: simulate each defense mode with the interval sampler
     (and optionally the event tracer / O3PipeView export) attached,
-    writing a self-describing artifact directory.
+    writing a self-describing artifact directory; ``--diff`` also
+    builds the trace-diff artifact for two of the modes.
+``diff DIR [--a plain] [--b rest-debug] [--out FILE] [--top N]``
+    Differential trace profile of two observed modes: align their
+    committed instruction streams, attribute each mode's stall buckets
+    to per-PC rows (sums match stalls exactly), and write the
+    ``trace-diff/v1`` artifact.  ``--fast-tier`` instead scores the
+    analytical tier's per-block cost table against cycle-accurate
+    attribution (per-block prediction-error distribution).
 ``report DIR [--out FILE] [--html]``
     Render the observability dashboard (stall waterfalls, sparklines,
-    event summaries) for a ``repro run`` directory or a ``run_all``
-    sweep directory.
+    event summaries, trace diffs) for a ``repro run`` directory or a
+    ``run_all`` sweep directory.
 ``demo``
     The quickstart walkthrough.
 ``config``
@@ -813,6 +821,16 @@ def _cmd_run(args: argparse.Namespace) -> int:
               "trace, or O3 pipeline view is produced "
               "(drop --sample-interval/--trace-out/--o3)")
         return 2
+    if args.diff:
+        if args.tier != "accurate" or not args.trace_out:
+            print("--diff needs the per-uop event streams: add "
+                  "--trace-out and use the accurate tier")
+            return 2
+        if modes is not None:
+            for name in args.diff:
+                if name not in modes:
+                    print(f"--diff mode {name!r} is not in --modes")
+                    return 2
     summary = run_observed(
         args.outdir,
         benchmark=args.benchmark,
@@ -825,8 +843,54 @@ def _cmd_run(args: argparse.Namespace) -> int:
         o3=args.o3,
         progress=print,
         tier=args.tier,
+        diff=tuple(args.diff) if args.diff else None,
     )
     print(f"wrote {len(summary['modes'])} mode(s) to {args.outdir}")
+    return 0
+
+
+def _cmd_diff(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.obs.diff import (
+        build_fast_tier_diff,
+        build_trace_diff,
+        render_diff_text,
+        render_fast_tier_text,
+        write_trace_diff,
+    )
+
+    if args.fast_tier:
+        artifact = build_fast_tier_diff(
+            benchmark=args.benchmark,
+            mode=args.mode,
+            scale=args.scale,
+            seed=args.seed,
+            top=args.top,
+        )
+        lines = render_fast_tier_text(artifact)
+    else:
+        if not args.dir:
+            print("diff needs a `repro run` directory (or --fast-tier)")
+            return 2
+        try:
+            artifact = build_trace_diff(
+                args.dir, args.a, args.b, top=args.top
+            )
+        except FileNotFoundError as error:
+            print(f"diff failed: {error}")
+            return 2
+        except ValueError as error:
+            print(f"diff failed: {error}")
+            return 2
+        lines = render_diff_text(artifact)
+    out = args.out
+    if out is None and args.dir and not args.fast_tier:
+        out = str(Path(args.dir) / "trace-diff.json")
+    if out is not None:
+        write_trace_diff(artifact, out)
+        print(f"wrote {out}")
+    print("\n".join(lines))
     return 0
 
 
@@ -1066,7 +1130,39 @@ def main(argv=None) -> int:
                        help="simulation tier (fast = analytical block "
                             "replay with a predicted-vs-measured "
                             "divergence artifact per mode)")
+    p_run.add_argument("--diff", nargs=2, metavar=("A", "B"),
+                       help="also build the trace-diff artifact for "
+                            "these two modes (requires --trace-out)")
     p_run.set_defaults(handler=_cmd_run)
+
+    p_diff = sub.add_parser(
+        "diff", help="differential trace profile of two defense modes"
+    )
+    p_diff.add_argument("dir", nargs="?", default=None,
+                        help="repro run outdir (with --trace-out events)")
+    p_diff.add_argument("--a", default="plain", metavar="MODE",
+                        help="baseline mode (default plain)")
+    p_diff.add_argument("--b", default="rest-debug", metavar="MODE",
+                        help="compared mode (default rest-debug)")
+    p_diff.add_argument("--top", type=_positive_int, default=20,
+                        help="top delta PCs / worst blocks to keep")
+    p_diff.add_argument("--out", default=None, metavar="FILE",
+                        help="artifact path (default: "
+                             "<dir>/trace-diff.json)")
+    p_diff.add_argument("--fast-tier", action="store_true",
+                        help="score the fast tier's per-block cost "
+                             "table against cycle-accurate attribution "
+                             "instead of diffing two modes")
+    p_diff.add_argument("--benchmark", default="xalancbmk",
+                        help="fast-tier mode: benchmark to score")
+    p_diff.add_argument("--mode", default="rest-debug",
+                        help="fast-tier mode: defense mode to score")
+    p_diff.add_argument("--scale", type=float, default=0.5,
+                        help="fast-tier mode: workload scale (needs to "
+                             "be big enough to leave post-slice blocks)")
+    p_diff.add_argument("--seed", type=int, default=1234,
+                        help="fast-tier mode: workload seed")
+    p_diff.set_defaults(handler=_cmd_diff)
 
     p_rep = sub.add_parser(
         "report", help="render the observability dashboard"

@@ -77,6 +77,7 @@ class MicroOp:
         "deps",
         "taken",
         "seq",
+        "sid",
     )
 
     def __init__(
@@ -98,6 +99,12 @@ class MicroOp:
         self.taken = taken
         #: Dynamic sequence number, assigned by the core at fetch.
         self.seq = -1
+        #: Static statement id: dense per-run index of the op's code
+        #: address, stamped by the trace generator (-1 when the trace
+        #: did not come through :class:`repro.runtime.machine.Machine`).
+        #: Not serialized by :mod:`repro.cpu.encoding` — it is derived
+        #: state, reconstructible from the pc stream.
+        self.sid = -1
 
     def __repr__(self) -> str:
         extra = ""

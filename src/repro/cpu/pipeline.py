@@ -24,7 +24,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Deque, Iterable, List, Optional, Sequence
+from typing import Deque, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.cache.hierarchy import MemoryHierarchy
 from repro.core.modes import Mode
@@ -190,6 +190,18 @@ class OutOfOrderCore:
         tracer = self.tracer
         trace_on = tracer.enabled
         emit = tracer.emit
+        #: (cause, pc) -> cycles, mirroring every aggregate stall
+        #: counter charge exactly (including fast-forwarded spans); the
+        #: ``finally`` block emits it as compact ``pcstall`` summary
+        #: events so per-PC attribution survives ring wraparound of the
+        #: per-uop stream.  Only touched when tracing is on.
+        pc_stalls: Dict[Tuple[str, int], int] = {}
+        pc_stalls_get = pc_stalls.get
+        #: Fetch-order sequence stamp for traced fetch/squash events.
+        #: The fetch buffer is a FIFO and there is no wrong-path fetch,
+        #: so fetch order equals dispatch order: this counter previews
+        #: the ``seq`` dispatch will assign the same uop.
+        fetch_seq = 0
 
         trace = iter(uops)
         trace_next = trace.__next__
@@ -254,6 +266,11 @@ class OutOfOrderCore:
                             head_store_blocked = True
                             rob.blocked_by_store_cycles += 1
                             stats.rob_blocked_by_store_cycles += 1
+                            if trace_on:
+                                key = ("rob_store", head_uop.pc)
+                                pc_stalls[key] = (
+                                    pc_stalls_get(key, 0) + 1
+                                )
                         break
                     rob_entries.popleft()
                     if op_type is ot_load:
@@ -273,6 +290,7 @@ class OutOfOrderCore:
                             cycle,
                             seq=head_seq,
                             pc=head_uop.pc,
+                            sid=head_uop.sid,
                             op=key,
                             store_done=(
                                 head.write_done_cycle
@@ -319,26 +337,42 @@ class OutOfOrderCore:
                             )
                             issued += 1
                             if trace_on:
-                                emit("issue", cycle, seq=uop.seq)
+                                emit(
+                                    "issue", cycle, seq=uop.seq, pc=uop.pc
+                                )
                                 emit(
                                     "complete",
                                     completion[uop.seq],
                                     seq=uop.seq,
+                                    pc=uop.pc,
                                 )
                         elif ready and uop.seq == mem_head:
                             if remaining is None:
                                 remaining = iq_slots[:i]
+                            if trace_on:
+                                dram_before = stats.dram_stall_cycles
                             execute(uop, slot.entry, cycle, completion, lsq)
                             mem_popleft()
                             mem_head = mem_order[0] if mem_order else -1
                             issued += 1
                             if trace_on:
-                                emit("issue", cycle, seq=uop.seq)
+                                emit(
+                                    "issue", cycle, seq=uop.seq, pc=uop.pc
+                                )
                                 emit(
                                     "complete",
                                     completion[uop.seq],
                                     seq=uop.seq,
+                                    pc=uop.pc,
                                 )
+                                dram_added = (
+                                    stats.dram_stall_cycles - dram_before
+                                )
+                                if dram_added:
+                                    key = ("dram", uop.pc)
+                                    pc_stalls[key] = (
+                                        pc_stalls_get(key, 0) + dram_added
+                                    )
                         elif remaining is not None:
                             remaining.append(slot)
                         i += 1
@@ -390,6 +424,7 @@ class OutOfOrderCore:
                                 cycle,
                                 seq=uop.seq,
                                 pc=uop.pc,
+                                sid=uop.sid,
                                 op=op_type._value_,
                             )
                         break  # nothing may follow it this cycle
@@ -422,6 +457,7 @@ class OutOfOrderCore:
                             cycle,
                             seq=uop.seq,
                             pc=uop.pc,
+                            sid=uop.sid,
                             op=op_type._value_,
                         )
                     if op_type is ot_load:
@@ -454,6 +490,17 @@ class OutOfOrderCore:
                     else:
                         lsq.sq_full_cycles += 1
                         stats.sq_full_cycles += 1
+                    if trace_on:
+                        # A structure-full stall is blamed on the ROB
+                        # head: that is the instruction the backend is
+                        # waiting on, not the one that failed to enter.
+                        key = (
+                            blocked_reason,
+                            rob_entries[0].uop.pc
+                            if rob_entries
+                            else fetch_buffer[0].pc,
+                        )
+                        pc_stalls[key] = pc_stalls_get(key, 0) + 1
 
                 # ---- fetch (trace -> fetch buffer) ----
                 fetch_attempted = False
@@ -483,9 +530,16 @@ class OutOfOrderCore:
                                     emit(
                                         "fetch",
                                         cycle,
+                                        seq=fetch_seq,
                                         pc=uop.pc,
+                                        sid=uop.sid,
                                         op=uop.op._value_,
                                         icache_stall=stall,
+                                    )
+                                    fetch_seq += 1
+                                    key = ("icache", uop.pc)
+                                    pc_stalls[key] = (
+                                        pc_stalls_get(key, 0) + stall
                                     )
                                 break
                         fb_append(uop)
@@ -495,9 +549,12 @@ class OutOfOrderCore:
                             emit(
                                 "fetch",
                                 cycle,
+                                seq=fetch_seq,
                                 pc=uop.pc,
+                                sid=uop.sid,
                                 op=uop.op._value_,
                             )
+                            fetch_seq += 1
                         uop_op = uop.op
                         if uop_op.is_control and uop.taken is not None:
                             if not predict_and_update(uop.pc, uop.taken):
@@ -512,8 +569,14 @@ class OutOfOrderCore:
                                     emit(
                                         "squash",
                                         cycle,
+                                        seq=fetch_seq - 1,
                                         pc=uop.pc,
                                         penalty=mispredict_penalty,
+                                    )
+                                    key = ("mispredict", uop.pc)
+                                    pc_stalls[key] = (
+                                        pc_stalls_get(key, 0)
+                                        + mispredict_penalty
                                     )
                                 break
                     if fetched:
@@ -578,9 +641,22 @@ class OutOfOrderCore:
                             target = cycle_limit + 1
                         skipped = target - cycle - 1
                         if skipped > 0:
+                            # The frozen machine repeats this cycle's
+                            # stall causes verbatim, so the per-PC blame
+                            # below matches what the per-cycle sites
+                            # charged: the ROB head cannot have moved
+                            # (nothing committed this cycle).
                             if head_store_blocked:
                                 rob.blocked_by_store_cycles += skipped
                                 stats.rob_blocked_by_store_cycles += skipped
+                                if trace_on:
+                                    key = (
+                                        "rob_store",
+                                        rob_entries[0].uop.pc,
+                                    )
+                                    pc_stalls[key] = (
+                                        pc_stalls_get(key, 0) + skipped
+                                    )
                             if blocked_reason is not None:
                                 if blocked_reason == "rob":
                                     rob.full_cycles += skipped
@@ -594,12 +670,36 @@ class OutOfOrderCore:
                                 else:
                                     lsq.sq_full_cycles += skipped
                                     stats.sq_full_cycles += skipped
+                                if trace_on:
+                                    key = (
+                                        blocked_reason,
+                                        rob_entries[0].uop.pc
+                                        if rob_entries
+                                        else fetch_buffer[0].pc,
+                                    )
+                                    pc_stalls[key] = (
+                                        pc_stalls_get(key, 0) + skipped
+                                    )
                             cycle = target - 1
 
                 yield cycle
         finally:
             stats.cycles = cycle
             stats.lsq_forwards = lsq.forwards
+            if trace_on and pc_stalls:
+                # Compact per-(cause, pc) stall summaries.  Emitted at
+                # the end of the run so they survive ring wraparound of
+                # the per-uop stream; per-cause sums equal the raw
+                # aggregate counters exactly, which the trace-diff
+                # profiler's apportionment relies on (INTERNALS §13).
+                for cause, pc in sorted(pc_stalls):
+                    emit(
+                        "pcstall",
+                        cycle,
+                        cause=cause,
+                        pc=pc,
+                        cycles=pc_stalls[(cause, pc)],
+                    )
 
     def run_attributed(
         self,

@@ -22,10 +22,14 @@ zero-length stages.  Ticks are ``cycle * cycle_ticks`` with the default
 ``cycle_ticks=1000`` matching o3-pipeview's default ``--cycle-time``,
 so traces open with stock viewer settings.
 
-The frontend is in order, so the Nth ``fetch`` event pairs with the
-dispatch event carrying ``seq == N``; records missing any stage (their
-early events were overwritten in the ring buffer, or the op never
-committed) are skipped rather than emitted half-filled.
+Fetch events stamped with a ``seq`` (the core previews the dispatch
+sequence number at fetch, see INTERNALS §13) pair with the dispatch
+event carrying the same ``seq`` directly; unstamped legacy streams fall
+back to FIFO pairing (the frontend is in order, so the Nth fetch is the
+Nth dispatch).  Records missing any stage (their early events were
+overwritten in the ring buffer, or the op never committed) are skipped
+rather than emitted half-filled.  A record whose events carry a static
+statement id surfaces it as ``sid`` and in the disasm column.
 """
 
 from __future__ import annotations
@@ -60,24 +64,33 @@ def o3_records(events: Iterable[Dict]) -> List[Dict]:
     dropped (ring wraparound or in-flight at end of trace).
     """
     fetch_fifo: deque = deque()
+    fetch_by_seq: Dict[int, Dict] = {}
     records: Dict[int, Dict] = {}
     order: List[int] = []
     for event in events:
         kind = event.get("kind")
         if kind == "fetch":
-            fetch_fifo.append(event)
+            if "seq" in event:
+                fetch_by_seq[event["seq"]] = event
+            else:
+                fetch_fifo.append(event)
         elif kind == "dispatch":
             seq = event["seq"]
             record = {
                 "seq": seq,
                 "pc": event.get("pc", 0),
+                "sid": event.get("sid", -1),
                 "op": event.get("op", "uop"),
                 "dispatch": event["cycle"],
             }
-            if fetch_fifo:
+            fetch_event = fetch_by_seq.pop(seq, None)
+            if fetch_event is None and fetch_fifo:
                 fetch_event = fetch_fifo.popleft()
+            if fetch_event is not None:
                 record["fetch"] = fetch_event["cycle"]
                 record.setdefault("pc", fetch_event.get("pc", 0))
+                if record["sid"] < 0:
+                    record["sid"] = fetch_event.get("sid", -1)
             records[seq] = record
             order.append(seq)
         elif kind == "issue":
@@ -105,9 +118,11 @@ def format_o3_record(record: Dict, cycle_ticks: int = 1000) -> str:
     """Render one assembled record as the seven O3PipeView lines."""
     tick = lambda cycle: cycle * cycle_ticks  # noqa: E731
     store_done = record.get("store_done", 0) or 0
+    sid = record.get("sid", -1)
+    disasm = record["op"] if sid < 0 else "%s s%d" % (record["op"], sid)
     lines = [
         "O3PipeView:fetch:%d:0x%08x:0:%d:%s"
-        % (tick(record["fetch"]), record["pc"], record["seq"], record["op"]),
+        % (tick(record["fetch"]), record["pc"], record["seq"], disasm),
         "O3PipeView:decode:%d" % tick(record["fetch"]),
         "O3PipeView:rename:%d" % tick(record["dispatch"]),
         "O3PipeView:dispatch:%d" % tick(record["dispatch"]),

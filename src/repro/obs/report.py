@@ -121,8 +121,12 @@ def _waterfall_lines(mode_name: str, entry: Dict) -> List[str]:
 
 def _sample_section(root: Path, entry: Dict) -> List[str]:
     samples_file = entry.get("samples_file")
-    if not samples_file or not (root / samples_file).is_file():
+    if not samples_file:
         return []
+    if not (root / samples_file).is_file():
+        # A partially copied or pruned run dir should still render —
+        # note what is gone instead of failing or silently omitting.
+        return [f"  samples: {samples_file} missing — section skipped"]
     samples = read_jsonl(root / samples_file)
     if not samples:
         return []
@@ -152,12 +156,14 @@ def _fasttier_section(root: Path, entry: Dict) -> List[str]:
     ``fasttier-<mode>.json``; absent for accurate-tier runs.
     """
     fast_file = entry.get("fasttier_file")
-    if not fast_file or not (root / fast_file).is_file():
+    if not fast_file:
         return []
+    if not (root / fast_file).is_file():
+        return [f"  fast tier: {fast_file} missing — section skipped"]
     try:
         payload = json.loads((root / fast_file).read_text())
     except (OSError, json.JSONDecodeError):
-        return []
+        return [f"  fast tier: {fast_file} unreadable — section skipped"]
     meta = payload.get("meta", {})
     divergence = payload.get("divergence", {})
     check = divergence.get("check", {})
@@ -198,16 +204,48 @@ def _fasttier_section(root: Path, entry: Dict) -> List[str]:
     return lines
 
 
-def _event_section(entry: Dict) -> List[str]:
+def _event_section(root: Path, entry: Dict) -> List[str]:
+    lines: List[str] = []
+    events_file = entry.get("events_file")
+    if events_file and not (root / events_file).is_file():
+        lines.append(
+            f"  events: {events_file} missing — raw trace unavailable"
+        )
     counts = entry.get("event_counts")
     if not counts:
-        return []
+        return lines
     total = entry.get("events_emitted", sum(counts.values()))
     dropped = entry.get("events_dropped", 0)
     top = sorted(counts.items(), key=lambda item: -item[1])[:8]
     summary = ", ".join(f"{kind} {count:,}" for kind, count in top)
-    lines = [f"  events: {total:,} emitted ({dropped:,} beyond ring)"]
+    lines.append(f"  events: {total:,} emitted ({dropped:,} beyond ring)")
     lines.append(f"  top kinds: {summary}")
+    return lines
+
+
+def _diff_section(root: Path) -> List[str]:
+    """Render any ``trace-diff/v1`` artifacts found in a run dir."""
+    lines: List[str] = []
+    for path in sorted(root.glob("trace-diff*.json")):
+        try:
+            artifact = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            lines.extend(["", f"{path.name}: unreadable — skipped"])
+            continue
+        if artifact.get("format") != "trace-diff/v1":
+            continue
+        from repro.obs.diff import (
+            render_diff_text,
+            render_fast_tier_text,
+        )
+
+        render = (
+            render_fast_tier_text
+            if artifact.get("kind") == "fast-tier"
+            else render_diff_text
+        )
+        lines.append("")
+        lines.extend(render(artifact))
     return lines
 
 
@@ -257,7 +295,8 @@ def render_text(path: Union[str, Path]) -> str:
             out.extend(_waterfall_lines(mode_name, entry))
             out.extend(_sample_section(root, entry))
             out.extend(_fasttier_section(root, entry))
-            out.extend(_event_section(entry))
+            out.extend(_event_section(root, entry))
+        out.extend(_diff_section(root))
     else:
         stalls = source["stalls"]
         out.append(
@@ -425,6 +464,100 @@ def _html_foundry(matrix: Dict) -> List[str]:
     return parts
 
 
+def _html_diff(root: Path) -> List[str]:
+    """HTML rendering of ``trace-diff/v1`` artifacts in a run dir.
+
+    The mode diff gets a side-by-side bucket table and a top-delta-PC
+    table; fast-tier validation artifacts reuse their text rendering
+    (tabular monospace) inside a styled block.
+    """
+    parts: List[str] = []
+    for path in sorted(root.glob("trace-diff*.json")):
+        try:
+            artifact = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            parts.append(
+                f'<p class="muted">{_html.escape(path.name)}: '
+                "unreadable — skipped</p>"
+            )
+            continue
+        if artifact.get("format") != "trace-diff/v1":
+            continue
+        from repro.obs.diff import (
+            UNATTRIBUTED_PC,
+            render_fast_tier_text,
+        )
+
+        if artifact.get("kind") == "fast-tier":
+            parts.append(
+                f"<h2>fast-tier validation — "
+                f"{_html.escape(str(artifact.get('mode')))}</h2>"
+            )
+            for line in render_fast_tier_text(artifact):
+                parts.append(
+                    f'<div class="spark">{_html.escape(line)}</div>'
+                )
+            continue
+        a, b = artifact["a"], artifact["b"]
+        ea, eb = artifact["modes"][a], artifact["modes"][b]
+        parts.append(
+            f"<h2>trace diff — {_html.escape(a)} vs {_html.escape(b)} "
+            f'<span class="muted">delta '
+            f"{artifact['delta']['cycles']:+,} cycles</span></h2>"
+        )
+        al = artifact["alignment"]
+        parts.append(
+            f'<p class="muted">alignment: {al["pairs"]:,} paired, '
+            f"{al['a_only']:,} {_html.escape(a)}-only, "
+            f"{al['b_only']:,} {_html.escape(b)}-only, "
+            f"{al['resyncs']:,} resyncs</p>"
+        )
+        rows = [
+            f"<tr><th>bucket</th><td>{_html.escape(a)}</td>"
+            f"<td>{_html.escape(b)}</td><td>delta</td></tr>"
+        ]
+        for name in STALL_BUCKETS:
+            va = ea["buckets"].get(name, 0)
+            vb = eb["buckets"].get(name, 0)
+            rows.append(
+                f"<tr><th>{BUCKET_LABELS[name]}</th><td>{va:,}</td>"
+                f"<td>{vb:,}</td><td>{vb - va:+,}</td></tr>"
+            )
+        parts.append(f"<table>{''.join(rows)}</table>")
+        top = artifact["delta"]["top_pcs"]
+        if top:
+            rows = [
+                f"<tr><th>pc</th><td>sid</td><td>ops</td>"
+                f"<td>{_html.escape(a)}</td><td>{_html.escape(b)}</td>"
+                f"<td>delta</td></tr>"
+            ]
+            for row in top:
+                pc = row["pc"]
+                label = (
+                    "(unattributed)"
+                    if pc == UNATTRIBUTED_PC
+                    else f"0x{pc:08x}"
+                )
+                rows.append(
+                    f"<tr><th>{label}</th><td>{row['sid']}</td>"
+                    f"<td>{_html.escape(','.join(row['ops']))}</td>"
+                    f"<td>{row['a_total']:,}</td>"
+                    f"<td>{row['b_total']:,}</td>"
+                    f"<td>{row['delta']:+,}</td></tr>"
+                )
+            parts.append("<h2>top delta PCs</h2>")
+            parts.append(f"<table>{''.join(rows)}</table>")
+        points = artifact["timeline"]["points"]
+        if points:
+            parts.append(
+                f'<div class="spark">{_html.escape(sparkline(points))}'
+                f'</div><p class="muted">{_html.escape(b)} cycle delta '
+                f"over {artifact['timeline']['pairs']:,} aligned "
+                "commits</p>"
+            )
+    return parts
+
+
 def render_html(path: Union[str, Path]) -> str:
     """Render the report as one self-contained HTML page."""
     source = load_report_source(path)
@@ -477,10 +610,12 @@ def render_html(path: Union[str, Path]) -> str:
                 parts.append(
                     f'<div class="muted">{_html.escape(line)}</div>'
                 )
-            for line in _event_section(entry):
+            for line in _event_section(root, entry):
                 parts.append(
                     f'<div class="muted">{_html.escape(line)}</div>'
                 )
+    if source["kind"] == "run":
+        parts.extend(_html_diff(root))
     if source["kind"] == "sweep" and source.get("manifest"):
         for line in _fault_section(source["manifest"]):
             if line:

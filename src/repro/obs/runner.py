@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Callable, Dict, List, Optional, Union
+from typing import Callable, Dict, List, Optional, Tuple, Union
 
 from repro.obs.sampler import DEFAULT_INTERVAL, run_sampled
 from repro.obs.stalls import format_stall_line, verify_buckets
@@ -42,6 +42,7 @@ def run_observed(
     o3: bool = False,
     progress: Optional[Callable[[str], None]] = None,
     tier: str = "accurate",
+    diff: Optional[Tuple[str, str]] = None,
 ) -> Dict:
     """Run ``benchmark`` under each mode with observability attached.
 
@@ -55,6 +56,11 @@ def run_observed(
     unavailable; each mode instead gets a ``fasttier-<mode>.json``
     artifact with the calibration check and the per-block-class
     predicted-vs-measured divergence that ``repro report`` renders.
+
+    ``diff=(mode_a, mode_b)`` additionally builds the trace-diff/v1
+    artifact (``trace-diff.json``, see :mod:`repro.obs.diff`) from the
+    two modes' event streams before ``run.json`` is written; requires
+    ``events=True`` and the accurate tier.
     """
     from repro.cpu.pipeline import OutOfOrderCore
     from repro.harness.bench import BENCH_MODES, bench_specs
@@ -78,6 +84,11 @@ def run_observed(
         raise ValueError(
             "the fast tier replays analytically — no per-uop events or "
             "O3 pipeline view exist; use tier='accurate'"
+        )
+    if diff is not None and (tier != "accurate" or not events):
+        raise ValueError(
+            "diff needs the per-uop event streams: use the accurate "
+            "tier with events=True (`repro run --trace-out`)"
         )
 
     out = Path(outdir)
@@ -230,6 +241,23 @@ def run_observed(
                 f"CPI {stats.cpi:.2f}  {len(samples)} samples"
             )
             progress(f"{'':12s} {format_stall_line(stats)}")
+    if diff is not None:
+        from repro.obs.diff import build_trace_diff, write_trace_diff
+
+        mode_a, mode_b = diff
+        artifact = build_trace_diff(
+            out, mode_a, mode_b, run=payload
+        )
+        write_trace_diff(artifact, out / "trace-diff.json")
+        payload["diff_file"] = "trace-diff.json"
+        if progress is not None:
+            al = artifact["alignment"]
+            progress(
+                f"{'diff':12s} {mode_a} vs {mode_b}: "
+                f"{artifact['delta']['cycles']:+,} cycles, "
+                f"{al['pairs']:,} aligned / {al['b_only']:,} inserted "
+                f"-> trace-diff.json"
+            )
     (out / "run.json").write_text(
         json.dumps(payload, indent=2, sort_keys=True) + "\n"
     )

@@ -42,7 +42,7 @@ the simulator hot path.
 from __future__ import annotations
 
 import json
-from typing import Dict
+from typing import Dict, List, Sequence
 
 #: Bucket names in priority (and display) order; ``other`` is the
 #: residual.
@@ -97,22 +97,63 @@ def stall_buckets(stats) -> Dict[str, int]:
     return buckets
 
 
+def largest_remainder(
+    weights: Sequence[int], total: int
+) -> List[int]:
+    """Apportion ``total`` integer units proportionally to ``weights``.
+
+    Hamilton / largest-remainder method in pure integer arithmetic:
+    each entry gets ``floor(total * w / sum(weights))``, then the
+    leftover units go to the largest fractional remainders (ties broken
+    by lower index, so the result is deterministic).  The returned
+    list always sums to exactly ``total``; zero weights receive zero.
+    All-zero weights return all zeros — the caller decides where an
+    unattributable total goes.
+
+    Used by :func:`format_stall_line` (percentage tenths that sum to
+    100.0) and by the trace-diff profiler (per-PC bucket shares that
+    sum to the aggregate bucket, see :mod:`repro.obs.diff`).
+    """
+    if total < 0:
+        raise ValueError("total must be non-negative")
+    if any(w < 0 for w in weights):
+        raise ValueError("weights must be non-negative")
+    grand = sum(weights)
+    if not grand:
+        return [0] * len(weights)
+    shares = [total * w // grand for w in weights]
+    leftover = total - sum(shares)
+    if leftover:
+        remainders = sorted(
+            range(len(weights)),
+            key=lambda i: (-(total * weights[i] % grand), i),
+        )
+        for i in remainders[:leftover]:
+            shares[i] += 1
+    return shares
+
+
 def format_stall_line(stats, prefix: str = "stalls: ") -> str:
     """One-line percentage breakdown, base first, zero buckets elided.
 
     e.g. ``stalls: base 52.3% | rob-store 28.9% | dram 9.1% | ...``
+
+    The displayed percentages are largest-remainder rounded to tenths,
+    so the shown values always sum to exactly 100.0 (a naive per-bucket
+    round can sum to 99.9 or 100.1).  Zero buckets are elided and get
+    exactly zero tenths, so eliding them never breaks the sum.
     """
     buckets = stall_buckets(stats)
     cycles = stats.cycles
     if not cycles:
         return prefix + "no cycles"
+    tenths = largest_remainder(
+        [buckets[name] for name in STALL_BUCKETS], 1000
+    )
     parts = []
-    for name in STALL_BUCKETS:
-        value = buckets[name]
-        if value:
-            parts.append(
-                f"{BUCKET_LABELS[name]} {100.0 * value / cycles:.1f}%"
-            )
+    for name, tenth in zip(STALL_BUCKETS, tenths):
+        if buckets[name]:
+            parts.append(f"{BUCKET_LABELS[name]} {tenth / 10:.1f}%")
     return prefix + " | ".join(parts)
 
 

@@ -28,6 +28,16 @@ engine's resilience layer reuses the same interface for engine-level
 Events serialise to JSONL (one JSON object per line) via
 :func:`write_jsonl`/:func:`read_jsonl`, which is what ``repro run
 --trace-out`` stores and ``repro report`` consumes.
+
+Identity fields (INTERNALS §13): per-uop events carry ``seq`` (the
+dynamic sequence number — previewed at fetch, assigned at dispatch,
+dense over commits) and ``sid`` (the static statement id the trace
+generator stamped per code address), so ``repro diff`` can align two
+modes' streams and attribute cycles per PC.  The core also emits
+compact end-of-run ``pcstall`` events — one per ``(cause, pc)`` with
+the exact cycles that cause's raw counter charged to that pc — at the
+*end* of the run so they survive ring wraparound of the per-uop
+stream.
 """
 
 from __future__ import annotations

@@ -19,7 +19,7 @@ once against this interface and work in both modes:
 from __future__ import annotations
 
 import enum
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 from repro.cache.hierarchy import MemoryHierarchy
 from repro.cpu.isa import MicroOp, OpType
@@ -63,6 +63,12 @@ class Machine:
         self.trace: List[MicroOp] = []
         self._pc = self.layout.code_base
         self.ops_emitted = 0
+        #: pc -> dense static statement id, first-touch order.  Gives
+        #: every static code address a small stable id the tracer and
+        #: the trace-diff profiler can key on (same workload => same
+        #: numbering, regardless of defense mode for app-emitted ops,
+        #: whose pcs come from the seeded workload pc model).
+        self._statement_ids: Dict[int, int] = {}
         #: Functional-mode cycle odometer: the summed hierarchy latency
         #: of every load/store/arm/disarm that *completed*.  A faulting
         #: access contributes nothing, so the delta across an attack
@@ -85,6 +91,12 @@ class Machine:
         return self.mode is ExecutionMode.TRACE
 
     def _emit(self, uop: MicroOp) -> None:
+        sid_map = self._statement_ids
+        sid = sid_map.get(uop.pc)
+        if sid is None:
+            sid = len(sid_map)
+            sid_map[uop.pc] = sid
+        uop.sid = sid
         self.trace.append(uop)
         self.ops_emitted += 1
         # Straight-line code: each emitted op advances the pc, so

@@ -185,6 +185,39 @@ class TestStallBuckets:
     def test_format_stall_line_no_cycles(self):
         assert format_stall_line(self._stats()) == "stalls: no cycles"
 
+    @settings(max_examples=200, deadline=None)
+    @given(
+        cycles=st.integers(min_value=1, max_value=10**9),
+        counters=st.lists(
+            st.integers(min_value=0, max_value=10**9),
+            min_size=8,
+            max_size=8,
+        ),
+    )
+    def test_format_stall_line_percentages_sum_to_100(
+        self, cycles, counters
+    ):
+        """The displayed tenths are largest-remainder rounded, so they
+        sum to exactly 100.0% — never 99.9 or 100.1."""
+        import re
+
+        stats = self._stats(
+            cycles=cycles,
+            commit_active_cycles=counters[0],
+            rob_blocked_by_store_cycles=counters[1],
+            iq_full_cycles=counters[2],
+            lq_full_cycles=counters[3],
+            sq_full_cycles=counters[4],
+            icache_stall_cycles=counters[5],
+            mispredict_stall_cycles=counters[6],
+            dram_stall_cycles=counters[7],
+        )
+        line = format_stall_line(stats)
+        shown = re.findall(r"(\d+)\.(\d)%", line)
+        assert shown, line
+        tenths = [int(whole) * 10 + int(frac) for whole, frac in shown]
+        assert sum(tenths) == 1000
+
     def test_verify_buckets_raises_on_violation(self):
         class Unstable:
             # cycles changes between the decomposition and the check —
@@ -315,6 +348,53 @@ class TestO3PipeView:
             )
 
 
+class TestSquashStormIdentity:
+    def test_commit_stream_and_o3_survive_squashes(self, tmp_path):
+        """Branch-heavy run: mispredict squashes must not perturb the
+        committed identity stream (seqs dense, strictly increasing)
+        or the O3 export's tick monotonicity (INTERNALS §13)."""
+        import random
+
+        from repro.cache import MemoryHierarchy
+        from repro.core import Mode, Token, TokenConfigRegister
+        from repro.cpu import OutOfOrderCore
+        from repro.cpu.isa import alu, branch
+        from repro.obs.diff import (
+            check_commit_invariants,
+            committed_stream,
+        )
+
+        rng = random.Random(3)
+        ops = []
+        for i in range(400):
+            ops.append(
+                branch(rng.random() < 0.5, pc=0x400 + 4 * (i % 11))
+            )
+            ops.append(alu(pc=0x800 + 4 * (i % 5)))
+        reg = TokenConfigRegister(
+            Token.random(64, seed=1), mode=Mode.SECURE
+        )
+        core = OutOfOrderCore(MemoryHierarchy(token_config=reg))
+        tracer = attach_tracer(core, RingTracer(capacity=1 << 18))
+        stats = core.run(ops)
+        assert stats.branch_mispredicts > 0
+
+        events = tracer.events()
+        assert tracer.dropped == 0
+        assert any(e["kind"] == "squash" for e in events)
+        commits = committed_stream(events)
+        assert len(commits) == stats.committed
+        check_commit_invariants(commits, dropped=tracer.dropped)
+        seqs = [e["seq"] for e in commits]
+        assert seqs == list(range(seqs[0], seqs[0] + len(seqs)))
+        cycles = [e["cycle"] for e in commits]
+        assert cycles == sorted(cycles)
+
+        out = tmp_path / "o3.trace"
+        assert export_o3_pipeview(events, out) > 0
+        assert validate_o3_trace(out.read_text()) > 0
+
+
 class TestObservedRunAndReport:
     @pytest.fixture(scope="class")
     def run_dir(self, tmp_path_factory):
@@ -361,6 +441,32 @@ class TestObservedRunAndReport:
         html = render_html(run_dir)
         assert html.lstrip().startswith("<!DOCTYPE html>")
         assert "rest-debug" in html
+
+    def test_report_degrades_on_missing_artifacts(
+        self, run_dir, tmp_path, capsys
+    ):
+        """Deleting listed artifacts must downgrade the report to a
+        note per missing file, not a traceback — exit stays 0."""
+        import shutil
+
+        from repro.__main__ import main
+
+        clone = tmp_path / "clone"
+        shutil.copytree(run_dir, clone)
+        (clone / "samples-plain.jsonl").unlink()
+        (clone / "events-plain.jsonl").unlink()
+        payload = json.loads((clone / "run.json").read_text())
+        # A listed-but-absent fast-tier artifact must degrade too.
+        payload["modes"]["plain"]["fasttier_file"] = "fasttier-plain.json"
+        (clone / "run.json").write_text(json.dumps(payload))
+
+        assert main(["report", str(clone)]) == 0
+        out = capsys.readouterr().out
+        assert "samples-plain.jsonl missing" in out
+        assert "events-plain.jsonl missing" in out
+        assert "fasttier-plain.json missing" in out
+        # The intact mode still renders fully.
+        assert "rest-debug" in out
 
     def test_report_from_sweep_dir(self, tmp_path):
         from repro.obs.report import load_report_source, render_text
