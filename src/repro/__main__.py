@@ -588,13 +588,129 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         timeout=args.timeout,
         retries=args.retries,
         drain_grace=args.drain_grace,
+        coordinator=args.coordinator,
+        heartbeat=args.heartbeat,
+        miss_factor=args.miss_factor,
+        unit_retries=args.unit_retries,
+    )
+    mode = (
+        "coordinator (capacity from workers)"
+        if args.coordinator
+        else f"local, slots {args.slots}"
     )
     print(
         f"serving on {config.resolved_socket()} "
-        f"(state {args.state_dir}, slots {args.slots}); SIGTERM drains"
+        f"(state {args.state_dir}, {mode}); SIGTERM drains"
     )
     serve(config)
     return 0
+
+
+def _cmd_worker(args: argparse.Namespace) -> int:
+    from repro.service.protocol import parse_tcp
+    from repro.service.worker import WorkerConfig, serve_worker
+
+    if (args.connect is None) == (args.tcp is None):
+        print("worker needs exactly one of --connect SOCKET or "
+              "--tcp HOST:PORT")
+        return 2
+    config = WorkerConfig(
+        socket_path=args.connect,
+        tcp=parse_tcp(args.tcp) if args.tcp else None,
+        name=args.name,
+        slots=args.slots,
+        state_dir=args.state_dir,
+        reconnect=not args.no_reconnect,
+        reconnect_tries=args.reconnect_tries,
+    )
+    try:
+        serve_worker(config)
+    except ConnectionError as error:
+        print(f"worker giving up: {error}")
+        return 1
+    return 0
+
+
+def _cmd_workers(args: argparse.Namespace) -> int:
+    from repro.service.client import ServiceClient, ServiceError
+
+    try:
+        with ServiceClient(**_endpoint(args)) as client:
+            view = client.workers()
+    except ServiceError as error:
+        print(f"workers failed: {error.code}: {error}")
+        return 1
+    except OSError as error:
+        print(f"cannot reach daemon: {error}")
+        return 2
+    if not view.get("coordinator"):
+        print("daemon is running in local mode (no worker fabric)")
+        return 0
+    print(f"{'name':12s} {'pid':>7s} {'slots':>5s} {'busy':>4s} "
+          f"{'done':>5s}")
+    for worker in view.get("workers", []):
+        print(
+            f"{worker['name']:12s} {worker['pid']:>7d} "
+            f"{worker['slots']:>5d} {worker['inflight']:>4d} "
+            f"{worker['completed']:>5d}"
+        )
+    fabric = view.get("fabric", {})
+    print(
+        f"{fabric.get('workers', 0)} worker(s), capacity "
+        f"{fabric.get('capacity', 0)}; {fabric.get('redeemed', 0)} "
+        f"redeemed, {fabric.get('reassignments', 0)} reassigned, "
+        f"{fabric.get('lost_units', 0)} lost, "
+        f"{fabric.get('workers_lost', 0)} worker(s) lost"
+    )
+    return 0
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.service.loadgen import (
+        LoadgenOptions,
+        compare_to_baseline,
+        run_loadgen,
+    )
+
+    options = LoadgenOptions(
+        out=args.dir,
+        seed=args.seed,
+        fault_seed=args.fault_seed,
+        submissions=100 if args.quick else args.submissions,
+        unique_cells=12 if args.quick else args.unique_cells,
+        threads=args.threads,
+        workers_curve=tuple(args.workers or (1, 2)),
+        slots=args.slots,
+        scale=args.scale,
+        chaos_workers=args.chaos_workers,
+        kills=args.kills,
+        permanent=args.permanent,
+        quiet=args.quiet,
+    )
+    bench = run_loadgen(options)
+    out_path = Path(args.out or (Path(args.dir) / "BENCH_service.json"))
+    out_path.parent.mkdir(parents=True, exist_ok=True)
+    out_path.write_text(
+        json.dumps(bench, indent=1, sort_keys=True) + "\n"
+    )
+    print(f"wrote {out_path}")
+    problems = []
+    if args.baseline:
+        baseline = json.loads(Path(args.baseline).read_text())
+        problems = compare_to_baseline(bench, baseline)
+        for problem in problems:
+            print(f"DRIFT: {problem}")
+        if not problems:
+            print("no drift against baseline")
+    if not bench["chaos"]["identity"]:
+        for mismatch in bench["chaos"]["mismatches"]:
+            print(f"IDENTITY: {mismatch}")
+        print("chaos identity FAILED")
+        return 1
+    return 1 if problems else 0
 
 
 def _cmd_submit(args: argparse.Namespace) -> int:
@@ -641,41 +757,52 @@ def _cmd_submit(args: argparse.Namespace) -> int:
 
 
 def _watch_job(args: argparse.Namespace, job_id: str) -> int:
-    from repro.service.client import ServiceClient, ServiceError
+    from repro.service.client import ServiceError, watch_resilient
 
     try:
-        with ServiceClient(**_endpoint(args)) as client:
-            state = None
-            for event in client.watch(job_id):
-                if event.get("type") == "done":
-                    state = event.get("state")
-                    break
-                kind = event.get("kind", "")
-                if kind == "sample":
-                    print(
-                        f"  {job_id} {event.get('uid')}: "
-                        f"cycle {event.get('cycle'):>8,}  "
-                        f"ipc {event.get('ipc'):.2f}",
-                        flush=True,
-                    )
-                elif kind.startswith("unit."):
-                    detail = ""
-                    if event.get("error"):
-                        detail = f" ({event['error']})"
-                    print(f"  {job_id} {event.get('uid')}: "
-                          f"{kind.split('.', 1)[1]}{detail}", flush=True)
-                elif kind.startswith("fault."):
-                    print(f"  {job_id} {event.get('uid')}: "
-                          f"{kind}", flush=True)
-                elif kind in ("job.done", "job.failed"):
-                    error = event.get("error")
-                    suffix = (
-                        f": {error['type']}: {error['message']}"
-                        if error
-                        else ""
-                    )
-                    print(f"  {job_id} {kind.split('.', 1)[1]}{suffix}",
-                          flush=True)
+        state = None
+        for event in watch_resilient(job_id, **_endpoint(args)):
+            if event.get("type") == "done":
+                state = event.get("state")
+                break
+            if event.get("type") == "reconnected":
+                print(
+                    f"  {job_id} reconnected after "
+                    f"{event.get('failures', 0)} attempt(s); "
+                    f"replaying events",
+                    flush=True,
+                )
+                continue
+            if event.get("type") == "draining":
+                print(f"  {job_id} daemon draining; job persisted, "
+                      f"waiting for restart", flush=True)
+                continue
+            kind = event.get("kind", "")
+            if kind == "sample":
+                print(
+                    f"  {job_id} {event.get('uid')}: "
+                    f"cycle {event.get('cycle'):>8,}  "
+                    f"ipc {event.get('ipc'):.2f}",
+                    flush=True,
+                )
+            elif kind.startswith("unit."):
+                detail = ""
+                if event.get("error"):
+                    detail = f" ({event['error']})"
+                print(f"  {job_id} {event.get('uid')}: "
+                      f"{kind.split('.', 1)[1]}{detail}", flush=True)
+            elif kind.startswith("fault."):
+                print(f"  {job_id} {event.get('uid')}: "
+                      f"{kind}", flush=True)
+            elif kind in ("job.done", "job.failed"):
+                error = event.get("error")
+                suffix = (
+                    f": {error['type']}: {error['message']}"
+                    if error
+                    else ""
+                )
+                print(f"  {job_id} {kind.split('.', 1)[1]}{suffix}",
+                      flush=True)
     except ServiceError as error:
         print(f"watch failed: {error.code}: {error}")
         return 1
@@ -1201,7 +1328,82 @@ def main(argv=None) -> int:
     p_serve.add_argument("--drain-grace", type=float, default=10.0,
                          metavar="SECONDS",
                          help="how long in-flight units get on shutdown")
+    p_serve.add_argument("--coordinator", action="store_true",
+                         help="run as fabric coordinator: units execute "
+                              "on registered workers (repro worker), "
+                              "capacity tracks the worker fleet")
+    p_serve.add_argument("--heartbeat", type=float, default=1.0,
+                         metavar="SECONDS",
+                         help="coordinator: worker heartbeat interval")
+    p_serve.add_argument("--miss-factor", type=float, default=3.0,
+                         metavar="X",
+                         help="coordinator: heartbeats a worker may miss "
+                              "before its leases are revoked")
+    p_serve.add_argument("--unit-retries", type=int, default=2,
+                         metavar="N",
+                         help="coordinator: reassignments a unit gets "
+                              "after worker deaths before quarantine")
     p_serve.set_defaults(handler=_cmd_serve)
+
+    p_worker = sub.add_parser(
+        "worker", help="run one fabric worker against a coordinator"
+    )
+    p_worker.add_argument("--connect", default=None, metavar="SOCKET",
+                          help="coordinator Unix socket path")
+    p_worker.add_argument("--tcp", default=None, metavar="HOST:PORT",
+                          help="coordinator TCP endpoint")
+    p_worker.add_argument("--name", default=None,
+                          help="worker name (default: coordinator assigns)")
+    p_worker.add_argument("--slots", type=_positive_int, default=2,
+                          help="concurrent supervised simulations")
+    p_worker.add_argument("--state-dir", default=None, metavar="DIR",
+                          help="write worker.log here (default: stdout)")
+    p_worker.add_argument("--no-reconnect", action="store_true",
+                          help="exit instead of redialing a lost "
+                               "coordinator")
+    p_worker.add_argument("--reconnect-tries", type=_positive_int,
+                          default=30, metavar="N",
+                          help="consecutive failed dials before giving up")
+    p_worker.set_defaults(handler=_cmd_worker)
+
+    p_workers = sub.add_parser(
+        "workers", help="list the coordinator's registered workers"
+    )
+    add_endpoint_flags(p_workers)
+    p_workers.set_defaults(handler=_cmd_workers)
+
+    p_load = sub.add_parser(
+        "loadgen",
+        help="load + chaos harness for the fabric (writes "
+             "BENCH_service.json)",
+    )
+    p_load.add_argument("dir", help="scratch/output directory")
+    p_load.add_argument("--out", default=None, metavar="FILE",
+                        help="bench JSON path (default: "
+                             "<dir>/BENCH_service.json)")
+    p_load.add_argument("--baseline", default=None, metavar="FILE",
+                        help="committed bench to gate deterministic "
+                             "fields against (exit 1 on drift)")
+    p_load.add_argument("--quick", action="store_true",
+                        help="CI shape: 100 submissions, 12 cells")
+    p_load.add_argument("--seed", type=int, default=11)
+    p_load.add_argument("--fault-seed", type=int, default=7)
+    p_load.add_argument("--submissions", type=_positive_int, default=400)
+    p_load.add_argument("--unique-cells", type=_positive_int, default=24)
+    p_load.add_argument("--threads", type=_positive_int, default=8,
+                        help="concurrent client threads")
+    p_load.add_argument("--workers", type=int, nargs="*", metavar="N",
+                        help="worker-count curve (default: 1 2)")
+    p_load.add_argument("--slots", type=_positive_int, default=2,
+                        help="slots per worker")
+    p_load.add_argument("--scale", type=float, default=0.05)
+    p_load.add_argument("--chaos-workers", type=_positive_int, default=2)
+    p_load.add_argument("--kills", type=int, default=1,
+                        help="seeded mid-flight worker SIGKILLs")
+    p_load.add_argument("--permanent", type=int, default=1,
+                        help="unhealable faults (expected quarantine)")
+    p_load.add_argument("--quiet", action="store_true")
+    p_load.set_defaults(handler=_cmd_loadgen)
 
     p_sub = sub.add_parser(
         "submit", help="submit a job to the daemon"

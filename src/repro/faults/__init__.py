@@ -14,7 +14,14 @@ from repro.faults.inject import (
     TransientInjectedFault,
     maybe_inject,
 )
-from repro.faults.plan import ALWAYS, FAULT_KINDS, FaultPlan, FaultSpec
+from repro.faults.plan import (
+    ALWAYS,
+    FAULT_KINDS,
+    FaultPlan,
+    FaultSpec,
+    WorkerKill,
+    WorkerKillPlan,
+)
 
 __all__ = [
     "ALWAYS",
@@ -24,5 +31,7 @@ __all__ = [
     "FaultSpec",
     "InjectedFault",
     "TransientInjectedFault",
+    "WorkerKill",
+    "WorkerKillPlan",
     "maybe_inject",
 ]

@@ -216,3 +216,95 @@ class FaultPlan:
         for spec in self.faults.values():
             counts[spec.kind] = counts.get(spec.kind, 0) + 1
         return dict(sorted(counts.items()))
+
+
+# -- worker-kill plans ------------------------------------------------------
+#
+# Unit-level fault specs sabotage *computations*; the fabric also needs
+# sabotage one level up — whole worker daemons dying mid-sweep.  A
+# worker-kill plan is the seeded schedule for that: which worker process
+# gets SIGKILLed, when (expressed as "after the coordinator has received
+# N results", which is observable and deterministic under varying
+# machine speed, unlike wall-clock), and how long until a replacement
+# rejoins.  The loadgen chaos driver executes the schedule; chaos
+# identity then demands the merged output match a fault-free baseline
+# anyway.
+
+
+@dataclass(frozen=True)
+class WorkerKill:
+    """One scheduled worker death."""
+
+    worker: int  # index into the launched worker fleet
+    after_results: int  # fire once >= this many results were redeemed
+    rejoin_delay: float = 1.0  # seconds before the replacement starts
+
+    def __post_init__(self) -> None:
+        if self.worker < 0:
+            raise ValueError("worker index must be >= 0")
+        if self.after_results < 0:
+            raise ValueError("after_results must be >= 0")
+
+
+@dataclass
+class WorkerKillPlan:
+    """Seeded schedule of mid-flight worker kills."""
+
+    seed: int
+    kills: List[WorkerKill] = field(default_factory=list)
+
+    @classmethod
+    def compile(
+        cls,
+        seed: int,
+        workers: int,
+        kills: int,
+        total_units: int,
+        rejoin_delay: float = 1.0,
+    ) -> "WorkerKillPlan":
+        """Spread ``kills`` deterministically across the run.
+
+        Trigger points land in the middle 10–70% of ``total_units`` so
+        a kill always interrupts in-flight work (never before the first
+        assignment or after the last result), and victims are drawn
+        seeded over the fleet.
+        """
+        if workers < 1:
+            raise ValueError("need at least one worker")
+        if kills < 0:
+            raise ValueError("kills must be >= 0")
+        rng = random.Random(seed)
+        span = max(1, total_units)
+        lo = max(1, int(0.1 * span))
+        hi = max(lo + 1, int(0.7 * span))
+        triggers = sorted(rng.randrange(lo, hi) for _ in range(kills))
+        plan = cls(seed=seed)
+        for trigger in triggers:
+            plan.kills.append(
+                WorkerKill(
+                    worker=rng.randrange(workers),
+                    after_results=trigger,
+                    rejoin_delay=rejoin_delay,
+                )
+            )
+        return plan
+
+    def to_dict(self) -> Dict:
+        return {
+            "seed": self.seed,
+            "kills": [asdict(kill) for kill in self.kills],
+        }
+
+    def write(self, path: Union[str, Path]) -> Path:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(self.to_dict(), indent=2, sort_keys=True))
+        return path
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "WorkerKillPlan":
+        data = json.loads(Path(path).read_text())
+        return cls(
+            seed=data.get("seed", 0),
+            kills=[WorkerKill(**kill) for kill in data.get("kills", [])],
+        )

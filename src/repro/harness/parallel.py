@@ -259,6 +259,12 @@ class ResultCache:
     computation would silently poison the sweep.
     """
 
+    #: Generation marker filename inside the cache root.
+    GENERATION_FILE = "GENERATION"
+    # Temp files younger than this are presumed live publishes, not
+    # crashed-writer debris; a real publish lasts milliseconds.
+    STALE_TMP_SECONDS = 60.0
+
     def __init__(self, root) -> None:
         self.root = Path(root)
         if self.root.is_file():
@@ -270,9 +276,151 @@ class ResultCache:
         self.stores = 0
         self.mismatches = 0
         self.races = 0
+        self.healed = 0
+        self.evicted = 0
 
     def _path(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.json"
+
+    # -- generations ----------------------------------------------------
+    #
+    # The cache is shared by concurrent writers (fabric workers, CLI
+    # sweeps) that cannot coordinate, so GC cannot use wall-clock age or
+    # reference counting.  Instead the store carries a monotonically
+    # increasing *generation* counter; every published entry is stamped
+    # with the generation current at write time, and collection is
+    # expressed against generations ("drop everything older than G"),
+    # which an operator advances at safe points (a finished load run, a
+    # release).  Writers racing a collection are safe: a collected key
+    # reads as a miss and is simply recomputed and re-published.
+
+    @property
+    def generation(self) -> int:
+        try:
+            return int((self.root / self.GENERATION_FILE).read_text())
+        except (FileNotFoundError, ValueError, OSError):
+            return 0
+
+    def bump_generation(self) -> int:
+        """Advance the store's generation (atomic publish); returns it."""
+        new_gen = self.generation + 1
+        self.root.mkdir(parents=True, exist_ok=True)
+        handle, tmp_name = tempfile.mkstemp(
+            dir=self.root, prefix=".generation.", suffix=".tmp"
+        )
+        with os.fdopen(handle, "w") as tmp:
+            tmp.write(str(new_gen))
+            tmp.flush()
+            os.fsync(tmp.fileno())
+        os.replace(tmp_name, self.root / self.GENERATION_FILE)
+        return new_gen
+
+    def _entries(self):
+        """Yield ``(path, entry_or_None)`` for every entry file.
+
+        ``entry`` is None for a torn/unparseable file.  Stray temp
+        files from crashed writers are yielded with ``entry is None``
+        too, so one scan drives both healing and collection.
+        """
+        if not self.root.is_dir():
+            return
+        for shard in sorted(self.root.iterdir()):
+            if not shard.is_dir():
+                continue
+            for path in sorted(shard.iterdir()):
+                if path.name.endswith(".tmp"):
+                    # A fresh temp may be a publish in flight from a
+                    # live writer; only temps past the grace window
+                    # are crashed-writer debris.
+                    try:
+                        age = time.time() - path.stat().st_mtime
+                    except OSError:
+                        continue
+                    if age >= self.STALE_TMP_SECONDS:
+                        yield path, None
+                    continue
+                if path.suffix != ".json":
+                    continue
+                try:
+                    entry = json.loads(path.read_text())
+                except (OSError, json.JSONDecodeError):
+                    yield path, None
+                    continue
+                if not isinstance(entry, dict) or "value" not in entry:
+                    yield path, None
+                    continue
+                yield path, entry
+
+    def _remove(self, path: Path) -> bool:
+        try:
+            path.unlink()
+            return True
+        except FileNotFoundError:
+            return False  # a concurrent healer/collector got it first
+        except OSError:
+            return False
+
+    def heal(self, log=None) -> int:
+        """Remove torn entries and stray temp files; returns the count.
+
+        Safe under concurrent writers: publication is always a whole
+        complete file (hard link or atomic rename), so anything torn is
+        garbage from a crashed or killed writer, never a write in
+        flight.  The one benign race — a torn entry replaced by a valid
+        one between scan and unlink — costs at most a recomputable
+        cache miss, never corruption.
+        """
+        removed = 0
+        for path, entry in list(self._entries()):
+            if entry is None and self._remove(path):
+                removed += 1
+                if log is not None:
+                    log(f"cache: healed torn entry {path.name}")
+        self.healed += removed
+        return removed
+
+    def gc(self, min_generation: int, log=None) -> int:
+        """Drop every valid entry stamped older than ``min_generation``
+        (entries with no stamp count as generation 0); heals torn
+        entries on the way.  Returns the number of files removed."""
+        removed = 0
+        for path, entry in list(self._entries()):
+            if entry is None:
+                if self._remove(path):
+                    removed += 1
+                    self.healed += 1
+                continue
+            if int(entry.get("gen", 0)) < min_generation:
+                if self._remove(path):
+                    removed += 1
+                    self.evicted += 1
+                    if log is not None:
+                        log(f"cache: collected {path.name} "
+                            f"(gen {entry.get('gen', 0)})")
+        return removed
+
+    def evict(self, max_entries: int) -> int:
+        """Bound the store to ``max_entries`` newest entries.
+
+        Eviction order is deterministic — oldest generation first, then
+        key order — so concurrent evictors converge on the same
+        survivors instead of thrashing each other's choices.
+        """
+        valid = [
+            (int(entry.get("gen", 0)), path.name, path)
+            for path, entry in self._entries()
+            if entry is not None
+        ]
+        removed = 0
+        excess = len(valid) - max(0, max_entries)
+        if excess <= 0:
+            return 0
+        valid.sort()
+        for _gen, _name, path in valid[:excess]:
+            if self._remove(path):
+                removed += 1
+                self.evicted += 1
+        return removed
 
     def get(
         self, key: str, unit: Optional[WorkUnit] = None
@@ -320,7 +468,12 @@ class ResultCache:
         and replaces it atomically when it is torn or mismatched — the
         chaos layer's cache-corruption faults must stay healable.
         """
-        entry = {"uid": unit.uid, "payload": unit.key_payload, "value": value}
+        entry = {
+            "uid": unit.uid,
+            "payload": unit.key_payload,
+            "value": value,
+            "gen": self.generation,
+        }
         path = self._path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
         handle, tmp_name = tempfile.mkstemp(
@@ -335,11 +488,23 @@ class ResultCache:
                 if self._valid_entry(path, unit):
                     self.races += 1
                 else:
-                    os.replace(tmp_name, path)
+                    try:
+                        os.replace(tmp_name, path)
+                    except FileNotFoundError:
+                        self.races += 1
                     tmp_name = None
+            except FileNotFoundError:
+                # A collector reaped our temp mid-publish.  The value
+                # is recomputable, so a lost publish is a benign miss,
+                # never a reason to crash the worker.
+                tmp_name = None
+                self.races += 1
             except OSError:
                 # Filesystem without hard links: plain atomic rename.
-                os.replace(tmp_name, path)
+                try:
+                    os.replace(tmp_name, path)
+                except FileNotFoundError:
+                    self.races += 1
                 tmp_name = None
         finally:
             if tmp_name is not None:

@@ -19,8 +19,16 @@ from repro.harness.experiment import RunResult
 
 
 def atomic_write_json(path: Union[str, Path], payload) -> Path:
-    """Write JSON via temp-file + rename so readers never see a torn
-    file (concurrent sweep workers share the result cache)."""
+    """Write JSON via temp-file + fsync + rename so readers never see a
+    torn file and a crash (even a power loss) mid-write can only leave
+    the *previous* complete version behind.
+
+    The data is fsync'd before the rename (so the rename never
+    publishes an empty or partial temp file after a crash) and the
+    directory is fsync'd after it (so the rename itself is durable).
+    Concurrent sweep workers share the result cache, and the daemon's
+    ``queue.json`` drain persistence must survive a crash mid-drain.
+    """
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
     handle, tmp_name = tempfile.mkstemp(
@@ -29,7 +37,19 @@ def atomic_write_json(path: Union[str, Path], payload) -> Path:
     try:
         with os.fdopen(handle, "w") as tmp:
             tmp.write(json.dumps(payload, indent=2, sort_keys=True))
+            tmp.flush()
+            os.fsync(tmp.fileno())
         os.replace(tmp_name, path)
+        try:
+            dir_fd = os.open(path.parent, os.O_RDONLY)
+        except OSError:
+            return path  # platform without directory opens; best effort
+        try:
+            os.fsync(dir_fd)
+        except OSError:
+            pass
+        finally:
+            os.close(dir_fd)
     except BaseException:
         try:
             os.unlink(tmp_name)

@@ -86,12 +86,12 @@ def load_report_source(path: Union[str, Path]) -> Dict:
         }
     stalls_json = root / "stalls.json"
     manifest_json = root / "manifest.json"
-    if stalls_json.is_file():
-        source = {
-            "kind": "sweep",
-            "dir": root,
-            "stalls": json.loads(stalls_json.read_text()),
-        }
+    if stalls_json.is_file() or manifest_json.is_file():
+        # A degraded sweep may have quarantined the stalls experiment;
+        # the manifest alone is still reportable.
+        source = {"kind": "sweep", "dir": root}
+        if stalls_json.is_file():
+            source["stalls"] = json.loads(stalls_json.read_text())
         if manifest_json.is_file():
             source["manifest"] = json.loads(manifest_json.read_text())
         return source
@@ -273,6 +273,54 @@ def _fault_section(manifest: Dict) -> List[str]:
     return lines
 
 
+def _fabric_section(root: Path) -> List[str]:
+    """Lease-journal summary for a sweep that ran on the worker fabric.
+
+    Empty for single-process runs; a ``fabric-events.jsonl`` dropped
+    next to the manifest (the coordinator writes one per state dir,
+    ``repro loadgen`` copies it into the chaos output) turns it on.
+    """
+    events_file = root / "fabric-events.jsonl"
+    if not events_file.is_file():
+        return []
+    kinds: Dict[str, int] = {}
+    per_worker: Dict[str, Dict[str, int]] = {}
+    try:
+        raw = events_file.read_text()
+    except OSError:
+        return [f"  fabric: {events_file} unreadable — section skipped"]
+    for line in raw.splitlines():
+        try:
+            event = json.loads(line)
+        except json.JSONDecodeError:
+            continue
+        kind = event.get("kind", "?")
+        kinds[kind] = kinds.get(kind, 0) + 1
+        worker = event.get("worker")
+        if worker:
+            stats = per_worker.setdefault(worker, {})
+            stats[kind] = stats.get(kind, 0) + 1
+    lines = [
+        "",
+        "fabric: "
+        f"{kinds.get('worker.join', 0)} join(s), "
+        f"{kinds.get('lease.grant', 0)} leases granted, "
+        f"{kinds.get('lease.redeem', 0)} redeemed, "
+        f"{kinds.get('lease.revoke', 0)} revoked, "
+        f"{kinds.get('worker.lost', 0)} worker(s) lost, "
+        f"{kinds.get('lease.late', 0)} late result(s)",
+    ]
+    for worker in sorted(per_worker):
+        stats = per_worker[worker]
+        lines.append(
+            f"  {worker}: granted {stats.get('lease.grant', 0)}, "
+            f"redeemed {stats.get('lease.redeem', 0)}, "
+            f"revoked {stats.get('lease.revoke', 0)}, "
+            f"lost {stats.get('worker.lost', 0)}"
+        )
+    return lines
+
+
 def render_text(path: Union[str, Path]) -> str:
     """Render the report for a run/sweep/foundry directory as text."""
     source = load_report_source(path)
@@ -298,15 +346,22 @@ def render_text(path: Union[str, Path]) -> str:
             out.extend(_event_section(root, entry))
         out.extend(_diff_section(root))
     else:
-        stalls = source["stalls"]
-        out.append(
-            f"REST sweep stall report — {stalls['benchmark']} "
-            f"(scale {stalls['scale']}, seed {stalls['seed']})"
-        )
-        out.append("=" * 72)
-        for mode_name, entry in stalls["modes"].items():
-            out.append("")
-            out.extend(_waterfall_lines(mode_name, entry))
+        stalls = source.get("stalls")
+        if stalls:
+            out.append(
+                f"REST sweep stall report — {stalls['benchmark']} "
+                f"(scale {stalls['scale']}, seed {stalls['seed']})"
+            )
+            out.append("=" * 72)
+            for mode_name, entry in stalls["modes"].items():
+                out.append("")
+                out.extend(_waterfall_lines(mode_name, entry))
+        else:
+            out.append(
+                "REST sweep report (no stall profile — quarantined "
+                "or not collected)"
+            )
+            out.append("=" * 72)
         manifest = source.get("manifest")
         if manifest:
             out.append("")
@@ -318,6 +373,7 @@ def render_text(path: Union[str, Path]) -> str:
                 retried = f" ({attempts} attempts)" if attempts > 1 else ""
                 out.append(f"  {name:12s} {status}{cached}{retried}")
             out.extend(_fault_section(manifest))
+        out.extend(_fabric_section(root))
     out.append("")
     return "\n".join(out)
 
@@ -585,10 +641,12 @@ def render_html(path: Union[str, Path]) -> str:
             f"(scale {data['scale']})"
         )
     else:
-        data = source["stalls"]
+        data = source.get("stalls") or {"modes": {}}
         title = (
             f"REST sweep stall report — {data['benchmark']} "
             f"(scale {data['scale']})"
+            if data.get("modes")
+            else "REST sweep report (no stall profile)"
         )
     parts = [_HTML_HEAD.format(title=_html.escape(title))]
     parts.append(f"<h1>{_html.escape(title)}</h1>")
@@ -618,6 +676,10 @@ def render_html(path: Union[str, Path]) -> str:
         parts.extend(_html_diff(root))
     if source["kind"] == "sweep" and source.get("manifest"):
         for line in _fault_section(source["manifest"]):
+            if line:
+                parts.append(f'<div class="muted">{_html.escape(line)}</div>')
+    if source["kind"] == "sweep":
+        for line in _fabric_section(root):
             if line:
                 parts.append(f'<div class="muted">{_html.escape(line)}</div>')
     parts.append("</body></html>\n")

@@ -109,11 +109,18 @@ class ServiceClient:
     def jobs(self) -> List[Dict]:
         return self._request("jobs")["jobs"]
 
-    def watch(self, job_id: str) -> Iterator[Dict]:
-        """Yield the job's event frames; ends after the ``done`` frame.
+    def workers(self) -> Dict:
+        """Fabric view: registered workers + dispatcher counters."""
+        return self._request("workers")
 
-        The final yielded frame has ``type == "done"`` and carries the
-        job's terminal state.
+    def watch(self, job_id: str) -> Iterator[Dict]:
+        """Yield the job's event frames until a terminal frame.
+
+        The final yielded frame has ``type == "done"`` (job reached a
+        terminal state) or ``type == "draining"`` (the daemon is
+        shutting down; the job is persisted and resumes under the same
+        id after restart — reconnect and watch again, or use
+        :func:`watch_resilient` which does exactly that).
         """
         self._send(protocol.request("watch", job=job_id))
         while True:
@@ -123,7 +130,7 @@ class ServiceClient:
                     frame.get("code", "error"), frame.get("message", "")
                 )
             yield frame
-            if frame.get("type") == "done":
+            if frame.get("type") in ("done", "draining"):
                 return
 
     def wait(self, job_id: str, poll: float = 0.2) -> Dict:
@@ -136,6 +143,79 @@ class ServiceClient:
 
     def shutdown(self) -> Dict:
         return self._request("shutdown")
+
+
+def watch_resilient(
+    job_id: str,
+    socket_path: Optional[str] = None,
+    tcp: Optional[Tuple[str, int]] = None,
+    max_retries: int = 10,
+    backoff: float = 0.25,
+    seed: int = 0,
+) -> Iterator[Dict]:
+    """Watch a job across daemon restarts; ends on its ``done`` frame.
+
+    A broken socket mid-stream (daemon killed), a ``draining`` frame
+    (daemon restarting gracefully), or a connect failure all trigger a
+    reconnect with seeded exponential backoff (the same
+    :func:`~repro.harness.parallel.backoff_delay` the retry engine
+    uses, keyed by job id, so two watchers of different jobs do not
+    thundering-herd a restarting daemon).  Each successful
+    re-establishment yields one structured frame::
+
+        {"type": "reconnected", "job": "j0001", "failures": 2}
+
+    before the daemon's replayed events.  Event ``seq`` numbers restart
+    from 1 after a daemon restart (the job is resubmitted from
+    ``queue.json`` under its original id), so consumers should treat
+    the ``reconnected`` frame as a replay boundary, not dedup by seq
+    across it.  ``max_retries`` bounds *consecutive* failures; a
+    healthy frame resets the budget.  A job that finished while the
+    watcher was away is gone from the restarted daemon's table and
+    surfaces as ``unknown_job`` once the budget is exhausted.
+    """
+    from repro.harness.parallel import backoff_delay
+
+    ever_streamed = False
+    failures = 0
+    while True:
+        try:
+            with ServiceClient(socket_path=socket_path, tcp=tcp) as client:
+                streamed_this_session = False
+                for frame in client.watch(job_id):
+                    if not streamed_this_session:
+                        streamed_this_session = True
+                        if ever_streamed:
+                            yield {
+                                "type": "reconnected",
+                                "job": job_id,
+                                "failures": failures,
+                            }
+                        ever_streamed = True
+                        failures = 0
+                    ftype = frame.get("type")
+                    yield frame
+                    if ftype == "done":
+                        return
+                    if ftype == "draining":
+                        break  # reconnect once the daemon is back
+        except (ServiceError, OSError) as error:
+            code = getattr(error, "code", None)
+            if isinstance(error, ServiceError) and code not in (
+                "disconnected",
+                "unknown_job",  # restarted daemon may not have restored yet
+            ):
+                raise
+        failures += 1
+        if failures > max_retries:
+            raise ServiceError(
+                "unreachable",
+                f"daemon did not come back for {job_id} after "
+                f"{max_retries} reconnect attempts",
+            )
+        # Exponential with seeded jitter, capped so a long outage polls
+        # every few seconds instead of minutes apart.
+        time.sleep(min(backoff_delay(backoff, failures, job_id, seed), 5.0))
 
 
 def wait_for_daemon(

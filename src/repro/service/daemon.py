@@ -30,9 +30,11 @@ already hold.
 from __future__ import annotations
 
 import asyncio
+import json
 import os
 import queue as _queue_mod
 import signal
+import sys
 import threading
 import time
 from dataclasses import dataclass
@@ -41,11 +43,22 @@ from typing import Optional, Tuple
 
 from repro.harness.parallel import ResultCache
 from repro.service import protocol
+from repro.service.fabric import FabricDispatcher
 from repro.service.scheduler import AdmissionError, Scheduler
 from repro.service.pool import UnitExecutor
 
 #: Socket filename inside the state directory.
 SOCKET_NAME = "daemon.sock"
+
+
+class StartupError(Exception):
+    """The daemon cannot start (bind failure, endpoint owned by a live
+    daemon).  :func:`serve` turns it into a structured stderr line and
+    exit code 1 instead of a traceback."""
+
+    def __init__(self, code: str, message: str) -> None:
+        self.code = code
+        super().__init__(message)
 
 
 @dataclass
@@ -62,6 +75,10 @@ class ServiceConfig:
     backoff: float = 0.25
     drain_grace: float = 10.0  # seconds in-flight work gets on SIGTERM
     salt: Optional[str] = None  # cache salt override (tests)
+    coordinator: bool = False  # execute on registered workers, not local
+    heartbeat: float = 1.0  # worker heartbeat interval (coordinator)
+    miss_factor: float = 3.0  # silent intervals before a worker is dead
+    unit_retries: int = 2  # reassignments after a worker loss, per unit
 
     def resolved_socket(self) -> Path:
         if self.socket_path is not None:
@@ -74,14 +91,31 @@ class Daemon:
         self.config = config
         self.state_dir = Path(config.state_dir)
         self.state_dir.mkdir(parents=True, exist_ok=True)
+        self._log_path = self.state_dir / "daemon.log"
         self.cache = ResultCache(self.state_dir / "cache")
-        self.executor = UnitExecutor(
-            timeout=config.timeout,
-            retries=config.retries,
-            backoff=config.backoff,
-        )
-        self.progress_queue = self.executor.make_queue()
-        self.executor.progress_queue = self.progress_queue
+        self.cache.heal(log=self.log)  # clear torn entries from a crash
+        self.fabric: Optional[FabricDispatcher] = None
+        if config.coordinator:
+            self.fabric = FabricDispatcher(
+                heartbeat=config.heartbeat,
+                miss_factor=config.miss_factor,
+                unit_retries=config.unit_retries,
+                timeout=config.timeout,
+                retries=config.retries,
+                salt=config.salt,
+                log=self.log,
+                events_path=self.state_dir / "fabric-events.jsonl",
+            )
+            self.executor = self.fabric
+            self.progress_queue = None
+        else:
+            self.executor = UnitExecutor(
+                timeout=config.timeout,
+                retries=config.retries,
+                backoff=config.backoff,
+            )
+            self.progress_queue = self.executor.make_queue()
+            self.executor.progress_queue = self.progress_queue
         self.scheduler = Scheduler(
             self.executor,
             self.cache,
@@ -90,12 +124,25 @@ class Daemon:
             salt=config.salt,
             jobs_dir=self.state_dir / "jobs",
         )
+        if self.fabric is not None:
+            # Capacity is whatever the registered workers bring; with no
+            # workers yet, units queue instead of dispatching.
+            self.scheduler.slots = 0
+            self.fabric.on_capacity_change = self._on_capacity
+            self.fabric.on_progress = self.scheduler.on_progress
         self.started = time.time()
         self._stop = asyncio.Event()
+        self._drained = asyncio.Event()
         self._progress_thread: Optional[threading.Thread] = None
-        self._log_path = self.state_dir / "daemon.log"
+        self._monitor_task: Optional[asyncio.Task] = None
         self._server = None
         self._tcp_server = None
+
+    def _on_capacity(self, capacity: int) -> None:
+        """Fabric capacity changed: retune the scheduler's slot count."""
+        self.scheduler.slots = capacity
+        self.log(f"fabric capacity now {capacity} slot(s)")
+        self.scheduler._pump()
 
     # ---------------------------------------------------------------- log
 
@@ -156,6 +203,34 @@ class Daemon:
                     writer.write(protocol.encode_frame(error.frame()))
                     await writer.drain()
                     return
+                if rtype in protocol.WORKER_REQUEST_TYPES:
+                    if self.fabric is None:
+                        writer.write(
+                            protocol.encode_frame(
+                                protocol.error_frame(
+                                    "not_coordinator",
+                                    "this daemon executes locally; start "
+                                    "it with --coordinator to accept "
+                                    "workers",
+                                )
+                            )
+                        )
+                        await writer.drain()
+                        return
+                    if rtype != "w.register":
+                        writer.write(
+                            protocol.encode_frame(
+                                protocol.error_frame(
+                                    "bad_frame",
+                                    f"{rtype} before w.register",
+                                )
+                            )
+                        )
+                        await writer.drain()
+                        return
+                    # The connection is a worker's for its lifetime.
+                    await self._serve_worker(frame, reader, writer)
+                    return
                 try:
                     done = await self._dispatch(rtype, frame, writer)
                 except (ConnectionResetError, BrokenPipeError):
@@ -197,15 +272,35 @@ class Daemon:
             writer.write(protocol.encode_frame(payload))
 
         if rtype == "ping":
-            send(
-                {
-                    "type": "pong",
-                    "v": protocol.PROTOCOL_VERSION,
-                    "pid": os.getpid(),
-                    "uptime": round(time.time() - self.started, 3),
-                    "stats": self.scheduler.stats(),
-                }
-            )
+            pong = {
+                "type": "pong",
+                "v": protocol.PROTOCOL_VERSION,
+                "pid": os.getpid(),
+                "uptime": round(time.time() - self.started, 3),
+                "stats": self.scheduler.stats(),
+            }
+            if self.fabric is not None:
+                pong["fabric"] = self.fabric.stats()
+            send(pong)
+            await writer.drain()
+            return False
+        if rtype == "workers":
+            listing = {
+                "type": "workers",
+                "coordinator": self.fabric is not None,
+                "workers": [],
+                "fabric": None,
+            }
+            if self.fabric is not None:
+                listing["workers"] = [
+                    worker.to_wire()
+                    for worker in sorted(
+                        self.fabric.workers.values(),
+                        key=lambda w: w.name,
+                    )
+                ]
+                listing["fabric"] = self.fabric.stats()
+            send(listing)
             await writer.drain()
             return False
         if rtype == "submit":
@@ -290,6 +385,22 @@ class Daemon:
                 last_seq = event["seq"]
             await writer.drain()
             while not (job.done_event.is_set() and live.empty()):
+                if self._drained.is_set() and live.empty() and job.open:
+                    # Drain interrupted this job.  It is persisted and
+                    # will resume under the same id after restart; tell
+                    # the subscriber so instead of hanging up on it.
+                    writer.write(
+                        protocol.encode_frame(
+                            {
+                                "type": "draining",
+                                "job": job.id,
+                                "state": job.state,
+                                "persisted": True,
+                            }
+                        )
+                    )
+                    await writer.drain()
+                    return True
                 try:
                     event = await asyncio.wait_for(live.get(), timeout=0.2)
                 except asyncio.TimeoutError:
@@ -309,6 +420,68 @@ class Daemon:
         await writer.drain()
         return False  # connection may issue further requests
 
+    # ------------------------------------------------------------ workers
+
+    async def _serve_worker(
+        self,
+        frame: dict,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        """Own one worker connection from ``w.register`` to EOF."""
+        handle = self.fabric.register(frame, writer)
+        writer.write(
+            protocol.encode_frame(
+                {
+                    "type": "w.registered",
+                    "worker": handle.name,
+                    "heartbeat": self.fabric.heartbeat,
+                }
+            )
+        )
+        await writer.drain()
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    return
+                if not line.strip():
+                    continue
+                try:
+                    wframe = protocol.decode_frame(line)
+                    wtype = protocol.check_request(wframe)
+                except protocol.ProtocolError as error:
+                    self.log(
+                        f"fabric: protocol error from {handle.name}: "
+                        f"{error}"
+                    )
+                    return
+                # Any frame is proof of life, not just heartbeats.
+                self.fabric.heartbeat_from(handle.name)
+                if wtype == "w.heartbeat":
+                    continue
+                if wtype == "w.result":
+                    self.fabric.redeem(
+                        wframe.get("lease"), wframe.get("result") or {}
+                    )
+                elif wtype == "w.progress":
+                    self.fabric.progress_from(wframe.get("event") or {})
+                elif wtype == "w.bye":
+                    self.log(f"fabric: worker {handle.name} said bye")
+                    return
+                else:  # a second w.register on a live connection
+                    self.log(
+                        f"fabric: unexpected {wtype} from {handle.name}"
+                    )
+                    return
+        finally:
+            # Only unregister if this connection still owns the name —
+            # a rejoined worker may have replaced the registration.
+            if self.fabric.workers.get(handle.name) is handle:
+                self.fabric.worker_lost(
+                    handle.name, reason="connection closed"
+                )
+
     # -------------------------------------------------------- run / stop
 
     def request_stop(self) -> None:
@@ -320,6 +493,24 @@ class Daemon:
         loop = getattr(self, "loop", None)
         if loop is not None and not loop.is_closed():
             loop.call_soon_threadsafe(self.request_stop)
+
+    @staticmethod
+    async def _socket_owner_alive(socket_path: Path) -> bool:
+        """True when an existing socket file has a live daemon behind
+        it.  A connect that is refused (or the file vanishing) means the
+        owner is dead and the socket is safe to reclaim."""
+        try:
+            _reader, writer = await asyncio.open_unix_connection(
+                str(socket_path)
+            )
+        except (ConnectionError, FileNotFoundError, OSError):
+            return False
+        try:
+            writer.close()
+            await writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+        return True
 
     async def run(self) -> None:
         loop = asyncio.get_running_loop()
@@ -333,28 +524,58 @@ class Daemon:
         socket_path = self.config.resolved_socket()
         socket_path.parent.mkdir(parents=True, exist_ok=True)
         if socket_path.exists():
-            socket_path.unlink()  # stale socket from a killed daemon
+            if await self._socket_owner_alive(socket_path):
+                raise StartupError(
+                    "socket_in_use",
+                    f"{socket_path} is owned by a live daemon; "
+                    "stop it first or use another --state-dir",
+                )
+            # Stale socket from a killed daemon: reclaim it.
+            self.log(f"reclaiming stale socket {socket_path}")
+            socket_path.unlink()
         limit = protocol.MAX_FRAME_BYTES + 1024
-        self._server = await asyncio.start_unix_server(
-            self._handle_connection, path=str(socket_path), limit=limit
-        )
+        try:
+            self._server = await asyncio.start_unix_server(
+                self._handle_connection, path=str(socket_path), limit=limit
+            )
+        except OSError as error:
+            raise StartupError(
+                "bind_failed", f"cannot bind {socket_path}: {error}"
+            )
         if self.config.tcp is not None:
             host, port = self.config.tcp
-            self._tcp_server = await asyncio.start_server(
-                self._handle_connection, host=host, port=port, limit=limit
-            )
+            try:
+                self._tcp_server = await asyncio.start_server(
+                    self._handle_connection, host=host, port=port,
+                    limit=limit,
+                )
+            except OSError as error:
+                self._server.close()
+                try:
+                    socket_path.unlink()
+                except OSError:
+                    pass
+                raise StartupError(
+                    "bind_failed", f"cannot bind {host}:{port}: {error}"
+                )
 
-        self._progress_thread = threading.Thread(
-            target=self._drain_progress, args=(loop,), daemon=True
-        )
-        self._progress_thread.start()
+        if self.progress_queue is not None:
+            self._progress_thread = threading.Thread(
+                target=self._drain_progress, args=(loop,), daemon=True
+            )
+            self._progress_thread.start()
+        if self.fabric is not None:
+            self._monitor_task = asyncio.ensure_future(
+                self.fabric.monitor()
+            )
 
         restored = self.scheduler.restore(self.state_dir)
         if restored:
             self.log(f"restored {restored} persisted job(s) from queue.json")
+        mode = "coordinator" if self.fabric is not None else "local"
         self.log(
-            f"listening on {socket_path} "
-            f"(slots={self.config.slots}, max_jobs={self.config.max_jobs})"
+            f"listening on {socket_path} ({mode} mode, "
+            f"slots={self.config.slots}, max_jobs={self.config.max_jobs})"
         )
 
         try:
@@ -370,10 +591,25 @@ class Daemon:
         await self.scheduler.drain(self.config.drain_grace)
         persisted = self.scheduler.persist(self.state_dir)
         self.log(f"drained; persisted {persisted} open job(s)")
-        try:
-            self.progress_queue.put(None)  # unblock the pump thread
-        except Exception:  # noqa: BLE001
-            pass
+        # Let in-flight watch subscribers observe the drain: they poll
+        # every 0.2s and send a terminal ``draining`` frame for jobs the
+        # drain left open, instead of seeing a bare hangup.
+        self._drained.set()
+        await asyncio.sleep(0.5)
+        if self._monitor_task is not None:
+            self._monitor_task.cancel()
+        if self.fabric is not None:
+            # Hang up on every worker so their connection handlers see
+            # EOF and finish before the loop closes (workers redial and
+            # re-register if they outlive us).
+            for name in list(self.fabric.workers):
+                self.fabric.worker_lost(name, reason="coordinator shutdown")
+            await asyncio.sleep(0)
+        if self.progress_queue is not None:
+            try:
+                self.progress_queue.put(None)  # unblock the pump thread
+            except Exception:  # noqa: BLE001
+                pass
         if self._progress_thread is not None:
             self._progress_thread.join(timeout=2.0)
         for server in (self._server, self._tcp_server):
@@ -389,6 +625,21 @@ class Daemon:
 
 
 def serve(config: ServiceConfig) -> None:
-    """Blocking entry point: run one daemon until it drains."""
+    """Blocking entry point: run one daemon until it drains.
+
+    A startup failure (endpoint already owned, bind error) prints one
+    structured JSON line to stderr and exits 1 — scripts supervising
+    daemons branch on ``error`` rather than parsing a traceback.
+    """
     daemon = Daemon(config)
-    asyncio.run(daemon.run())
+    try:
+        asyncio.run(daemon.run())
+    except StartupError as error:
+        print(
+            json.dumps(
+                {"error": error.code, "message": str(error)},
+                sort_keys=True,
+            ),
+            file=sys.stderr,
+        )
+        raise SystemExit(1)

@@ -8,19 +8,21 @@ frame carries ``"v": PROTOCOL_VERSION``; the daemon refuses mismatched
 versions with a structured error rather than guessing, because a
 half-understood scheduler command is worse than none.
 
-Request types (client → daemon)::
+Client request types (client → daemon)::
 
-    {"v": 1, "type": "ping"}
-    {"v": 1, "type": "submit", "kind": "sweep", "params": {...},
+    {"v": 2, "type": "ping"}
+    {"v": 2, "type": "submit", "kind": "sweep", "params": {...},
      "priority": "normal"}
-    {"v": 1, "type": "status", "job": "j0001"}
-    {"v": 1, "type": "jobs"}
-    {"v": 1, "type": "watch", "job": "j0001"}
-    {"v": 1, "type": "shutdown"}
+    {"v": 2, "type": "status", "job": "j0001"}
+    {"v": 2, "type": "jobs"}
+    {"v": 2, "type": "watch", "job": "j0001"}
+    {"v": 2, "type": "workers"}
+    {"v": 2, "type": "shutdown"}
 
 Response types (daemon → client): ``pong``, ``submitted``, ``status``,
-``jobs``, ``ok``, and for ``watch`` a stream of ``event`` frames closed
-by exactly one ``done`` frame.  Any failure is an ``error`` frame::
+``jobs``, ``workers``, ``ok``, and for ``watch`` a stream of ``event``
+frames closed by exactly one ``done`` frame.  Any failure is an
+``error`` frame::
 
     {"type": "error", "code": "queue_full", "message": "..."}
 
@@ -31,6 +33,33 @@ the daemon *rejects* rather than queues unboundedly), and ``draining``
 (daemon is shutting down; resubmit after restart).  A protocol error
 poisons only its own connection — the daemon drops that client and
 keeps every job and every other connection running.
+
+**Fabric frames (v2).**  A worker daemon speaks the same wire format
+on the same endpoint; its first frame is ``w.register``, which flips
+that connection into worker mode for its lifetime:
+
+worker → coordinator::
+
+    {"v": 2, "type": "w.register", "name": "w0", "slots": 2, "pid": 123}
+    {"v": 2, "type": "w.heartbeat", "name": "w0", "inflight": 1}
+    {"v": 2, "type": "w.result", "lease": "L7", "result": {...}}
+    {"v": 2, "type": "w.progress", "event": {"tag": "x00001", ...}}
+    {"v": 2, "type": "w.bye", "name": "w0"}
+
+coordinator → worker::
+
+    {"type": "w.registered", "worker": "w0", "heartbeat": 1.0}
+    {"type": "w.assign", "lease": "L7", "tag": "x00001",
+     "unit": {"uid", "module", "func", "kwargs", "key_payload"},
+     "timeout": null, "retries": 0}
+    {"type": "w.revoke", "lease": "L7"}
+    {"type": "w.drain", "grace": 10.0}
+
+A lease id is coordinator-scoped and single-use: a ``w.result`` whose
+lease the coordinator no longer holds (revoked after a missed
+heartbeat, or assigned to a worker that was declared dead and later
+rejoined) is acknowledged and discarded — results are content-addressed
+and idempotent, so a late duplicate can never corrupt a job.
 """
 
 from __future__ import annotations
@@ -39,15 +68,26 @@ import json
 from typing import Dict, Tuple
 
 #: Bump on any incompatible frame change.  The daemon and client must
-#: agree exactly; there is no negotiation.
-PROTOCOL_VERSION = 1
+#: agree exactly; there is no negotiation.  v2 added the fabric
+#: (worker registration / lease / heartbeat) frames.
+PROTOCOL_VERSION = 2
 
 #: Upper bound on one frame's wire size.  A line that exceeds it is a
 #: protocol violation (``bad_frame``), not a request to buffer forever.
 MAX_FRAME_BYTES = 1 << 20
 
-#: Request types the daemon understands.
-REQUEST_TYPES = ("ping", "submit", "status", "jobs", "watch", "shutdown")
+#: Request types a *client* connection may open with.
+CLIENT_REQUEST_TYPES = (
+    "ping", "submit", "status", "jobs", "watch", "workers", "shutdown",
+)
+
+#: Frame types a *worker* connection sends after registering.
+WORKER_REQUEST_TYPES = (
+    "w.register", "w.heartbeat", "w.result", "w.progress", "w.bye",
+)
+
+#: Every request type the daemon understands.
+REQUEST_TYPES = CLIENT_REQUEST_TYPES + WORKER_REQUEST_TYPES
 
 
 class ProtocolError(Exception):
@@ -130,3 +170,106 @@ def parse_tcp(text: str) -> Tuple[str, int]:
     if not sep or not host:
         raise ValueError(f"{text!r} is not HOST:PORT")
     return host, int(port)
+
+
+# -- fabric payload marshalling -----------------------------------------
+#
+# Work units and unit results cross the coordinator/worker wire as plain
+# JSON objects.  Unit kwargs are *mostly* JSON already (module/func path
+# + scalar parameters), with one exception: sweep cells carry a
+# :class:`~repro.harness.configs.DefenseSpec` value.  Rather than make
+# the wire format pickle-shaped (opaque, version-fragile, and an
+# execution vector if a socket is ever exposed), the marshaller tags the
+# known rich types explicitly and rejects anything else loudly.
+
+#: Tag key marking an encoded rich value inside unit kwargs.
+_TAG = "__repro_type__"
+
+
+def _encode_value(value):
+    from repro.harness.configs import DefenseSpec
+
+    if isinstance(value, DefenseSpec):
+        from dataclasses import asdict
+
+        data = asdict(value)
+        data["mode"] = value.mode.value
+        data[_TAG] = "DefenseSpec"
+        return data
+    return value
+
+
+def _decode_value(value):
+    if isinstance(value, dict) and value.get(_TAG) == "DefenseSpec":
+        from repro.core.modes import Mode
+        from repro.harness.configs import DefenseSpec
+
+        data = {
+            key: val for key, val in value.items() if key != _TAG
+        }
+        data["mode"] = Mode(data["mode"])
+        return DefenseSpec(**data)
+    return value
+
+
+def unit_to_wire(unit) -> Dict:
+    kwargs = {
+        key: _encode_value(value) for key, value in unit.kwargs.items()
+    }
+    try:
+        json.dumps(kwargs)
+    except TypeError as error:
+        raise ProtocolError(
+            "unmarshallable_unit",
+            f"unit {unit.uid} kwargs are not wire-safe: {error}",
+        )
+    return {
+        "uid": unit.uid,
+        "module": unit.module,
+        "func": unit.func,
+        "kwargs": kwargs,
+        "key_payload": unit.key_payload,
+    }
+
+
+def unit_from_wire(data: Dict):
+    from repro.harness.parallel import WorkUnit
+
+    return WorkUnit(
+        uid=data["uid"],
+        module=data["module"],
+        func=data["func"],
+        kwargs={
+            key: _decode_value(value)
+            for key, value in (data.get("kwargs") or {}).items()
+        },
+        key_payload=data.get("key_payload") or {},
+    )
+
+
+def result_to_wire(result) -> Dict:
+    return {
+        "uid": result.uid,
+        "ok": result.ok,
+        "value": result.value,
+        "error": result.error,
+        "cpu_seconds": result.cpu_seconds,
+        "wall_seconds": result.wall_seconds,
+        "attempts": result.attempts,
+        "quarantined": result.quarantined,
+    }
+
+
+def result_from_wire(data: Dict):
+    from repro.harness.parallel import UnitResult
+
+    return UnitResult(
+        uid=data["uid"],
+        ok=bool(data["ok"]),
+        value=data.get("value"),
+        error=data.get("error"),
+        cpu_seconds=float(data.get("cpu_seconds", 0.0)),
+        wall_seconds=float(data.get("wall_seconds", 0.0)),
+        attempts=int(data.get("attempts", 1)),
+        quarantined=bool(data.get("quarantined", False)),
+    )

@@ -266,6 +266,25 @@ class Scheduler:
                     owner=execution.subscribers[0][0].id,
                 )
                 continue
+            if self.cache is not None:
+                # A sibling's execution of this key may have *finished*
+                # while we sat in the queue — without this check the
+                # unit re-executes work that is already in the cache,
+                # and "executed == unique units" stops holding under
+                # concurrent submission storms.
+                entry = self.cache.get(key, unit)
+                if entry is not None:
+                    job.record(
+                        unit.uid,
+                        UnitResult(
+                            uid=unit.uid, ok=True,
+                            value=entry["value"], cached=True,
+                        ),
+                        "cached",
+                    )
+                    self._event(job, "unit.cached", uid=unit.uid)
+                    self._maybe_finish(job)
+                    continue
             self._dispatch(job, unit, key)
 
     def _dispatch(self, job: Job, unit: WorkUnit, key: str) -> None:
@@ -437,7 +456,24 @@ class Scheduler:
         path = Path(state_dir) / QUEUE_FILE
         try:
             payload = json.loads(path.read_text())
-        except (FileNotFoundError, json.JSONDecodeError, OSError):
+        except FileNotFoundError:
+            return 0
+        except (json.JSONDecodeError, OSError):
+            # A torn queue file should be impossible (writes are
+            # fsync'd temp + atomic rename), but if one ever appears —
+            # filesystem bug, manual edit — quarantine it under a
+            # .corrupt name so the evidence survives and the daemon
+            # still starts cleanly.
+            try:
+                path.replace(path.with_name(path.name + ".corrupt"))
+            except OSError:
+                pass
+            return 0
+        if not isinstance(payload, dict):
+            try:
+                path.replace(path.with_name(path.name + ".corrupt"))
+            except OSError:
+                pass
             return 0
         self._next_job = max(self._next_job, payload.get("next_job", 1))
         self._next_seq = max(self._next_seq, payload.get("next_seq", 1))
@@ -480,5 +516,8 @@ class Scheduler:
                 "misses": self.cache.misses,
                 "stores": self.cache.stores,
                 "races": self.cache.races,
+                "healed": self.cache.healed,
+                "evicted": self.cache.evicted,
+                "generation": self.cache.generation,
             }
         return counters

@@ -127,3 +127,139 @@ class TestCorruptionHealing:
         assert cache.mismatches == 1
         cache.put(KEY, UNIT, VALUE)
         assert cache.get(KEY, UNIT)["value"] == VALUE
+
+
+def _key(index):
+    return f"{index:02d}" + "ab" * 31
+
+
+class TestGenerations:
+    def test_generation_starts_at_zero_and_bumps_atomically(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert cache.generation == 0
+        assert cache.bump_generation() == 1
+        assert cache.bump_generation() == 2
+        # Another handle on the same root sees the published value.
+        assert ResultCache(tmp_path).generation == 2
+        stray = [
+            name for name in os.listdir(tmp_path)
+            if name.startswith(".generation.")
+        ]
+        assert stray == [], "generation bump must not leak temp files"
+
+    def test_entries_are_stamped_with_current_generation(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(_key(0), UNIT, VALUE)
+        cache.bump_generation()
+        cache.put(_key(1), UNIT, VALUE)
+        first = json.loads(cache._path(_key(0)).read_text())
+        second = json.loads(cache._path(_key(1)).read_text())
+        assert first["gen"] == 0
+        assert second["gen"] == 1
+
+    def test_gc_drops_only_older_generations(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(_key(0), UNIT, VALUE)
+        cache.bump_generation()
+        cache.put(_key(1), UNIT, VALUE)
+        removed = cache.gc(min_generation=1)
+        assert removed == 1
+        assert cache.get(_key(0), UNIT) is None
+        assert cache.get(_key(1), UNIT)["value"] == VALUE
+        # Unstamped legacy entries count as generation 0.
+        path = cache._path(_key(2))
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(
+            {"uid": UNIT.uid, "payload": UNIT.key_payload, "value": VALUE}
+        ))
+        assert cache.gc(min_generation=1) == 1
+        assert cache.evicted == 2
+
+    def test_evict_keeps_newest_generations_deterministically(
+        self, tmp_path
+    ):
+        cache = ResultCache(tmp_path)
+        for index in range(3):
+            cache.put(_key(index), UNIT, VALUE)
+        cache.bump_generation()
+        for index in range(3, 5):
+            cache.put(_key(index), UNIT, VALUE)
+        assert cache.evict(max_entries=3) == 2
+        survivors = {
+            path.name for path, entry in cache._entries()
+            if entry is not None
+        }
+        # Oldest generation goes first, key order breaks ties: the two
+        # gen-1 entries survive plus the highest-sorting gen-0 key.
+        assert survivors == {
+            f"{_key(2)}.json", f"{_key(3)}.json", f"{_key(4)}.json"
+        }
+        # Idempotent: a second evictor converges on the same survivors.
+        assert cache.evict(max_entries=3) == 0
+
+
+class TestHealing:
+    def test_heal_removes_torn_entries_and_stray_temps(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(_key(0), UNIT, VALUE)
+        torn = cache._path(_key(1))
+        torn.parent.mkdir(parents=True, exist_ok=True)
+        torn.write_text('{"uid": "x", "val')
+        stray = torn.parent / (torn.name + ".123.tmp")
+        stray.write_text("half-written")
+        # Crashed-writer debris is old; fresh temps are live publishes
+        # and must be left alone, so age this one past the grace window.
+        os.utime(stray, (0, 0))
+        wrong_shape = cache._path(_key(2))
+        wrong_shape.parent.mkdir(parents=True, exist_ok=True)
+        wrong_shape.write_text('"just a string"')
+        fresh = torn.parent / (torn.name + ".456.tmp")
+        fresh.write_text("publish in flight")
+        healed = cache.heal()
+        assert healed == 3
+        assert fresh.exists(), "live publishes must not be reaped"
+        fresh.unlink()
+        assert cache.healed == 3
+        assert cache.get(_key(0), UNIT)["value"] == VALUE
+        assert not torn.exists() and not stray.exists()
+        assert not wrong_shape.exists()
+
+    def test_heal_is_safe_under_concurrent_writers(self, tmp_path):
+        """Healers racing writers on the same root: valid entries are
+        never removed, and the store ends fully healed."""
+        context = multiprocessing.get_context("fork")
+        barrier = context.Barrier(3)
+
+        def write_storm(root, barrier):
+            cache = ResultCache(root)
+            barrier.wait()
+            for round_number in range(30):
+                cache.put(_key(round_number % 8), UNIT, VALUE)
+
+        def heal_storm(root, barrier):
+            cache = ResultCache(root)
+            barrier.wait()
+            for _ in range(30):
+                cache.heal()
+
+        seed_cache = ResultCache(tmp_path)
+        torn = seed_cache._path(_key(9))
+        torn.parent.mkdir(parents=True, exist_ok=True)
+        torn.write_text('{"torn":')
+        workers = [
+            context.Process(target=write_storm, args=(tmp_path, barrier),
+                            daemon=True),
+            context.Process(target=heal_storm, args=(tmp_path, barrier),
+                            daemon=True),
+        ]
+        for proc in workers:
+            proc.start()
+        barrier.wait()
+        for proc in workers:
+            proc.join(timeout=60)
+            assert proc.exitcode == 0
+        final = ResultCache(tmp_path)
+        assert final.heal() == 0, "storm must end with a clean store"
+        for index in range(8):
+            assert final.get(_key(index), UNIT)["value"] == VALUE
+        assert not torn.exists()

@@ -1,0 +1,322 @@
+"""Service robustness satellites: crash-safe queue, resilient watch,
+structured bind failures, drain visibility.
+
+These tests cover the failure paths an operator actually hits: a
+corrupted ``queue.json`` after a disk incident, a daemon restarting
+under a live watcher, two daemons racing for one socket, and a drain
+arriving while watch subscribers are mid-stream.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.harness.persistence import atomic_write_json
+from repro.service import ServiceClient, ServiceError, wait_for_daemon
+from repro.service.client import watch_resilient
+from repro.service.daemon import Daemon, ServiceConfig, StartupError
+from repro.service.scheduler import QUEUE_FILE
+from tests.test_service import SWEEP_PARAMS, running_daemon
+
+
+@pytest.fixture(autouse=True)
+def _fixed_salt(monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_SALT", "robust-test")
+
+
+def _cli_env():
+    src = str(Path(__file__).resolve().parents[1] / "src")
+    env = dict(os.environ)
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    return env
+
+
+class TestCrashSafeQueue:
+    def test_atomic_write_leaves_no_partial_file(self, tmp_path):
+        """The write path is temp + fsync + rename: the destination
+        either holds the old payload or the new one, never a tear."""
+        path = tmp_path / "queue.json"
+        atomic_write_json(path, {"jobs": list(range(1000))})
+        first = path.read_text()
+        atomic_write_json(path, {"jobs": list(range(2000))})
+        assert json.loads(path.read_text())["jobs"] == list(range(2000))
+        assert json.loads(first)["jobs"] == list(range(1000))
+        assert [p.name for p in tmp_path.iterdir()] == ["queue.json"]
+
+    def test_torn_queue_file_is_quarantined_not_fatal(self):
+        """A corrupted queue.json must not brick the daemon: it starts
+        clean and the evidence survives under queue.json.corrupt."""
+        state_dir = tempfile.mkdtemp(prefix="svc", dir="/tmp")
+        try:
+            torn = Path(state_dir) / QUEUE_FILE
+            torn.write_text('{"next_job": 3, "jobs": [{"id": "j00')
+            with running_daemon(state_dir=state_dir) as (
+                daemon, socket_path, state,
+            ):
+                with ServiceClient(socket_path=socket_path) as client:
+                    assert client.jobs() == []
+                    job = client.submit("sweep", dict(SWEEP_PARAMS))
+                    assert client.wait(job["id"])["state"] == "done"
+            corrupt = Path(state_dir) / (QUEUE_FILE + ".corrupt")
+            assert corrupt.exists()
+            assert corrupt.read_text().startswith('{"next_job": 3')
+        finally:
+            import shutil
+
+            shutil.rmtree(state_dir, ignore_errors=True)
+
+    def test_non_dict_queue_payload_also_quarantined(self):
+        state_dir = tempfile.mkdtemp(prefix="svc", dir="/tmp")
+        try:
+            (Path(state_dir) / QUEUE_FILE).write_text('["not", "a", "dict"]')
+            with running_daemon(state_dir=state_dir) as (
+                daemon, socket_path, state,
+            ):
+                with ServiceClient(socket_path=socket_path) as client:
+                    assert client.jobs() == []
+            assert (Path(state_dir) / (QUEUE_FILE + ".corrupt")).exists()
+        finally:
+            import shutil
+
+            shutil.rmtree(state_dir, ignore_errors=True)
+
+
+class TestBindFailures:
+    def test_socket_in_use_exits_1_with_structured_error(self):
+        """A second daemon on a live socket must exit 1 with a JSON
+        error on stderr, and must NOT steal the owner's socket."""
+        with running_daemon() as (daemon, socket_path, state):
+            process = subprocess.run(
+                [
+                    sys.executable, "-m", "repro", "serve",
+                    "--state-dir", str(state), "--socket", socket_path,
+                ],
+                env=_cli_env(),
+                capture_output=True,
+                timeout=60,
+                text=True,
+            )
+            assert process.returncode == 1
+            error = json.loads(process.stderr.strip().splitlines()[-1])
+            assert error["error"] == "socket_in_use"
+            assert socket_path in error["message"]
+            # The original daemon is untouched.
+            with ServiceClient(socket_path=socket_path) as client:
+                assert client.ping()["type"] == "pong"
+
+    def test_stale_socket_with_dead_owner_is_reclaimed(self):
+        state_dir = tempfile.mkdtemp(prefix="svc", dir="/tmp")
+        try:
+            # Fake a crashed daemon: a socket file nobody listens on.
+            import socket as socket_mod
+
+            stale = Path(state_dir) / "daemon.sock"
+            listener = socket_mod.socket(
+                socket_mod.AF_UNIX, socket_mod.SOCK_STREAM
+            )
+            listener.bind(str(stale))
+            listener.close()  # file stays, listener is gone
+            assert stale.exists()
+            with running_daemon(state_dir=state_dir) as (
+                daemon, socket_path, state,
+            ):
+                with ServiceClient(socket_path=socket_path) as client:
+                    assert client.ping()["type"] == "pong"
+        finally:
+            import shutil
+
+            shutil.rmtree(state_dir, ignore_errors=True)
+
+    def test_tcp_port_in_use_is_structured_startup_error(self):
+        import asyncio
+        import socket as socket_mod
+
+        blocker = socket_mod.socket()
+        blocker.bind(("127.0.0.1", 0))
+        blocker.listen(1)
+        port = blocker.getsockname()[1]
+        state_dir = tempfile.mkdtemp(prefix="svc", dir="/tmp")
+        try:
+            config = ServiceConfig(
+                state_dir=state_dir, tcp=("127.0.0.1", port)
+            )
+            daemon = Daemon(config)
+            with pytest.raises(StartupError) as excinfo:
+                asyncio.run(daemon.run())
+            assert excinfo.value.code == "bind_failed"
+            assert str(port) in str(excinfo.value)
+            # The unix socket it bound first was rolled back too.
+            assert not config.resolved_socket().exists()
+        finally:
+            blocker.close()
+            import shutil
+
+            shutil.rmtree(state_dir, ignore_errors=True)
+
+
+class TestResilientWatch:
+    def test_watch_survives_daemon_restart_with_reconnected_event(self):
+        """A watcher outlives a full drain/restart cycle: it sees the
+        terminal ``draining`` frame, then a structured ``reconnected``
+        frame on the restarted daemon, then the job's ``done``."""
+        state_dir = tempfile.mkdtemp(prefix="svc", dir="/tmp")
+        frames = []
+        errors = []
+        try:
+            params = {
+                "benchmarks": ["bzip2", "sjeng"],
+                "specs": ["Secure Heap"],
+                "seeds": [1, 2],
+                "scale": 0.3,
+            }
+            with running_daemon(state_dir=state_dir, slots=2) as (
+                daemon, socket_path, state,
+            ):
+                with ServiceClient(socket_path=socket_path) as client:
+                    job_id = client.submit("sweep", params)["id"]
+
+                def follow():
+                    try:
+                        for frame in watch_resilient(
+                            job_id,
+                            socket_path=socket_path,
+                            max_retries=60,
+                            backoff=0.05,
+                        ):
+                            frames.append(frame)
+                    except Exception as error:  # noqa: BLE001
+                        errors.append(error)
+
+                watcher = threading.Thread(target=follow, daemon=True)
+                watcher.start()
+                # The drain must catch the watcher mid-stream, so wait
+                # until it has demonstrably subscribed (received a
+                # frame) before leaving the context.
+                deadline = time.time() + 30
+                while not frames and time.time() < deadline:
+                    time.sleep(0.02)
+                assert frames, "watcher never subscribed"
+                # Leave the context: the daemon drains under the watcher.
+            # Restart; the persisted job resumes under the same id.
+            with running_daemon(state_dir=state_dir, slots=2) as (
+                daemon2, socket_path2, state2,
+            ):
+                assert socket_path2 == socket_path
+                watcher.join(timeout=120)
+            assert not watcher.is_alive()
+            assert not errors
+            kinds = [frame.get("type") for frame in frames]
+            assert "draining" in kinds
+            reconnect_at = kinds.index("reconnected")
+            assert reconnect_at > kinds.index("draining")
+            assert kinds[-1] == "done"
+            assert frames[-1]["state"] == "done"
+            assert frames[-1]["job"] == job_id
+        finally:
+            import shutil
+
+            shutil.rmtree(state_dir, ignore_errors=True)
+
+    def test_watch_resilient_gives_up_with_unreachable(self, tmp_path):
+        dead_socket = str(tmp_path / "nobody.sock")
+        with pytest.raises(ServiceError) as excinfo:
+            list(
+                watch_resilient(
+                    "j0001",
+                    socket_path=dead_socket,
+                    max_retries=2,
+                    backoff=0.01,
+                )
+            )
+        assert excinfo.value.code == "unreachable"
+
+    def test_backoff_is_seeded_and_capped(self):
+        from repro.harness.parallel import backoff_delay
+
+        first = [
+            min(backoff_delay(0.25, attempt, "j0001", 0), 5.0)
+            for attempt in range(1, 8)
+        ]
+        second = [
+            min(backoff_delay(0.25, attempt, "j0001", 0), 5.0)
+            for attempt in range(1, 8)
+        ]
+        assert first == second, "reconnect schedule must be reproducible"
+        assert max(first) <= 5.0
+        assert first[0] < first[-1]
+
+
+class TestDrainWithWatchers:
+    def test_watchers_get_terminal_draining_frame_and_nothing_is_lost(
+        self,
+    ):
+        """Shutdown with subscribers mid-stream: every watcher receives
+        a terminal ``draining`` frame (not a bare hangup), the job
+        persists, and a restart completes it under the same id."""
+        state_dir = tempfile.mkdtemp(prefix="svc", dir="/tmp")
+        try:
+            params = {
+                "benchmarks": ["bzip2", "sjeng", "hmmer"],
+                "specs": ["Secure Heap"],
+                "seeds": [1, 2],
+                "scale": 0.3,
+            }
+            watcher_frames = [[], []]
+            watcher_errors = []
+            with running_daemon(state_dir=state_dir, slots=2) as (
+                daemon, socket_path, state,
+            ):
+                with ServiceClient(socket_path=socket_path) as client:
+                    job_id = client.submit("sweep", params)["id"]
+
+                def follow(slot):
+                    try:
+                        with ServiceClient(
+                            socket_path=socket_path
+                        ) as watch_client:
+                            for frame in watch_client.watch(job_id):
+                                watcher_frames[slot].append(frame)
+                    except Exception as error:  # noqa: BLE001
+                        watcher_errors.append(error)
+
+                watchers = [
+                    threading.Thread(target=follow, args=(slot,),
+                                     daemon=True)
+                    for slot in range(2)
+                ]
+                for thread in watchers:
+                    thread.start()
+                time.sleep(0.3)  # let them subscribe mid-run
+            for thread in watchers:
+                thread.join(timeout=60)
+                assert not thread.is_alive()
+            assert not watcher_errors
+            for frames in watcher_frames:
+                assert frames, "watcher saw nothing before the drain"
+                terminal = frames[-1]
+                assert terminal["type"] in ("draining", "done")
+                if terminal["type"] == "draining":
+                    assert terminal["job"] == job_id
+                    assert terminal["persisted"] is True
+            # Completions were not lost: restart finishes the job.
+            with running_daemon(state_dir=state_dir, slots=2) as (
+                daemon2, socket_path2, state2,
+            ):
+                with ServiceClient(socket_path=socket_path2) as client:
+                    assert [j["id"] for j in client.jobs()] == [job_id]
+                    final = client.wait(job_id, poll=0.2)
+            assert final["state"] == "done"
+            cached = final["units"].get("cached", 0)
+            executed = daemon2.scheduler.executions_started
+            assert cached + executed == final["units"]["total"]
+        finally:
+            import shutil
+
+            shutil.rmtree(state_dir, ignore_errors=True)
