@@ -29,8 +29,10 @@ Commands
     failures, cache corruption) with timeouts+retries, and assert the
     degraded run's manifest/artifacts are byte-identical to the
     baseline for every non-quarantined unit.
-``attack <name|all> [--defense plain|asan|rest|rest-heap]``
-    Run attack scenarios and print the outcome.
+``attack <name|all> [--defense MODE]``
+    Run attack scenarios and print the outcome; MODE is any plugin-
+    registered defense (plain, asan, rest, rest-heap, softrest, mte,
+    mte-async, mte-asymm, ...) — unknown modes exit 2 with suggestions.
 ``foundry [--seed S] [--cases N] [--jobs N] [--defenses ...] ...``
     Generate a seeded adversarial corpus, execute it across defense
     modes through the parallel engine, and score a detection-coverage
@@ -105,15 +107,29 @@ EXPERIMENTS = (
     "memoverhead",
     "security",
     "attackmatrix",
+    "defensezoo",
 )
 
-#: Defense axes of the foundry (canonical registry names).
-FOUNDRY_DEFENSES = ("none", "asan", "rest", "rest-heap", "softrest")
+#: Defense axes of the foundry (canonical registry names — kept in
+#: lock-step with repro.defenses.registry.DEFENSE_MODES, as a literal
+#: so argparse help never imports the simulator).
+FOUNDRY_DEFENSES = (
+    "none",
+    "asan",
+    "rest",
+    "rest-heap",
+    "softrest",
+    "mte",
+    "mte-async",
+    "mte-asymm",
+)
 
 #: Experiments whose numbers come from attack execution (detection
 #: outcomes, tripwire hits), not trace replay — the fast tier only
 #: replaces the replay, so these reject ``--tier fast``.
-ATTACK_EXPERIMENTS = frozenset({"table3", "security", "attackmatrix"})
+ATTACK_EXPERIMENTS = frozenset(
+    {"table3", "security", "attackmatrix", "defensezoo"}
+)
 
 
 def _cmd_experiments(args: argparse.Namespace) -> int:
@@ -265,7 +281,11 @@ def _cmd_attack(args: argparse.Namespace) -> int:
 
     names = sorted(ATTACK_REGISTRY) if args.name == "all" else [args.name]
     for name in names:
-        defense = make_defense(args.defense)
+        try:
+            defense = make_defense(args.defense)
+        except ValueError as error:
+            print(str(error))
+            return 2
         try:
             result = run_attack(name, defense)
         except UnknownAttackError as error:
@@ -368,6 +388,9 @@ def _cmd_trace(args: argparse.Namespace) -> int:
             "rest-heap": DefenseSpec.rest(
                 "Secure Heap", protect_stack=False
             ),
+            "mte": DefenseSpec.mte(),
+            "mte-async": DefenseSpec.mte("MTE Async", "async"),
+            "mte-asymm": DefenseSpec.mte("MTE Asymm", "asymm"),
         }[args.defense]
         machine = Machine(mode=ExecutionMode.TRACE)
         defense = build_defense(machine, spec)
@@ -465,9 +488,10 @@ def _cmd_demo(_args: argparse.Namespace) -> int:
 
 def _cmd_minic(args: argparse.Namespace) -> int:
     from repro.core import RestException
-    from repro.defenses import AsanDefense, PlainDefense, RestDefense
+    from repro.defenses import AsanDefense, MteDefense, PlainDefense, RestDefense
     from repro.lang import Interpreter, parse
     from repro.runtime import Machine
+    from repro.runtime.mte import MteViolation
     from repro.runtime.shadow import AsanViolation
 
     with open(args.file) as handle:
@@ -479,11 +503,15 @@ def _cmd_minic(args: argparse.Namespace) -> int:
             "asan": lambda: AsanDefense(Machine()),
             "rest": lambda: RestDefense(Machine(), protect_stack=True),
             "rest-heap": lambda: RestDefense(Machine(), protect_stack=False),
+            "mte": lambda: MteDefense(Machine()),
+            "mte-async": lambda: MteDefense(Machine(), check_mode="async"),
+            "mte-asymm": lambda: MteDefense(Machine(), check_mode="asymm"),
         }
         defense = factories[args.defense]()
         try:
             result = Interpreter(program, defense).run(*args.args)
-        except (RestException, AsanViolation) as error:
+            defense.flush_pending_faults()
+        except (RestException, AsanViolation, MteViolation) as error:
             print(f"[{args.defense}] memory-safety violation: {error}")
             return 1
         print(f"[{args.defense}] main returned {result}")
@@ -1120,8 +1148,10 @@ def main(argv=None) -> int:
     p_att.add_argument("name", help="attack name or 'all'")
     p_att.add_argument(
         "--defense",
-        choices=("plain", "asan", "rest", "rest-heap"),
         default="rest",
+        metavar="MODE",
+        help="any plugin-registered defense mode (unknown modes exit 2 "
+             "with did-you-mean suggestions)",
     )
     p_att.add_argument("--verbose", "-v", action="store_true")
     p_att.set_defaults(handler=_cmd_attack)
@@ -1138,7 +1168,7 @@ def main(argv=None) -> int:
     p_fnd.add_argument("--defenses", nargs="*", choices=FOUNDRY_DEFENSES,
                        metavar="mode",
                        help="defense modes (default: none asan rest "
-                            "softrest)")
+                            "softrest mte mte-async)")
     p_fnd.add_argument("--families", nargs="*", metavar="family",
                        help="primitive families (default: all)")
     p_fnd.add_argument("--cache", type=_cache_dir, default=None,
@@ -1168,7 +1198,8 @@ def main(argv=None) -> int:
     p_trace.add_argument("--benchmark", default="xalancbmk")
     p_trace.add_argument(
         "--defense",
-        choices=("plain", "asan", "rest", "rest-heap"),
+        choices=("plain", "asan", "rest", "rest-heap", "mte",
+                 "mte-async", "mte-asymm"),
         default="rest",
     )
     p_trace.add_argument("--scale", type=float, default=0.1)
@@ -1189,7 +1220,8 @@ def main(argv=None) -> int:
     p_minic.add_argument("file")
     p_minic.add_argument(
         "--defense",
-        choices=("plain", "asan", "rest", "rest-heap"),
+        choices=("plain", "asan", "rest", "rest-heap", "mte",
+                 "mte-async", "mte-asymm"),
         default="rest",
     )
     p_minic.add_argument(

@@ -62,9 +62,59 @@ def rest_cost(
     )
 
 
+@dataclass(frozen=True)
+class MteHardwareCost:
+    """Added hardware for an MTE configuration (tag storage + checks).
+
+    Unlike REST's one-bit-per-line L1 metadata, MTE carries 4 bits per
+    16-byte granule through the *whole* memory system: a carve-out of
+    physical memory for tags, tag awareness at every cache level (or a
+    dedicated tag cache), and a tag-compare unit at the L1-D port.
+    """
+
+    tag_bits_per_granule: int
+    granule_bytes: int
+    l1d_lines: int
+    line_size: int
+    tag_cache_bits: int
+    comparator_width_bits: int
+    comparators: int
+
+    @property
+    def memory_overhead_fraction(self) -> float:
+        """Tag bits relative to data bits, system-wide (4/128 = 3.1%)."""
+        return self.tag_bits_per_granule / (self.granule_bytes * 8)
+
+    @property
+    def l1_tag_bits(self) -> int:
+        """Tag bits riding alongside the L1-D data array."""
+        per_line = (self.line_size // self.granule_bytes) * self.tag_bits_per_granule
+        return self.l1d_lines * per_line
+
+
+def mte_cost(config: HierarchyConfig = None) -> MteHardwareCost:
+    """Derive MTE's added hardware from a hierarchy configuration."""
+    config = config or HierarchyConfig()
+    l1d = config.l1d
+    lines = l1d.size // l1d.line_size
+    # A tag cache sized like sixteen L1 lines' worth of packed tag
+    # words (the AmpereOne-style dedicated structure).
+    tag_cache_bits = 16 * l1d.line_size * 8
+    return MteHardwareCost(
+        tag_bits_per_granule=4,
+        granule_bytes=16,
+        l1d_lines=lines,
+        line_size=l1d.line_size,
+        tag_cache_bits=tag_cache_bits,
+        comparator_width_bits=4,
+        comparators=1,
+    )
+
+
 def comparison_table() -> List[List[str]]:
     """Added-hardware comparison rows (from the papers cited in §VII)."""
     cost = rest_cost()
+    mte = mte_cost()
     return [
         [
             "REST",
@@ -72,6 +122,13 @@ def comparison_table() -> List[List[str]]:
             f"token bits in L1-D ({cost.storage_overhead_fraction:.4%} of "
             "the data array)",
             "1 beat comparator at the fill port + ~128 LSQ gates",
+        ],
+        [
+            "MTE",
+            f"{mte.tag_bits_per_granule} bits per {mte.granule_bytes} B "
+            f"granule system-wide ({mte.memory_overhead_fraction:.1%} of "
+            f"memory) + {mte.tag_cache_bits} bit tag cache",
+            "4b tag comparator at L1-D, tag-aware fills, IRG/STG ops",
         ],
         [
             "HDFI",

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from typing import List, Optional
 
-from repro.defenses.base import Defense, DefenseKind
+from repro.defenses.base import Defense
 from repro.runtime.allocators import AsanAllocator, LibcAllocator
 from repro.runtime.machine import Machine
 from repro.runtime.shadow import ShadowMemory, ShadowState
@@ -30,8 +30,9 @@ STACK_REDZONE = 32
 class AsanDefense(Defense):
     """Software tripwires: shadow memory + instrumentation."""
 
-    kind = DefenseKind.ASAN
+    mode_name = "asan"
     requires_recompilation = True
+    capabilities = frozenset({"shadow-memory", "redzones", "quarantine"})
 
     def __init__(
         self,

@@ -3,18 +3,11 @@
 from __future__ import annotations
 
 import abc
-import enum
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 from repro.runtime.libc import Libc
 from repro.runtime.machine import Machine
 from repro.runtime.stack import StackFrame, StackManager
-
-
-class DefenseKind(enum.Enum):
-    NONE = "plain"
-    ASAN = "asan"
-    REST = "rest"
 
 
 class Defense(abc.ABC):
@@ -26,18 +19,38 @@ class Defense(abc.ABC):
     mode (violations raise) and trace mode (micro-ops accumulate).
     """
 
-    kind: DefenseKind
+    #: Report label for this scheme family ("plain", "asan", "rest",
+    #: "mte", ...).  Class attribute by default; instances may
+    #: specialise it (MTE's check modes do).
+    mode_name: str = "plain"
     #: Whether deploying this defense requires recompiling the program
     #: (stack protection always does; REST heap-only does not).
     requires_recompilation: bool
+    #: Mechanism flags consumers can branch on without knowing concrete
+    #: classes: "rest-tokens", "shadow-memory", "memory-tagging", ...
+    #: (diagnosis and the attack suite read these instead of the old
+    #: closed ``DefenseKind`` enum).
+    capabilities: frozenset = frozenset()
 
     def __init__(self, machine: Machine) -> None:
+        """Bind this defense to ``machine``.
+
+        Plugin lifecycle: the caller (a
+        :class:`~repro.defenses.plugin.DefensePlugin` factory, usually
+        via ``make_defense``/``build_defense``) owns the Machine and
+        hands it in already configured for the desired execution mode;
+        the defense takes over its *protection* state — it may install
+        hooks on the machine (MTE installs ``machine.mte``) and assumes
+        no other defense shares it.  One defense per machine, one
+        machine per defense, for the defense's whole lifetime; fresh
+        runs build both anew.
+        """
         self.machine = machine
         self.libc = Libc(machine)
         self.stack = StackManager(machine)
         self._globals_cursor = machine.layout.globals_base
         #: (address, size) of every registered global, for diagnosis.
-        self.globals_registered = []
+        self.globals_registered: List[Tuple[int, int]] = []
 
     # -- heap ------------------------------------------------------------
 
@@ -160,4 +173,27 @@ class Defense(abc.ABC):
         """The allocator backing :meth:`malloc`/:meth:`free`."""
 
     def describe(self) -> str:
-        return self.kind.value
+        return self.mode_name
+
+    # -- pointer identity --------------------------------------------------
+
+    def canonical_address(self, ptr: int) -> int:
+        """Strip any defense-carried pointer metadata (MTE tags).
+
+        Two pointers to the same object compare equal only after
+        canonicalisation; comparisons and address arithmetic that must
+        survive tagging defenses go through this.
+        """
+        return ptr
+
+    # -- deferred fault delivery -------------------------------------------
+
+    def flush_pending_faults(self) -> None:
+        """Deliver any accumulated imprecise fault (raises if one is
+        pending).  No-op for defenses that only report synchronously."""
+
+    def take_pending_fault(self):
+        """Detach the oldest accumulated fault without raising, or
+        ``None``.  Harnesses call this after a phase completes to score
+        imprecise detections."""
+        return None

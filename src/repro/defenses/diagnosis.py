@@ -18,15 +18,48 @@ from repro.defenses.base import Defense
 
 
 def explain_fault(defense: Defense, address: int) -> str:
-    """Produce a human-readable diagnosis of a faulting address."""
+    """Produce a human-readable diagnosis of a faulting address.
+
+    Dispatches on the defense's *capability flags* (not its concrete
+    class): memory-tagging defenses get a tag-oriented diagnosis first,
+    everything shares the allocator/stack/globals walkers.
+    """
+    address = defense.canonical_address(address)
     finding = (
-        _diagnose_heap(defense, address)
+        _diagnose_tags(defense, address)
+        or _diagnose_heap(defense, address)
         or _diagnose_stack(defense, address)
         or _diagnose_globals(defense, address)
         or _diagnose_sprinkles(defense, address)
         or _diagnose_region(defense, address)
     )
     return f"0x{address:x}: {finding}"
+
+
+def _diagnose_tags(defense: Defense, address: int) -> Optional[str]:
+    """Tag-granule diagnosis for memory-tagging defenses (MTE)."""
+    if "memory-tagging" not in defense.capabilities:
+        return None
+    controller = getattr(defense, "controller", None)
+    if controller is None:
+        return None
+    mem_tag = controller.granule_tag(address)
+    for chunk in defense.allocator.live_chunks():
+        payload_end = chunk.payload + chunk.size
+        if chunk.payload <= address < payload_end:
+            return (
+                f"inside the live {chunk.size}-byte allocation at "
+                f"0x{chunk.payload:x} tagged {chunk.meta} — the faulting "
+                f"pointer carried a different (stale or forged) tag"
+            )
+    if mem_tag != 0:
+        return (
+            f"on a granule tagged {mem_tag} belonging to another "
+            "allocation (tag mismatch — overflow or stale pointer)"
+        )
+    # Untagged granule: fall through to the geometric walkers, which
+    # name the redzone/header/freed region the address landed in.
+    return None
 
 
 def _diagnose_heap(defense: Defense, address: int) -> Optional[str]:

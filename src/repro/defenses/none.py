@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from repro.defenses.base import Defense, DefenseKind
+from repro.defenses.base import Defense
 from repro.runtime.allocators import LibcAllocator
 from repro.runtime.machine import Machine
 
@@ -10,8 +10,9 @@ from repro.runtime.machine import Machine
 class PlainDefense(Defense):
     """No protection at all — the "Plain" bars in Figures 7 and 8."""
 
-    kind = DefenseKind.NONE
+    mode_name = "plain"
     requires_recompilation = False
+    capabilities = frozenset()
 
     def __init__(self, machine: Machine) -> None:
         super().__init__(machine)

@@ -1,53 +1,36 @@
-"""Canonical defense-mode registry.
+"""Canonical defense-mode registry (compatibility facade).
 
 The CLI, the attack suite and the foundry all need to turn a mode name
-("rest", "asan", ...) into a fresh functional-mode defense.  Keeping
-the factory table here — instead of three hand-rolled dicts — means a
-new defense mode becomes runnable everywhere by adding one entry.
+("rest", "mte-async", ...) into a fresh functional-mode defense.  The
+actual registry lives in :mod:`repro.defenses.plugin` — schemes
+register a :class:`~repro.defenses.plugin.DefensePlugin` there and
+become runnable everywhere a mode name is accepted.  This module keeps
+the long-standing import surface (``DEFENSE_MODES``,
+``canonical_mode``, ``make_defense``) stable for existing callers.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Optional
+from repro.defenses.plugin import (
+    DefensePlugin,
+    canonical_mode,
+    get_plugin,
+    make_defense,
+    registered_aliases,
+    registered_modes,
+    registered_plugins,
+)
 
-from repro.defenses.asan import AsanDefense
-from repro.defenses.base import Defense
-from repro.defenses.none import PlainDefense
-from repro.defenses.rest import RestDefense
-from repro.defenses.softrest import SoftRestDefense
-from repro.runtime.machine import Machine
+#: Canonical mode names, in report order (= plugin registration order).
+DEFENSE_MODES = registered_modes()
 
-#: Canonical mode names, in report order.
-DEFENSE_MODES = ("none", "asan", "rest", "rest-heap", "softrest")
-
-#: Accepted spellings -> canonical name ("plain" predates "none" in the
-#: CLI and stays supported).
-_ALIASES = {"plain": "none"}
-
-_FACTORIES: Dict[str, Callable[[Machine], Defense]] = {
-    "none": lambda machine: PlainDefense(machine),
-    "asan": lambda machine: AsanDefense(machine),
-    "rest": lambda machine: RestDefense(machine, protect_stack=True),
-    "rest-heap": lambda machine: RestDefense(machine, protect_stack=False),
-    "softrest": lambda machine: SoftRestDefense(machine, protect_stack=True),
-}
-
-
-def canonical_mode(name: str) -> str:
-    """Resolve aliases; raise ValueError for unknown modes."""
-    mode = _ALIASES.get(name, name)
-    if mode not in _FACTORIES:
-        known = ", ".join(DEFENSE_MODES)
-        raise ValueError(f"unknown defense mode {name!r}; known: {known}")
-    return mode
-
-
-def make_defense(name: str, machine: Optional[Machine] = None) -> Defense:
-    """Build a fresh functional-mode defense for ``name``.
-
-    Every call returns an independent defense over its own machine
-    (unless one is passed in), which is what attack/foundry execution
-    needs — no state leaks between cases.
-    """
-    mode = canonical_mode(name)
-    return _FACTORIES[mode](machine if machine is not None else Machine())
+__all__ = [
+    "DEFENSE_MODES",
+    "DefensePlugin",
+    "canonical_mode",
+    "get_plugin",
+    "make_defense",
+    "registered_aliases",
+    "registered_modes",
+    "registered_plugins",
+]

@@ -20,7 +20,7 @@ from typing import List, Optional
 
 import random
 
-from repro.defenses.base import Defense, DefenseKind
+from repro.defenses.base import Defense
 from repro.runtime.allocators import FastRestAllocator, RestAllocator
 from repro.runtime.machine import Machine
 from repro.runtime.stack import StackBuffer, StackFrame
@@ -29,7 +29,8 @@ from repro.runtime.stack import StackBuffer, StackFrame
 class RestDefense(Defense):
     """Hardware tripwires: token redzones, zero-instrumentation accesses."""
 
-    kind = DefenseKind.REST
+    mode_name = "rest"
+    capabilities = frozenset({"rest-tokens", "redzones", "quarantine"})
 
     def __init__(
         self,

@@ -53,6 +53,10 @@ EXPERIMENT_SCALES = {
     "intext": None,
     "memoverhead": 0.35,
     "security": None,
+    #: Defense zoo: REST-vs-MTE-vs-ASan overhead/coverage matrix; runs
+    #: the full workload suite under six specs plus a foundry corpus,
+    #: so it gets a fixed small scale regardless of the sweep's.
+    "defensezoo": 0.2,
     #: Observability artifact: per-defense top-down stall decomposition
     #: (written as ``stalls.json``; rendered by ``repro report``).
     "stalls": None,
@@ -62,6 +66,7 @@ EXPERIMENT_SCALES = {
 #: other than a ``.txt`` file: name -> (module, output filename).
 _SPECIAL_UNITS = {
     "stalls": ("repro.obs.stalls", "stalls.json"),
+    "defensezoo": ("repro.experiments.defensezoo", "defensezoo.json"),
 }
 
 

@@ -29,10 +29,11 @@ from repro.defenses.registry import canonical_mode, make_defense
 from repro.defenses.rest import RestDefense
 from repro.foundry.primitives import AttackCase, CaseOutcome
 from repro.runtime.allocators.base import AllocationError
+from repro.runtime.mte import MteViolation
 from repro.runtime.setjmp import FrameRegistry, longjmp, setjmp
 from repro.runtime.shadow import AsanViolation
 
-_VIOLATIONS = (RestException, AsanViolation)
+_VIOLATIONS = (RestException, AsanViolation, MteViolation)
 
 #: (outcome, detected_by, latency_cycles, detail)
 _DriverResult = Tuple[CaseOutcome, Optional[str], Optional[int], str]
@@ -55,6 +56,11 @@ def _run_phase(
     start = defense.machine.functional_cycles
     try:
         phase()
+        # Deferred-delivery defenses (MTE async/asymm) accumulate the
+        # fault and only report at a checkpoint; flushing inside the
+        # bracket scores the detection with its real (imprecise)
+        # latency — the whole phase ran before the report landed.
+        defense.flush_pending_faults()
     except _VIOLATIONS as error:
         latency = defense.machine.functional_cycles - start
         outcome = CaseOutcome.FALSE_POSITIVE if benign else CaseOutcome.DETECTED
@@ -108,7 +114,10 @@ def _drive_targeted_jump(case: AttackCase, defense: Defense) -> _DriverResult:
     _fill(defense, target, p["target_size"], b"\x5e")
     # The "corrupted pointer": victim base plus a computed delta that
     # lands inside the neighbor, overflying every redzone in between.
-    address = victim + (target - victim) + p["inner_offset"]
+    # The attacker knows the heap-layout distance (canonical), not the
+    # pointer metadata, so the forged pointer keeps the victim's tag.
+    delta = defense.canonical_address(target) - defense.canonical_address(victim)
+    address = victim + delta + p["inner_offset"]
 
     def phase() -> None:
         _access(defense, p["op"], address, p["width"])
@@ -141,7 +150,7 @@ def _drive_uaf_window(case: AttackCase, defense: Defense) -> _DriverResult:
         reused = None
         for _ in range(8):
             candidate = defense.malloc(size)
-            if candidate == victim:
+            if defense.canonical_address(candidate) == defense.canonical_address(victim):
                 reused = candidate
                 break
         if reused is None:
@@ -260,6 +269,11 @@ def run_case(case: AttackCase, defense_name: str) -> Dict[str, Any]:
     """Run one case against one fresh defense; returns a JSON-safe record."""
     mode = canonical_mode(defense_name)
     defense = make_defense(mode)
+    tag_seed = case.params.get("mte_tag_seed")
+    if tag_seed is not None:
+        reseed = getattr(defense, "reseed_tags", None)
+        if reseed is not None:
+            reseed(tag_seed)
     benign = case.oracle.kind == "benign"
     try:
         outcome, detected_by, latency, detail = _DRIVERS[case.family](case, defense)

@@ -19,6 +19,7 @@ from __future__ import annotations
 import random
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
+from repro.runtime.mte import TagSequencer
 from repro.foundry.primitives import (
     AttackCase,
     CaseOutcome,
@@ -33,6 +34,7 @@ from repro.foundry.primitives import (
 
 TOKEN = 64
 GRANULE = 8
+MTE_GRANULE = 16
 ASAN_STACK_REDZONE = 32
 ASAN_MIN_REDZONE = 16
 ASAN_MAX_REDZONE = 2048
@@ -57,6 +59,20 @@ def asan_heap_redzone(size: int) -> int:
 
 def rest_heap_span(size: int) -> int:
     return max(TOKEN, _round_up(size, TOKEN))
+
+
+def mte_heap_span(size: int) -> int:
+    """Bytes tagged with the allocation tag: the 16-byte-granule span.
+
+    Anything the program touches beyond it carries a different tag
+    (chunk header: tag 0; fresh arena: tag 0; a neighbor: its own
+    draw), so the *first* out-of-span granule on any linear path is
+    always lethal — the drivers lay victims out so that granule is a
+    header or virgin arena, making detection deterministic, not
+    1-in-15.  Bytes between ``size`` and the span are MTE's sub-granule
+    false-negative window.
+    """
+    return max(MTE_GRANULE, _round_up(size, MTE_GRANULE))
 
 
 def rest_heap_redzone(size: int) -> int:
@@ -124,6 +140,22 @@ def _expected_spatial(
     for defense in DEFENSE_MODES:
         if defense == "none" or (defense == "asan" and not asan_checked):
             expected[defense] = CaseOutcome.MISSED.value
+            continue
+        if defense.startswith("mte"):
+            # Tag checks are hardware (library code included) but
+            # heap-only: any byte outside the tagged span is lethal,
+            # anything inside it — the sub-granule pad included — is
+            # invisible.  Coverage is check-mode-independent.
+            if region != "heap":
+                expected[defense] = CaseOutcome.MISSED.value
+                continue
+            span = mte_heap_span(size)
+            hit = any(
+                off < 0 or off + width > span for off, width in accesses
+            )
+            expected[defense] = (
+                CaseOutcome.DETECTED.value if hit else CaseOutcome.MISSED.value
+            )
             continue
         hit = _hits(accesses, poison_intervals(defense, region, size))
         expected[defense] = (
@@ -224,6 +256,19 @@ def _gen_targeted_jump(rng: random.Random):
         "width": width,
         "op": rng.choice(("load", "store")),
     }
+    # The corrupted pointer keeps the *victim's* tag while landing in
+    # the target's granules (the attacker knows the layout distance,
+    # not the tag bits), so MTE detects exactly when the two seeded
+    # draws differ — victim is draw 0, the target follows the gaps.
+    params["mte_tag_seed"] = rng.randrange(1 << 30)
+    replay = TagSequencer.replay_tags(
+        len(params["gap_sizes"]) + 2, params["mte_tag_seed"]
+    )
+    mte = (
+        CaseOutcome.DETECTED.value
+        if replay[-1] != replay[0]
+        else CaseOutcome.MISSED.value
+    )
     oracle = Oracle(
         kind="spatial",
         sound_detects=True,
@@ -231,7 +276,10 @@ def _gen_targeted_jump(rng: random.Random):
         illegal_start=inner,
         illegal_end=inner + width,
         illegal_ref="neighbor",
-        expected={d: CaseOutcome.MISSED.value for d in DEFENSE_MODES},
+        expected={
+            d: (mte if d.startswith("mte") else CaseOutcome.MISSED.value)
+            for d in DEFENSE_MODES
+        },
     )
     return params, oracle
 
@@ -321,10 +369,6 @@ def _gen_uaf_window(rng: random.Random):
     offset = rng.randrange(0, size - width + 1)
     detected = CaseOutcome.DETECTED.value
     missed = CaseOutcome.MISSED.value
-    if variant == "recycled":
-        expected = {d: missed for d in DEFENSE_MODES}
-    else:
-        expected = {d: (missed if d == "none" else detected) for d in DEFENSE_MODES}
     params = {
         "variant": variant,
         "fillers": fillers,
@@ -333,6 +377,24 @@ def _gen_uaf_window(rng: random.Random):
         "width": width,
         "op": rng.choice(("load", "store")),
     }
+    params["mte_tag_seed"] = rng.randrange(1 << 30)
+    if variant == "recycled":
+        expected = {d: missed for d in DEFENSE_MODES}
+        # MTE has no quarantine: the first same-class malloc reuses the
+        # victim with a fresh draw.  Victim = draw 0, each filler
+        # cycle draws once, the reallocation is draw fillers+1; the
+        # dangling pointer mismatches unless the two draws collide
+        # (1-in-15) — modelled exactly from the seeded sequence.
+        replay = TagSequencer.replay_tags(fillers + 2, params["mte_tag_seed"])
+        mte = detected if replay[fillers + 1] != replay[0] else missed
+        for d in DEFENSE_MODES:
+            if d.startswith("mte"):
+                expected[d] = mte
+    else:
+        # Freed-but-unreused: MTE's free-time retag never equals the
+        # allocation tag, so immediate/spaced dangling accesses are
+        # caught in every check mode (imprecisely under async).
+        expected = {d: (missed if d == "none" else detected) for d in DEFENSE_MODES}
     oracle = Oracle(
         kind="temporal",
         sound_detects=True,
@@ -360,13 +422,32 @@ def _gen_double_free(rng: random.Random):
     size = rng.randrange(8, 200)
     detected = CaseOutcome.DETECTED.value
     missed = CaseOutcome.MISSED.value
+    params = {"variant": variant, "fillers": fillers, "size": size}
+    params["mte_tag_seed"] = rng.randrange(1 << 30)
     if variant == "quarantined":
         expected = {d: (missed if d == "none" else detected) for d in DEFENSE_MODES}
     elif variant == "drained":
-        expected = {d: (detected if d == "asan" else missed) for d in DEFENSE_MODES}
+        # MTE's allocator validates the pointer tag on every free (all
+        # check modes): the freed region was retagged, so the stale
+        # free faults long after any quarantine would have drained.
+        expected = {
+            d: (
+                detected
+                if d == "asan" or d.startswith("mte")
+                else missed
+            )
+            for d in DEFENSE_MODES
+        }
     else:
         expected = {d: missed for d in DEFENSE_MODES}
-    params = {"variant": variant, "fillers": fillers, "size": size}
+        # realloc_between: the stale free is checked against the *new*
+        # owner's draw (victim = 0, fillers 1..400, new owner 401); a
+        # collision silently frees the new owner's chunk.
+        replay = TagSequencer.replay_tags(fillers + 2, params["mte_tag_seed"])
+        mte = detected if replay[fillers + 1] != replay[0] else missed
+        for d in DEFENSE_MODES:
+            if d.startswith("mte"):
+                expected[d] = mte
     oracle = Oracle(
         kind="temporal",
         sound_detects=True,

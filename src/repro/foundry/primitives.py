@@ -16,9 +16,10 @@ import enum
 from dataclasses import dataclass, field
 from typing import Any, Dict, Optional
 
-#: Defense modes a corpus is scored against, in report order.  The
-#: canonical names match :mod:`repro.defenses.registry`.
-DEFENSE_MODES = ("none", "asan", "rest", "rest-heap", "softrest")
+#: Defense modes a corpus is scored against, in report order — the
+#: plugin registry's canonical mode tuple, re-exported so foundry
+#: callers never drift from the defenses package.
+from repro.defenses.registry import DEFENSE_MODES  # noqa: F401
 
 
 class Family(enum.Enum):

@@ -19,8 +19,9 @@ from repro.harness.parallel import ResultCache, WorkUnit, execute_units
 #: foundry shard (the shard geometry is part of the cache key).
 SHARD_SIZE = 64
 
-#: The tentpole's defense axis; rest-heap is opt-in via --defenses.
-DEFAULT_DEFENSES = ("none", "asan", "rest", "softrest")
+#: The default defense axis; rest-heap and the remaining MTE check
+#: modes (mte-asymm shares mte's coverage) are opt-in via --defenses.
+DEFAULT_DEFENSES = ("none", "asan", "rest", "softrest", "mte", "mte-async")
 
 
 class FoundryExecutionError(RuntimeError):

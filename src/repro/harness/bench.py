@@ -74,6 +74,9 @@ def bench_specs():
         "asan": DefenseSpec.asan(),
         "rest-secure": DefenseSpec.rest("Secure Full", mode=Mode.SECURE),
         "rest-debug": DefenseSpec.rest("Debug Full", mode=Mode.DEBUG),
+        "mte": DefenseSpec.mte("MTE Sync", check_mode="sync"),
+        "mte-async": DefenseSpec.mte("MTE Async", check_mode="async"),
+        "mte-asymm": DefenseSpec.mte("MTE Asymm", check_mode="asymm"),
     }
 
 
@@ -107,8 +110,11 @@ def run_bench(
     """
     from repro.cpu.pipeline import OutOfOrderCore
     from repro.harness.configs import SimulationConfig
-    from repro.harness.experiment import _make_hierarchy, build_defense
-    from repro.runtime.machine import ExecutionMode, Machine
+    from repro.harness.experiment import (
+        _make_hierarchy,
+        build_defense,
+        make_trace_machine,
+    )
     from repro.workloads.generator import SyntheticWorkload
     from repro.workloads.spec import profile_by_name
 
@@ -143,12 +149,7 @@ def run_bench(
     for name in mode_names:
         spec = specs[name]
         t0 = time.perf_counter()
-        trace_machine = Machine(
-            mode=ExecutionMode.TRACE,
-            perfect_hw=spec.perfect_hw,
-            software_rest=spec.defense == "softrest",
-        )
-        trace_machine.token_width = spec.token_width
+        trace_machine = make_trace_machine(spec)
         defense = build_defense(trace_machine, spec)
         SyntheticWorkload(
             profile,

@@ -50,7 +50,10 @@ class DefenseSpec:
     """One protection configuration to evaluate."""
 
     name: str  # display label, e.g. "Secure Full"
-    defense: str  # "plain" | "asan" | "rest"
+    #: Defense mode name resolved through the plugin registry
+    #: ("plain" | "asan" | "rest" | "softrest" | "mte" | "mte-async" |
+    #: "mte-asymm" | ...); MTE check modes are encoded in the name.
+    defense: str
     protect_stack: bool = True
     mode: Mode = Mode.SECURE
     token_width: int = 64
@@ -72,6 +75,12 @@ class DefenseSpec:
     @staticmethod
     def asan(name: str = "ASan", **toggles) -> "DefenseSpec":
         return DefenseSpec(name=name, defense="asan", **toggles)
+
+    @staticmethod
+    def mte(name: str = "MTE Sync", check_mode: str = "sync") -> "DefenseSpec":
+        """An MTE spec; the check mode is encoded in the defense name."""
+        defense = "mte" if check_mode == "sync" else f"mte-{check_mode}"
+        return DefenseSpec(name=name, defense=defense, protect_stack=False)
 
     @staticmethod
     def rest(

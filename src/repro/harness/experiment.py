@@ -18,7 +18,7 @@ from repro.core.modes import Mode
 from repro.core.token import Token, TokenConfigRegister
 from repro.cpu.pipeline import OutOfOrderCore
 from repro.cpu.stats import CoreStats
-from repro.defenses import AsanDefense, Defense, PlainDefense, RestDefense
+from repro.defenses import Defense
 from repro.harness.configs import DefenseSpec, SimulationConfig
 from repro.runtime.machine import ExecutionMode, Machine
 from repro.workloads.generator import SyntheticWorkload, WorkloadStats
@@ -79,24 +79,33 @@ class RunResult:
 
 
 def build_defense(machine: Machine, spec: DefenseSpec) -> Defense:
-    """Instantiate the defense a spec describes, bound to a machine."""
-    if spec.defense == "plain":
-        return PlainDefense(machine)
-    if spec.defense == "asan":
-        return AsanDefense(
-            machine,
-            use_allocator=spec.asan_allocator,
-            protect_stack=spec.asan_stack and spec.protect_stack,
-            instrument_accesses=spec.asan_checks,
-            intercept_libc=spec.asan_intercepts,
-        )
-    if spec.defense == "rest":
-        return RestDefense(machine, protect_stack=spec.protect_stack)
-    if spec.defense == "softrest":
-        from repro.defenses.softrest import SoftRestDefense
+    """Instantiate the defense a spec describes, bound to a machine.
 
-        return SoftRestDefense(machine, protect_stack=spec.protect_stack)
-    raise ValueError(f"unknown defense kind {spec.defense!r}")
+    Resolution goes through the plugin registry
+    (:mod:`repro.defenses.plugin`), so any registered mode — including
+    aliases like ``plain`` — works here, with the plugin's
+    ``from_spec`` hook applying the spec's ablation toggles.
+    """
+    from repro.defenses.plugin import get_plugin
+
+    return get_plugin(spec.defense).build(machine, spec)
+
+
+def make_trace_machine(spec: DefenseSpec) -> Machine:
+    """A trace-mode machine configured the way ``spec`` requires.
+
+    Centralises the spec-to-machine knobs (perfect-hardware and
+    software-REST limit studies, token width) that every trace-
+    generating surface — bench, observed runs, experiments — must
+    agree on.
+    """
+    machine = Machine(
+        mode=ExecutionMode.TRACE,
+        perfect_hw=spec.perfect_hw,
+        software_rest=spec.defense == "softrest",
+    )
+    machine.token_width = spec.token_width
+    return machine
 
 
 def _make_hierarchy(spec: DefenseSpec, config: SimulationConfig) -> MemoryHierarchy:
@@ -143,12 +152,7 @@ def run_benchmark(
     config = config or SimulationConfig()
 
     # Phase 1: generate the trace through the defense's software stack.
-    trace_machine = Machine(
-        mode=ExecutionMode.TRACE,
-        perfect_hw=spec.perfect_hw,
-        software_rest=spec.defense == "softrest",
-    )
-    trace_machine.token_width = spec.token_width
+    trace_machine = make_trace_machine(spec)
     defense = build_defense(trace_machine, spec)
     workload = SyntheticWorkload(
         profile,

@@ -273,6 +273,20 @@ def _fault_section(manifest: Dict) -> List[str]:
     return lines
 
 
+def _defensezoo_section(root: Path) -> List[str]:
+    """Defense-zoo page for sweep directories with defensezoo.json."""
+    zoo_json = root / "defensezoo.json"
+    if not zoo_json.is_file():
+        return []
+    from repro.experiments.defensezoo import render_text as render_zoo
+
+    try:
+        payload = json.loads(zoo_json.read_text())
+    except (OSError, json.JSONDecodeError):
+        return []
+    return ["", ""] + render_zoo(payload).splitlines()
+
+
 def _fabric_section(root: Path) -> List[str]:
     """Lease-journal summary for a sweep that ran on the worker fabric.
 
@@ -373,6 +387,7 @@ def render_text(path: Union[str, Path]) -> str:
                 retried = f" ({attempts} attempts)" if attempts > 1 else ""
                 out.append(f"  {name:12s} {status}{cached}{retried}")
             out.extend(_fault_section(manifest))
+        out.extend(_defensezoo_section(root))
         out.extend(_fabric_section(root))
     out.append("")
     return "\n".join(out)
@@ -679,6 +694,14 @@ def render_html(path: Union[str, Path]) -> str:
             if line:
                 parts.append(f'<div class="muted">{_html.escape(line)}</div>')
     if source["kind"] == "sweep":
+        zoo = _defensezoo_section(root)
+        if zoo:
+            parts.append("<h2>Defense zoo (REST vs MTE vs ASan)</h2>")
+            parts.append(
+                '<div class="spark">'
+                + "\n".join(_html.escape(line) for line in zoo if line)
+                + "</div>"
+            )
         for line in _fabric_section(root):
             if line:
                 parts.append(f'<div class="muted">{_html.escape(line)}</div>')

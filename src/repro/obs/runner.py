@@ -69,10 +69,10 @@ def run_observed(
         RunResult,
         _make_hierarchy,
         build_defense,
+        make_trace_machine,
     )
     from repro.harness.statsdump import format_stats
     from repro.obs.o3 import export_o3_pipeview
-    from repro.runtime.machine import ExecutionMode, Machine
     from repro.workloads.generator import SyntheticWorkload
     from repro.workloads.spec import profile_by_name
 
@@ -117,12 +117,7 @@ def run_observed(
 
         # Phase 1: generate the trace (tracer sees alloc.arm/disarm &
         # malloc/free events stamped with the trace position).
-        machine = Machine(
-            mode=ExecutionMode.TRACE,
-            perfect_hw=spec.perfect_hw,
-            software_rest=spec.defense == "softrest",
-        )
-        machine.token_width = spec.token_width
+        machine = make_trace_machine(spec)
         if tracer is not None:
             machine.tracer = tracer
         defense = build_defense(machine, spec)

@@ -12,6 +12,10 @@ differ exactly where the paper says they do:
   redzones are armed with REST tokens, freed chunks are filled with
   tokens and quarantined, and the free pool holds *zeroed* chunks (the
   paper's relaxed invariant, Section IV-A).
+* :class:`MteAllocator` — ARM MTE's tagging allocator: a fresh 4-bit
+  tag per allocation over 16-byte granules, tagged pointers, retag on
+  free, immediate reuse (protection is probabilistic tag mismatch, not
+  quarantine ageing).
 """
 
 from repro.runtime.allocators.base import (
@@ -23,6 +27,7 @@ from repro.runtime.allocators.libc_alloc import LibcAllocator
 from repro.runtime.allocators.asan_alloc import AsanAllocator
 from repro.runtime.allocators.rest_alloc import RestAllocator
 from repro.runtime.allocators.fast_rest import FastRestAllocator
+from repro.runtime.allocators.mte_alloc import MteAllocator
 
 __all__ = [
     "AllocationError",
@@ -31,5 +36,6 @@ __all__ = [
     "BaseAllocator",
     "FastRestAllocator",
     "LibcAllocator",
+    "MteAllocator",
     "RestAllocator",
 ]

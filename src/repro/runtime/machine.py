@@ -83,6 +83,11 @@ class Machine:
         self.token_width = (
             self.hierarchy.detector.token.width if self.hierarchy else 64
         )
+        #: Optional MTE tag-check unit on the L1-D path.  When a
+        #: tagging defense installs its controller here, every
+        #: load/store address is tag-checked (functional mode) and
+        #: canonicalised before touching the hierarchy or the trace.
+        self.mte = None
 
     # -- trace plumbing -----------------------------------------------------
 
@@ -116,6 +121,8 @@ class Machine:
 
     def load(self, address: int, size: int = 8, deps: tuple = ()) -> bytes:
         """A regular program load."""
+        if self.mte is not None:
+            address = self.mte.filter(address, size, "load")
         if self.is_trace:
             self._emit(
                 MicroOp(OpType.LOAD, pc=self._pc, address=address, size=size, deps=deps)
@@ -132,6 +139,8 @@ class Machine:
         is written (pass ``size`` alone for zero-fill).
         """
         n = len(data) or size or 8
+        if self.mte is not None:
+            address = self.mte.filter(address, n, "store")
         if self.is_trace:
             self._emit(
                 MicroOp(OpType.STORE, pc=self._pc, address=address, size=n, deps=deps)

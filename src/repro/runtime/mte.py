@@ -1,0 +1,287 @@
+"""ARM MTE memory-tagging model: tag arithmetic, sequencer, controller.
+
+Models the architectural core of ARM's Memory Tagging Extension as it
+ships on real silicon ("ARM MTE Performance in Practice"):
+
+* every 16-byte **granule** of memory carries a 4-bit tag,
+* every pointer carries a 4-bit **logical tag** in bits 59:56 (the TBI
+  byte), assigned at allocation time,
+* every checked access compares the pointer tag against the granule tag
+  and faults on mismatch.
+
+Three check modes reproduce the silicon trade-off:
+
+* ``sync``  — the fault is raised precisely at the access.
+* ``async`` — the fault is *accumulated* and only delivered at the next
+  checkpoint (here: the next malloc/free, or an explicit flush),
+  reproducing MTE's imprecise-report semantics.
+* ``asymm`` — loads are checked synchronously, stores asynchronously.
+
+Tag value 0 is the *untagged* match-all value: pointers without a tag
+(stack, globals, allocator metadata) access tag-0 memory unchecked, the
+way deployments exclude tag 0 via ``TCR_EL1`` so untagged code keeps
+working.  Allocation tags are therefore drawn from 1..15, giving the
+well-known 1-in-15 reuse-collision probability that the foundry oracles
+model deterministically from the seeded draw sequence.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from repro.runtime.layout import AddressSpaceLayout
+
+#: Bytes covered by one allocation tag (the MTE granule).
+TAG_GRANULE = 16
+#: Pointer bit position of the logical tag (bottom of the TBI byte).
+TAG_SHIFT = 56
+#: Number of distinct *allocation* tags (1..15; 0 is untagged).
+NUM_TAGS = 15
+#: Mask selecting the address bits below the tag field.
+ADDRESS_MASK = (1 << TAG_SHIFT) - 1
+
+
+def tag_of(ptr: int) -> int:
+    """The 4-bit logical tag carried in a pointer (0 = untagged)."""
+    return (ptr >> TAG_SHIFT) & 0xF
+
+
+def untag(ptr: int) -> int:
+    """Strip the logical tag, leaving the canonical address."""
+    return ptr & ADDRESS_MASK
+
+
+def with_tag(address: int, tag: int) -> int:
+    """Place ``tag`` in the pointer's tag field."""
+    return (address & ADDRESS_MASK) | ((tag & 0xF) << TAG_SHIFT)
+
+
+def retag(tag: int) -> int:
+    """Deterministic free-time retag: the next tag, never the current.
+
+    Real MTE implementations retag on free with an IRG-style draw; we
+    use the successor permutation so oracles can replay outcomes
+    without modelling a second random stream.  ``retag(t) != t`` for
+    every allocation tag, so an immediate use-after-free always
+    mismatches.
+    """
+    return tag % NUM_TAGS + 1
+
+
+def tag_storage_address(layout: AddressSpaceLayout, address: int) -> int:
+    """Backing-store address of the tags covering ``address``.
+
+    4-bit tags per 16-byte granule pack 16 granule tags into 8 bytes,
+    so one 8-byte tag word covers a 256-byte block.  The store lives in
+    the (otherwise unused under MTE) shadow region, giving tag traffic
+    a distinct, cacheable address stream the way a real tag cache sees
+    one.
+    """
+    return ((address >> 8) << 3) + layout.shadow_offset
+
+
+class TagSequencer:
+    """Seeded allocation-tag stream (the IRG instruction's randomness).
+
+    One draw per malloc — frees retag via :func:`retag` without drawing,
+    so the n-th allocation's tag is exactly ``replay_tags(n+1, seed)[n]``
+    and oracles can predict collision outcomes before execution.
+    """
+
+    def __init__(self, seed: int = 7) -> None:
+        self.seed = seed
+        self._rng = random.Random(f"mte-tags:{seed}")
+        self.draws = 0
+
+    def draw(self) -> int:
+        self.draws += 1
+        return self._rng.randrange(1, NUM_TAGS + 1)
+
+    @staticmethod
+    def replay_tags(n: int, seed: int = 7) -> List[int]:
+        """The first ``n`` tags a sequencer with ``seed`` will produce."""
+        rng = random.Random(f"mte-tags:{seed}")
+        return [rng.randrange(1, NUM_TAGS + 1) for _ in range(n)]
+
+
+class MteViolation(Exception):
+    """A tag-check fault (the MTE analogue of :class:`RestException`).
+
+    ``precise`` is True only for synchronously-checked accesses; async
+    faults are delivered at a later checkpoint with the faulting
+    address recorded but the program state long gone.
+    """
+
+    def __init__(
+        self,
+        address: int,
+        kind: str,
+        ptr_tag: int,
+        mem_tag: int,
+        precise: bool = True,
+        detail: str = "",
+    ) -> None:
+        self.address = address
+        self.kind = kind
+        self.ptr_tag = ptr_tag
+        self.mem_tag = mem_tag
+        self.precise = precise
+        self.detail = detail
+        mode = "precise" if precise else "imprecise"
+        message = (
+            f"MTE tag-check fault ({mode}) at 0x{address:x}: {kind} with "
+            f"pointer tag {ptr_tag} against memory tag {mem_tag}"
+        )
+        if detail:
+            message += f" [{detail}]"
+        super().__init__(message)
+
+
+class MteController:
+    """The tag-check unit on the machine's L1-D access path.
+
+    Installed as ``machine.mte``; the machine passes every load/store
+    address through :meth:`filter` before touching the hierarchy.  In
+    functional mode the controller checks the pointer tag against its
+    granule-tag map and untags; in trace mode it only untags (the
+    defense layer models check *timing* by emitting tag-storage loads).
+    """
+
+    CHECK_MODES = ("sync", "async", "asymm")
+
+    def __init__(self, machine, check_mode: str = "sync", seed: int = 7) -> None:
+        if check_mode not in self.CHECK_MODES:
+            raise ValueError(
+                f"unknown MTE check mode {check_mode!r}; "
+                f"known: {', '.join(self.CHECK_MODES)}"
+            )
+        self.machine = machine
+        self.check_mode = check_mode
+        self.sequencer = TagSequencer(seed)
+        #: granule index -> allocation tag (0 / absent = untagged).
+        self._tags = {}
+        #: Faults accumulated by async checking, oldest first.
+        self.pending: List[MteViolation] = []
+        #: Telemetry: how many accesses were tag-checked.
+        self.checks = 0
+
+    # -- pointer plumbing --------------------------------------------------
+
+    def reseed(self, seed: int) -> None:
+        """Restart the allocation-tag stream (per-foundry-case seeding)."""
+        self.sequencer = TagSequencer(seed)
+
+    def _is_synchronous(self, kind: str) -> bool:
+        if self.check_mode == "sync":
+            return True
+        if self.check_mode == "async":
+            return False
+        return kind == "load"  # asymm: loads sync, stores async
+
+    def filter(self, address: int, size: int, kind: str) -> int:
+        """Tag-check an access and return the canonical address.
+
+        Untagged pointers (tag 0) pass unchecked; tagged pointers are
+        compared against every granule the access overlaps.  Sync
+        mismatches raise here (precise); async mismatches queue for the
+        next :meth:`checkpoint`.
+        """
+        ptr_tag = (address >> TAG_SHIFT) & 0xF
+        if not ptr_tag:
+            return address
+        clean = address & ADDRESS_MASK
+        if self.machine.is_trace:
+            return clean
+        self.checks += 1
+        tags = self._tags
+        first = clean // TAG_GRANULE
+        last = (clean + max(size, 1) - 1) // TAG_GRANULE
+        for granule in range(first, last + 1):
+            mem_tag = tags.get(granule, 0)
+            if mem_tag != ptr_tag:
+                fault = MteViolation(
+                    clean,
+                    kind,
+                    ptr_tag,
+                    mem_tag,
+                    precise=self._is_synchronous(kind),
+                    detail=f"granule 0x{granule * TAG_GRANULE:x}",
+                )
+                if fault.precise:
+                    raise fault
+                self.pending.append(fault)
+                break  # one queued fault per access, like TFSR
+        return clean
+
+    # -- tag storage -------------------------------------------------------
+
+    def tag_region(self, address: int, length: int, tag: int) -> None:
+        """Tag every granule in ``[address, address + length)``.
+
+        Accounts the real cost of tag maintenance: settag-style loops
+        touch the tag storage once per 256-byte block (one packed
+        8-byte word covers 16 granules).
+        """
+        machine = self.machine
+        clean = address & ADDRESS_MASK
+        first = clean // TAG_GRANULE
+        count = max(1, (length + TAG_GRANULE - 1) // TAG_GRANULE)
+        if not machine.is_trace:
+            tags = self._tags
+            if tag:
+                for granule in range(first, first + count):
+                    tags[granule] = tag
+            else:
+                for granule in range(first, first + count):
+                    tags.pop(granule, None)
+        machine.compute(2)
+        layout = machine.layout
+        for block in range(clean // 256, (clean + count * TAG_GRANULE - 1) // 256 + 1):
+            machine.store(tag_storage_address(layout, block * 256), size=8)
+
+    def granule_tag(self, address: int) -> int:
+        """The memory tag currently covering ``address`` (functional)."""
+        return self._tags.get((address & ADDRESS_MASK) // TAG_GRANULE, 0)
+
+    # -- fault delivery ----------------------------------------------------
+
+    def check_free(self, address: int, ptr_tag: int) -> None:
+        """The allocator's software free-check (always synchronous).
+
+        Scudo and glibc both validate the pointer tag against the
+        first granule before recycling, in every check mode — so a
+        stale free whose tag no longer matches is caught even under
+        async checking.
+        """
+        if self.machine.is_trace or not ptr_tag:
+            return
+        mem_tag = self.granule_tag(address)
+        if mem_tag != ptr_tag:
+            raise MteViolation(
+                address & ADDRESS_MASK,
+                "free",
+                ptr_tag,
+                mem_tag,
+                precise=True,
+                detail="allocator tag validation",
+            )
+
+    def checkpoint(self) -> None:
+        """Deliver the oldest pending async fault, if any.
+
+        Called at malloc/free boundaries — the points where a real
+        kernel reads TFSR and signals the process.
+        """
+        if self.pending:
+            fault = self.pending[0]
+            self.pending.clear()
+            raise fault
+
+    def take_pending(self) -> Optional[MteViolation]:
+        """Detach the oldest pending fault without raising (reporting)."""
+        if not self.pending:
+            return None
+        fault = self.pending[0]
+        self.pending.clear()
+        return fault

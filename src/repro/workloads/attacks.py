@@ -24,9 +24,14 @@ from typing import Callable, Dict, Optional, Sequence
 from repro.core import RestException
 from repro.core.exceptions import InvalidRestInstructionError
 from repro.defenses.base import Defense
+from repro.runtime.mte import MteViolation
 from repro.runtime.shadow import AsanViolation
 
 SECRET = b"PASSWORD+PRIVATE-KEY-MATERIAL!!!"
+
+#: Every exception class that counts as a *detection* when an attack
+#: trips a defense (REST tokens, ASan shadow checks, MTE tag checks).
+_VIOLATIONS = (RestException, AsanViolation, MteViolation)
 
 
 class AttackOutcome(enum.Enum):
@@ -90,9 +95,7 @@ def _not_applicable(attack: str, defense: Defense, detail: str) -> AttackResult:
 
 
 def _is_rest(defense: Defense) -> bool:
-    from repro.defenses.base import DefenseKind
-
-    return defense.kind is DefenseKind.REST
+    return "rest-tokens" in defense.capabilities
 
 
 # ---------------------------------------------------------------------------
@@ -117,7 +120,7 @@ def heartbleed(defense: Defense) -> AttackResult:
     claimed_payload = 1024  # attacker-controlled, actual data is 64B
     try:
         defense.memcpy(response, request, claimed_payload)
-    except (RestException, AsanViolation) as error:
+    except _VIOLATIONS as error:
         return _caught("heartbleed", defense, error)
     leaked = machine.load(response, claimed_payload)
     if SECRET[:8] in leaked:
@@ -137,7 +140,7 @@ def linear_heap_overflow_write(defense: Defense) -> AttackResult:
     try:
         for offset in range(0, 256, 8):
             defense.store(victim + offset, b"AAAAAAAA")
-    except (RestException, AsanViolation) as error:
+    except _VIOLATIONS as error:
         return _caught("linear_heap_overflow_write", defense, error)
     if machine.load(neighbour, 8) != b"critical":
         return _missed(
@@ -156,7 +159,7 @@ def heap_underflow_read(defense: Defense) -> AttackResult:
     try:
         for offset in range(8, 96, 8):
             defense.load(victim - offset, 8)
-    except (RestException, AsanViolation) as error:
+    except _VIOLATIONS as error:
         return _caught("heap_underflow_read", defense, error)
     return _missed(
         "heap_underflow_read", defense, "under-read reached metadata region"
@@ -175,7 +178,7 @@ def stack_linear_overflow(defense: Defense) -> AttackResult:
         try:
             for offset in range(0, 256, 8):
                 defense.store(buffer.address + offset, b"BBBBBBBB")
-        except (RestException, AsanViolation) as error:
+        except _VIOLATIONS as error:
             return _caught("stack_linear_overflow", defense, error)
         return _missed(
             "stack_linear_overflow",
@@ -201,7 +204,7 @@ def stack_overread(defense: Defense) -> AttackResult:
         try:
             for offset in range(0, 256, 8):
                 defense.load(buffer.address + offset, 8)
-        except (RestException, AsanViolation) as error:
+        except _VIOLATIONS as error:
             return _caught("stack_overread", defense, error)
         return _missed("stack_overread", defense, "read the caller's frame")
     finally:
@@ -226,7 +229,7 @@ def targeted_corruption(defense: Defense) -> AttackResult:
     delta = target - victim  # attacker-derived exact displacement
     try:
         defense.store(victim + delta, b"isadmin1")
-    except (RestException, AsanViolation) as error:
+    except _VIOLATIONS as error:
         return _caught("targeted_corruption", defense, error)
     if machine.load(target, 8) == b"isadmin1":
         return _missed(
@@ -250,7 +253,7 @@ def pad_overflow(defense: Defense) -> AttackResult:
     victim = defense.malloc(40)
     try:
         defense.store(victim + 40, b"XXXXXXXX")
-    except (RestException, AsanViolation) as error:
+    except _VIOLATIONS as error:
         return _caught("pad_overflow", defense, error)
     return _missed(
         "pad_overflow", defense, "overflow absorbed by alignment pad"
@@ -270,7 +273,7 @@ def use_after_free_read(defense: Defense) -> AttackResult:
     defense.free(victim)
     try:
         data = defense.load(victim, 32)
-    except (RestException, AsanViolation) as error:
+    except _VIOLATIONS as error:
         return _caught("use_after_free_read", defense, error)
     if data[: len(SECRET)] == SECRET:
         return _missed(
@@ -287,7 +290,7 @@ def use_after_free_write(defense: Defense) -> AttackResult:
     defense.free(victim)
     try:
         defense.store(victim, b"pwnedptr")
-    except (RestException, AsanViolation) as error:
+    except _VIOLATIONS as error:
         return _caught("use_after_free_write", defense, error)
     return _missed("use_after_free_write", defense, "freed chunk rewritten")
 
@@ -298,7 +301,7 @@ def double_free(defense: Defense) -> AttackResult:
     defense.free(victim)
     try:
         defense.free(victim)
-    except (RestException, AsanViolation) as error:
+    except _VIOLATIONS as error:
         return _caught("double_free", defense, error)
     except Exception as error:
         # The plain allocator may throw a bookkeeping error — that is a
@@ -329,7 +332,7 @@ def uaf_after_reallocation(defense: Defense) -> AttackResult:
     reused = None
     for _ in range(64):
         candidate = defense.malloc(64)
-        if candidate == victim:
+        if defense.canonical_address(candidate) == defense.canonical_address(victim):
             reused = candidate
             break
     if reused is None:
@@ -341,7 +344,7 @@ def uaf_after_reallocation(defense: Defense) -> AttackResult:
     machine.store(reused, b"newowner")
     try:
         data = defense.load(victim, 8)  # dangling pointer, same address
-    except (RestException, AsanViolation) as error:
+    except _VIOLATIONS as error:
         return _caught("uaf_after_reallocation", defense, error)
     return _missed(
         "uaf_after_reallocation",
@@ -369,7 +372,7 @@ def uninitialized_heap_leak(defense: Defense) -> AttackResult:
     probe = None
     for _ in range(64):
         candidate = defense.malloc(64)
-        if candidate == first:
+        if defense.canonical_address(candidate) == defense.canonical_address(first):
             probe = candidate
             break
     if probe is None:
@@ -378,7 +381,7 @@ def uninitialized_heap_leak(defense: Defense) -> AttackResult:
         )
     try:
         data = defense.load(probe, len(SECRET))
-    except (RestException, AsanViolation) as error:
+    except _VIOLATIONS as error:
         return _caught("uninitialized_heap_leak", defense, error)
     if data == SECRET:
         return _missed(
@@ -456,7 +459,7 @@ def library_overflow(defense: Defense) -> AttackResult:
         # Call the raw libc loop directly: no interception, the way a
         # third-party .so would run.
         defense.libc.memcpy(scratch, victim, 512)
-    except (RestException, AsanViolation) as error:
+    except _VIOLATIONS as error:
         return _caught("library_overflow", defense, error)
     leaked = machine.load(scratch, 512)
     if SECRET[:8] in leaked:
@@ -484,7 +487,7 @@ def use_after_return(defense: Defense) -> AttackResult:
     defense.function_exit(frame)
     try:
         data = defense.load(escaped, 8)
-    except (RestException, AsanViolation) as error:
+    except _VIOLATIONS as error:
         return _caught("use_after_return", defense, error)
     return _missed(
         "use_after_return",
@@ -506,7 +509,7 @@ def intra_object_overflow(defense: Defense) -> AttackResult:
     try:
         # The unchecked copy into `name` runs 8 bytes long.
         defense.store(record + 16, b"\x01" * 8)
-    except (RestException, AsanViolation) as error:
+    except _VIOLATIONS as error:
         return _caught("intra_object_overflow", defense, error)
     if machine.load(record + 16, 8) != b"\x00" * 8:
         return _missed(
@@ -527,7 +530,7 @@ def off_by_one_write(defense: Defense) -> AttackResult:
     victim = defense.malloc(64)  # granule- and token-aligned size
     try:
         defense.store(victim + 64, b"\x00")
-    except (RestException, AsanViolation) as error:
+    except _VIOLATIONS as error:
         return _caught("off_by_one_write", defense, error)
     return _missed("off_by_one_write", defense, "boundary byte clobbered")
 
@@ -548,7 +551,9 @@ def syscall_confused_deputy(defense: Defense) -> AttackResult:
     try:
         # The "kernel" writes 512 bytes into a 64-byte buffer.
         machine.hierarchy.write(
-            victim, b"k" * 512, privilege=PrivilegeLevel.SUPERVISOR
+            defense.canonical_address(victim),
+            b"k" * 512,
+            privilege=PrivilegeLevel.SUPERVISOR,
         )
     except RestException as error:
         return _caught("syscall_confused_deputy", defense, error)
@@ -606,9 +611,26 @@ class UnknownAttackError(KeyError):
 
 
 def run_attack(name: str, defense: Defense) -> AttackResult:
-    """Run one registered attack against a (fresh) defense instance."""
+    """Run one registered attack against a (fresh) defense instance.
+
+    Defenses with deferred fault delivery (MTE async/asymm) may let the
+    attack *complete* and only report at a later checkpoint; a missed
+    verdict with a pending fault is therefore re-scored as an imprecise
+    detection — the report arrived, just not at the faulting access.
+    """
     try:
         attack = ATTACK_REGISTRY[name]
     except KeyError:
         raise UnknownAttackError(name, sorted(ATTACK_REGISTRY)) from None
-    return attack(defense)
+    result = attack(defense)
+    if result.outcome is AttackOutcome.MISSED:
+        pending = defense.take_pending_fault()
+        if pending is not None:
+            result = AttackResult(
+                attack=result.attack,
+                defense=result.defense,
+                outcome=AttackOutcome.DETECTED,
+                detected_by=type(pending).__name__,
+                detail=f"imprecise (checkpoint delivery): {pending}",
+            )
+    return result
